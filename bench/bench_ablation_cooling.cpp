@@ -1,0 +1,50 @@
+// bench_ablation_cooling — ablation A3: cooling rate alpha. The paper
+// uses alpha = 0.9; this bench sweeps alpha to show the quality/runtime
+// trade-off that justifies it.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace dmfb;
+
+int main() {
+  bench::banner("Ablation A3 — cooling rate alpha");
+
+  const auto synth = bench::synthesized_pcr();
+  const std::uint64_t seeds[] = {1, 2, 3, 4, 5};
+
+  TextTable table("Area-only SA vs cooling rate (T0 = 10^4, Na = 150)");
+  table.set_header({"alpha", "mean cells", "best", "temp steps",
+                    "proposals", "mean wall (ms)"});
+
+  for (const double alpha : {0.80, 0.85, 0.90, 0.95}) {
+    double total = 0.0;
+    long long best = 1LL << 40;
+    long long proposals = 0;
+    int steps = 0;
+    double wall = 0.0;
+    for (const std::uint64_t seed : seeds) {
+      SaPlacerOptions options = bench::paper_sa_options(seed);
+      options.schedule.cooling_rate = alpha;
+      options.schedule.iterations_per_module = 150;
+      const auto outcome =
+          place_simulated_annealing(synth.schedule, options);
+      total += static_cast<double>(outcome.cost.area_cells);
+      best = std::min(best, outcome.cost.area_cells);
+      proposals = outcome.stats.proposals;
+      steps = outcome.stats.temperature_steps;
+      wall += outcome.wall_seconds * 1000.0;
+    }
+    const double n = static_cast<double>(std::size(seeds));
+    table.add_row({format_double(alpha, 2), format_double(total / n, 1),
+                   std::to_string(best), std::to_string(steps),
+                   std::to_string(proposals),
+                   format_double(wall / n, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpectation: slower cooling (larger alpha) costs linearly"
+               " more proposals\nfor diminishing area returns; alpha = 0.9"
+               " (the paper's) is the knee.\n";
+  return 0;
+}

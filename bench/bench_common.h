@@ -1,0 +1,86 @@
+// bench_common.h — shared setup for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of Su & Chakrabarty
+// (DATE 2005) and prints it in a fixed format quoted by EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "assay/assay_library.h"
+#include "assay/synthesis.h"
+#include "core/sa_placer.h"
+#include "core/two_stage_placer.h"
+
+namespace dmfb::bench {
+
+/// Seed used by all reproduction benches (printed so runs are replayable).
+inline constexpr std::uint64_t kBenchSeed = 0xDA7E2005ULL;
+
+/// The paper's PCR case study, synthesized: Table 1 binding, at most two
+/// concurrent mixers, storage inserted for waiting droplets.
+inline SynthesisResult synthesized_pcr() {
+  const AssayCase assay = pcr_mixing_assay();
+  return synthesize_with_binding(assay.graph, assay.binding,
+                                 assay.scheduler_options);
+}
+
+/// Paper-parameter annealing options (§4d): T0 = 10^4, alpha = 0.9,
+/// Na = 400, area-only objective.
+inline SaPlacerOptions paper_sa_options(std::uint64_t seed = kBenchSeed) {
+  SaPlacerOptions options;
+  options.seed = seed;
+  return options;  // defaults are the paper's
+}
+
+/// Two-stage options with the paper's stage-1 parameters and an LTSA
+/// refinement stage at the given fault-tolerance weight.
+inline TwoStageOptions paper_two_stage_options(double beta,
+                                               std::uint64_t seed = kBenchSeed) {
+  TwoStageOptions options;
+  options.beta = beta;
+  options.stage1 = paper_sa_options(seed);
+  options.stage2_seed = seed ^ 0x5a5a5a5aULL;
+  return options;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& title) {
+  std::cout << "==================================================\n"
+            << title << '\n'
+            << "seed: 0x" << std::hex << kBenchSeed << std::dec << '\n'
+            << "==================================================\n";
+}
+
+}  // namespace dmfb::bench
+
+// --- SVG helpers shared by the figure benches -------------------------
+
+#include <fstream>
+
+#include "util/svg.h"
+
+namespace dmfb::bench {
+
+/// Writes every time slice of `placement` as one SVG file per slice:
+/// <prefix>_slice<k>.svg, drawn over the placement bounding box.
+inline void write_placement_svgs(const Placement& placement,
+                                 const std::string& prefix) {
+  const Rect box = placement.bounding_box();
+  const auto& slices = placement.slice_members();
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    std::vector<SvgRect> rects;
+    for (const int index : slices[s]) {
+      const auto& m = placement.module(index);
+      Rect fp = m.footprint();
+      fp.x -= box.x;
+      fp.y -= box.y;
+      rects.push_back(SvgRect{fp, m.label,
+                              palette_color(static_cast<std::size_t>(index))});
+    }
+    std::ofstream out(prefix + "_slice" + std::to_string(s) + ".svg");
+    out << render_svg_grid(box.width, box.height, rects);
+  }
+}
+
+}  // namespace dmfb::bench

@@ -1,0 +1,87 @@
+// bench_perf_sa — microbenchmarks for the annealing machinery: cost
+// evaluation, move generation, and end-to-end placement runs (the paper's
+// §6 runtime context: 5 min for area-only SA, 20 min for two-stage, on a
+// 1.0 GHz Pentium-III).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/cost.h"
+#include "core/greedy_placer.h"
+#include "core/moves.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dmfb;
+
+void BM_CostEvaluationAreaOnly(benchmark::State& state) {
+  const auto synth = bench::synthesized_pcr();
+  const Placement placement = place_greedy(synth.schedule, 24, 24);
+  const CostEvaluator evaluator(CostWeights{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.cost(placement));
+  }
+}
+BENCHMARK(BM_CostEvaluationAreaOnly);
+
+void BM_CostEvaluationWithFti(benchmark::State& state) {
+  const auto synth = bench::synthesized_pcr();
+  const Placement placement = place_greedy(synth.schedule, 24, 24);
+  CostWeights weights;
+  weights.beta = 30.0;
+  const CostEvaluator evaluator(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.cost(placement));
+  }
+}
+BENCHMARK(BM_CostEvaluationWithFti);
+
+void BM_MoveGeneration(benchmark::State& state) {
+  const auto synth = bench::synthesized_pcr();
+  Placement placement = place_greedy(synth.schedule, 24, 24);
+  Rng rng(1);
+  const MoveOptions options;
+  for (auto _ : state) {
+    Placement copy = placement;
+    benchmark::DoNotOptimize(apply_random_move(copy, 0.5, options, rng));
+  }
+}
+BENCHMARK(BM_MoveGeneration);
+
+void BM_AreaOnlyPlacementEndToEnd(benchmark::State& state) {
+  const auto synth = bench::synthesized_pcr();
+  // Shortened schedule so a single iteration stays ~tens of ms.
+  SaPlacerOptions options = bench::paper_sa_options();
+  options.schedule.initial_temperature = 1000.0;
+  options.schedule.cooling_rate = 0.8;
+  options.schedule.iterations_per_module =
+      static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto outcome = place_simulated_annealing(synth.schedule, options);
+    benchmark::DoNotOptimize(outcome.cost.area_cells);
+  }
+  state.counters["Na"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AreaOnlyPlacementEndToEnd)->Arg(25)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PaperParameterPlacement(benchmark::State& state) {
+  // Full paper parameters (T0=1e4, alpha=0.9, Na=400) — the modern
+  // counterpart of the paper's 5-minute figure.
+  const auto synth = bench::synthesized_pcr();
+  SaPlacerOptions options = bench::paper_sa_options();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    const auto outcome = place_simulated_annealing(synth.schedule, options);
+    benchmark::DoNotOptimize(outcome.cost.area_cells);
+  }
+}
+BENCHMARK(BM_PaperParameterPlacement)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

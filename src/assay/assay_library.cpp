@@ -1,0 +1,210 @@
+#include "assay/assay_library.h"
+
+#include <stdexcept>
+
+namespace dmfb {
+namespace {
+
+/// Looks up a library spec or throws with a clear message.
+ModuleSpec require_spec(const ModuleLibrary& library, const std::string& name) {
+  auto spec = library.find(name);
+  if (!spec) {
+    throw std::runtime_error("assay_library: module library is missing '" +
+                             name + "'");
+  }
+  return *spec;
+}
+
+}  // namespace
+
+SequencingGraph pcr_mixing_graph() {
+  SequencingGraph graph("pcr-mixing-stage");
+
+  // The eight PCR master-mix constituents (Zhang et al., CRC 2002).
+  const char* reagents[8] = {"Tris-HCl", "KCl",     "gelatin", "beacons",
+                             "primer",   "AmpliTaq", "dNTP",    "LambdaDNA"};
+  OperationId dispense[8];
+  for (int i = 0; i < 8; ++i) {
+    dispense[i] = graph.add_operation(OperationType::kDispense,
+                                      std::string("D") + std::to_string(i + 1),
+                                      reagents[i]);
+  }
+
+  // Binary mixing tree M1..M7 (Fig. 5): leaves M1..M4, then M5 = M1+M2,
+  // M6 = M3+M4, root M7 = M5+M6.
+  OperationId mix[7];
+  for (int i = 0; i < 7; ++i) {
+    mix[i] = graph.add_operation(OperationType::kMix,
+                                 "M" + std::to_string(i + 1));
+  }
+  for (int i = 0; i < 4; ++i) {
+    graph.add_dependency(dispense[2 * i], mix[i]);
+    graph.add_dependency(dispense[2 * i + 1], mix[i]);
+  }
+  graph.add_dependency(mix[0], mix[4]);  // M1 -> M5
+  graph.add_dependency(mix[1], mix[4]);  // M2 -> M5
+  graph.add_dependency(mix[2], mix[5]);  // M3 -> M6
+  graph.add_dependency(mix[3], mix[5]);  // M4 -> M6
+  graph.add_dependency(mix[4], mix[6]);  // M5 -> M7
+  graph.add_dependency(mix[5], mix[6]);  // M6 -> M7
+
+  const OperationId out =
+      graph.add_operation(OperationType::kOutput, "thermocycle");
+  graph.add_dependency(mix[6], out);
+  return graph;
+}
+
+Binding pcr_table1_binding(const SequencingGraph& pcr_graph) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  // Module names per Table 1 row, in M1..M7 order.
+  const char* spec_names[7] = {"mixer-2x2", "mixer-1x4", "mixer-2x3",
+                               "mixer-1x4", "mixer-1x4", "mixer-2x2",
+                               "mixer-2x4"};
+  Binding binding;
+  int next_mixer = 0;
+  for (const auto& op : pcr_graph.operations()) {
+    if (op.type != OperationType::kMix) continue;
+    if (next_mixer >= 7) {
+      throw std::invalid_argument(
+          "pcr_table1_binding: graph has more than 7 mix operations");
+    }
+    binding.emplace(op.id, require_spec(library, spec_names[next_mixer]));
+    ++next_mixer;
+  }
+  if (next_mixer != 7) {
+    throw std::invalid_argument(
+        "pcr_table1_binding: graph does not have exactly 7 mix operations");
+  }
+  return binding;
+}
+
+AssayCase pcr_mixing_assay() {
+  AssayCase assay;
+  assay.name = "pcr-mixing-stage";
+  assay.graph = pcr_mixing_graph();
+  assay.binding = pcr_table1_binding(assay.graph);
+  // The paper's schedule keeps the active area small enough for a 63-cell
+  // chip; two concurrent mixers reproduces that resource profile.
+  assay.scheduler_options.constraints.max_concurrent_modules = 2;
+  assay.scheduler_options.insert_storage = true;
+  return assay;
+}
+
+AssayCase multiplexed_diagnostics_assay(int samples, int reagents,
+                                        const ModuleLibrary& library) {
+  if (samples <= 0 || reagents <= 0) {
+    throw std::invalid_argument(
+        "multiplexed_diagnostics_assay: counts must be positive");
+  }
+  AssayCase assay;
+  assay.name = "in-vitro-diagnostics-" + std::to_string(samples) + "x" +
+               std::to_string(reagents);
+  SequencingGraph graph(assay.name);
+
+  const auto mixers = library.by_kind(ModuleKind::kMixer);
+  const auto detector = require_spec(library, "detector-1x1");
+  if (mixers.empty()) {
+    throw std::runtime_error(
+        "multiplexed_diagnostics_assay: no mixers in library");
+  }
+
+  int mixer_cursor = 0;
+  for (int s = 0; s < samples; ++s) {
+    for (int r = 0; r < reagents; ++r) {
+      const std::string pair =
+          "S" + std::to_string(s + 1) + "R" + std::to_string(r + 1);
+      const OperationId ds = graph.add_operation(
+          OperationType::kDispense, "D(" + pair + ".s)",
+          "sample-" + std::to_string(s + 1));
+      const OperationId dr = graph.add_operation(
+          OperationType::kDispense, "D(" + pair + ".r)",
+          "reagent-" + std::to_string(r + 1));
+      const OperationId mix =
+          graph.add_operation(OperationType::kMix, "Mix(" + pair + ")");
+      const OperationId det =
+          graph.add_operation(OperationType::kDetect, "Det(" + pair + ")");
+      const OperationId out =
+          graph.add_operation(OperationType::kOutput, "Out(" + pair + ")");
+      graph.add_dependency(ds, mix);
+      graph.add_dependency(dr, mix);
+      graph.add_dependency(mix, det);
+      graph.add_dependency(det, out);
+
+      assay.binding.emplace(mix, mixers[mixer_cursor % mixers.size()]);
+      assay.binding.emplace(det, detector);
+      ++mixer_cursor;
+    }
+  }
+
+  assay.graph = std::move(graph);
+  assay.scheduler_options.constraints.max_concurrent_modules = 4;
+  // One optical detection site is typical for these chips.
+  assay.scheduler_options.constraints
+      .max_concurrent_by_kind[ModuleKind::kDetector] = 1;
+  return assay;
+}
+
+AssayCase protein_dilution_assay(int levels, const ModuleLibrary& library) {
+  if (levels <= 0 || levels > 6) {
+    throw std::invalid_argument(
+        "protein_dilution_assay: levels must be in [1, 6]");
+  }
+  AssayCase assay;
+  assay.name = "protein-dilution-" + std::to_string(levels);
+  SequencingGraph graph(assay.name);
+
+  const auto dilutor = require_spec(library, "dilutor-2x4");
+  const auto detector = require_spec(library, "detector-1x1");
+
+  const OperationId protein =
+      graph.add_operation(OperationType::kDispense, "D(protein)", "protein");
+  const OperationId buffer0 =
+      graph.add_operation(OperationType::kDispense, "D(buffer0)", "buffer");
+  const OperationId root =
+      graph.add_operation(OperationType::kDilute, "Dlt(root)");
+  graph.add_dependency(protein, root);
+  graph.add_dependency(buffer0, root);
+  assay.binding.emplace(root, dilutor);
+
+  // Each dilution level halves concentration; every dilutor consumes its
+  // parent droplet plus fresh buffer and produces two droplets, one of
+  // which continues down the tree.
+  std::vector<OperationId> frontier{root};
+  for (int level = 1; level < levels; ++level) {
+    std::vector<OperationId> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (int child = 0; child < 2; ++child) {
+        const std::string tag =
+            std::to_string(level) + "." + std::to_string(2 * i + child);
+        const OperationId buffer = graph.add_operation(
+            OperationType::kDispense, "D(buffer" + tag + ")", "buffer");
+        const OperationId dilute =
+            graph.add_operation(OperationType::kDilute, "Dlt(" + tag + ")");
+        graph.add_dependency(frontier[i], dilute);
+        graph.add_dependency(buffer, dilute);
+        assay.binding.emplace(dilute, dilutor);
+        next.push_back(dilute);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Detect every leaf concentration.
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const OperationId det = graph.add_operation(
+        OperationType::kDetect, "Det(" + std::to_string(i) + ")");
+    const OperationId out = graph.add_operation(
+        OperationType::kOutput, "Out(" + std::to_string(i) + ")");
+    graph.add_dependency(frontier[i], det);
+    graph.add_dependency(det, out);
+    assay.binding.emplace(det, detector);
+  }
+
+  assay.graph = std::move(graph);
+  assay.scheduler_options.constraints.max_concurrent_modules = 4;
+  assay.scheduler_options.constraints
+      .max_concurrent_by_kind[ModuleKind::kDetector] = 1;
+  return assay;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,56 @@
+// assay_library.h — ready-made bioassay benchmarks.
+//
+// * PCR mixing stage — the paper's case study (Fig. 5 + Table 1): eight
+//   reagent dispenses feeding a binary tree of seven mixers M1..M7.
+// * Multiplexed in-vitro diagnostics — the workload motivating concurrent
+//   assays in the paper's introduction (Srinivasan et al., µTAS 2003):
+//   every (sample, reagent) pair is mixed and optically detected.
+// * Serial protein dilution — a dilution tree using dilutor modules,
+//   representative of sample-preparation assays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/binder.h"
+#include "assay/scheduler.h"
+#include "assay/sequencing_graph.h"
+#include "biochip/module_library.h"
+
+namespace dmfb {
+
+/// A benchmark: a graph plus the binding and constraints its experiments
+/// use.
+struct AssayCase {
+  std::string name;
+  SequencingGraph graph;
+  Binding binding;
+  SchedulerOptions scheduler_options;
+};
+
+/// The sequencing graph of the PCR mixing stage (Fig. 5): 8 dispenses,
+/// 7 mix operations labelled M1..M7 forming a binary tree, 1 output.
+SequencingGraph pcr_mixing_graph();
+
+/// The paper's Table 1 resource binding for M1..M7:
+///   M1: 2x2-array mixer (4x4 cells, 10 s)    M2: 4-el. linear (3x6, 5 s)
+///   M3: 2x3-array mixer (4x5 cells, 6 s)     M4: 4-el. linear (3x6, 5 s)
+///   M5: 4-el. linear    (3x6 cells, 5 s)     M6: 2x2 array    (4x4, 10 s)
+///   M7: 2x4-array mixer (4x6 cells, 3 s)
+Binding pcr_table1_binding(const SequencingGraph& pcr_graph);
+
+/// PCR case with the Table 1 binding and the evaluation's scheduling
+/// constraint (at most two mixers run concurrently, which is what bounds
+/// the paper's 63-cell area-only placement).
+AssayCase pcr_mixing_assay();
+
+/// Multiplexed in-vitro diagnostics: `samples` x `reagents` independent
+/// mix-then-detect chains. Mixers are drawn round-robin from `library`.
+AssayCase multiplexed_diagnostics_assay(int samples, int reagents,
+                                        const ModuleLibrary& library);
+
+/// Serial dilution: `levels` levels of a binary dilutor tree rooted at a
+/// sample/buffer mix (2^level dilutors at each level).
+AssayCase protein_dilution_assay(int levels, const ModuleLibrary& library);
+
+}  // namespace dmfb

@@ -1,0 +1,85 @@
+#include "assay/binder.h"
+
+#include <stdexcept>
+
+namespace dmfb {
+
+Binding bind_operations(const SequencingGraph& graph,
+                        const ModuleLibrary& library, BindingPolicy policy) {
+  Binding binding;
+  std::map<ModuleKind, std::vector<ModuleSpec>> candidates;
+  std::map<ModuleKind, std::size_t> next_index;
+
+  for (OperationId id : graph.reconfigurable_operations()) {
+    const ModuleKind kind = module_kind_for(graph.operation(id).type);
+    auto [it, inserted] = candidates.try_emplace(kind);
+    if (inserted) {
+      it->second = library.by_kind(kind);
+      if (it->second.empty()) {
+        throw std::runtime_error(
+            std::string("bind_operations: library has no module of kind ") +
+            to_string(kind));
+      }
+    }
+    const auto& specs = it->second;
+    switch (policy) {
+      case BindingPolicy::kFastest:
+        binding.emplace(id, specs.front());
+        break;
+      case BindingPolicy::kSmallest: {
+        const ModuleSpec* best = &specs.front();
+        for (const auto& spec : specs) {
+          if (spec.footprint_cells() < best->footprint_cells()) best = &spec;
+        }
+        binding.emplace(id, *best);
+        break;
+      }
+      case BindingPolicy::kRoundRobin: {
+        std::size_t& cursor = next_index[kind];
+        binding.emplace(id, specs[cursor % specs.size()]);
+        ++cursor;
+        break;
+      }
+    }
+  }
+  return binding;
+}
+
+std::vector<std::string> validate_binding(const SequencingGraph& graph,
+                                          const Binding& binding) {
+  std::vector<std::string> problems;
+  for (OperationId id : graph.reconfigurable_operations()) {
+    const auto it = binding.find(id);
+    const Operation& op = graph.operation(id);
+    if (it == binding.end()) {
+      problems.push_back("operation '" + op.label + "' is unbound");
+      continue;
+    }
+    const ModuleSpec& spec = it->second;
+    if (spec.kind != module_kind_for(op.type)) {
+      problems.push_back("operation '" + op.label + "' bound to a " +
+                         to_string(spec.kind) + " but needs a " +
+                         to_string(module_kind_for(op.type)));
+    }
+    if (spec.kind != ModuleKind::kStorage && spec.duration_s <= 0.0) {
+      problems.push_back("operation '" + op.label +
+                         "' bound to module with non-positive duration");
+    }
+    if (spec.functional_width <= 0 || spec.functional_height <= 0) {
+      problems.push_back("operation '" + op.label +
+                         "' bound to module with empty functional region");
+    }
+  }
+  for (const auto& [id, spec] : binding) {
+    if (id < 0 || id >= graph.operation_count()) {
+      problems.push_back("binding references unknown operation id " +
+                         std::to_string(id));
+    } else if (!is_reconfigurable(graph.operation(id).type)) {
+      problems.push_back("operation '" + graph.operation(id).label +
+                         "' is not reconfigurable but has a binding");
+    }
+  }
+  return problems;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,37 @@
+// binder.h — resource binding: assigning a module type to every
+// reconfigurable operation of a sequencing graph (the first half of
+// architectural-level synthesis; Table 1 of the paper is one binding).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assay/sequencing_graph.h"
+#include "biochip/module_library.h"
+
+namespace dmfb {
+
+/// Module type chosen for each reconfigurable operation.
+using Binding = std::map<OperationId, ModuleSpec>;
+
+/// Strategy for automatic binding when the designer does not dictate one.
+enum class BindingPolicy {
+  kFastest,     ///< always the lowest-latency spec of the right kind
+  kSmallest,    ///< always the smallest-footprint spec of the right kind
+  kRoundRobin,  ///< cycle through specs of the right kind (diversity, as in
+                ///< the paper's PCR binding which mixes four mixer shapes)
+};
+
+/// Produces a binding for every reconfigurable operation of `graph` using
+/// modules from `library`. Throws std::runtime_error when the library has
+/// no module of a required kind.
+Binding bind_operations(const SequencingGraph& graph,
+                        const ModuleLibrary& library, BindingPolicy policy);
+
+/// Validation: every reconfigurable op bound, kinds match, durations > 0
+/// for timed kinds. Returns human-readable problems (empty = valid).
+std::vector<std::string> validate_binding(const SequencingGraph& graph,
+                                          const Binding& binding);
+
+}  // namespace dmfb

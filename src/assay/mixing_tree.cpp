@@ -1,0 +1,91 @@
+#include "assay/mixing_tree.h"
+
+#include <stdexcept>
+
+namespace dmfb {
+namespace {
+
+ModuleSpec require_spec(const ModuleLibrary& library,
+                        const std::string& name) {
+  const auto spec = library.find(name);
+  if (!spec) {
+    throw std::runtime_error("mixing_tree_assay: library is missing '" +
+                             name + "'");
+  }
+  return *spec;
+}
+
+/// Reduces k/2^d by stripping factors of two from the numerator.
+MixRatio reduced(MixRatio ratio) {
+  while (ratio.numerator % 2 == 0 && ratio.depth > 1) {
+    ratio.numerator /= 2;
+    --ratio.depth;
+  }
+  return ratio;
+}
+
+}  // namespace
+
+bool is_valid_ratio(const MixRatio& ratio) {
+  return ratio.depth >= 1 && ratio.depth <= 16 && ratio.numerator > 0 &&
+         ratio.numerator < (1 << ratio.depth);
+}
+
+int mixing_steps_required(const MixRatio& ratio) {
+  return reduced(ratio).depth;
+}
+
+AssayCase mixing_tree_assay(const MixRatio& ratio,
+                            const ModuleLibrary& library,
+                            bool add_detector) {
+  if (!is_valid_ratio(ratio)) {
+    throw std::invalid_argument(
+        "mixing_tree_assay: ratio must satisfy 0 < k < 2^depth, depth in "
+        "[1,16]");
+  }
+  const MixRatio r = reduced(ratio);
+  const int k = r.numerator;  // odd after reduction
+  const int d = r.depth;
+
+  AssayCase assay;
+  assay.name = "mix-ratio-" + std::to_string(ratio.numerator) + "-over-2^" +
+               std::to_string(ratio.depth);
+  SequencingGraph graph(assay.name);
+  const ModuleSpec dilutor = require_spec(library, "dilutor-2x4");
+
+  // Bit-recursive chain: c_d = (b_0 + sum_{i=1..d} b_i 2^{i-1}) / 2^d with
+  // b_0 = 1 (k is odd) and b_i = bit (i-1) of (k-1).
+  OperationId current = graph.add_operation(OperationType::kDispense,
+                                            "D(sample0)", "sample");
+  for (int i = 1; i <= d; ++i) {
+    const bool with_sample = ((k - 1) >> (i - 1)) & 1;
+    const OperationId partner = graph.add_operation(
+        OperationType::kDispense,
+        std::string("D(") + (with_sample ? "sample" : "buffer") +
+            std::to_string(i) + ")",
+        with_sample ? "sample" : "buffer");
+    const OperationId step = graph.add_operation(
+        OperationType::kDilute, "Mix" + std::to_string(i));
+    graph.add_dependency(current, step);
+    graph.add_dependency(partner, step);
+    assay.binding.emplace(step, dilutor);
+    current = step;
+  }
+
+  if (add_detector) {
+    const OperationId detect =
+        graph.add_operation(OperationType::kDetect, "Det(target)");
+    graph.add_dependency(current, detect);
+    assay.binding.emplace(detect, require_spec(library, "detector-1x1"));
+    current = detect;
+  }
+  const OperationId out =
+      graph.add_operation(OperationType::kOutput, "Out(target)");
+  graph.add_dependency(current, out);
+
+  assay.graph = std::move(graph);
+  assay.scheduler_options.constraints.max_concurrent_modules = 2;
+  return assay;
+}
+
+}  // namespace dmfb

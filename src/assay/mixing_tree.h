@@ -1,0 +1,45 @@
+// mixing_tree.h — synthesis of dilution/mixing trees for a target
+// concentration (sample preparation).
+//
+// Droplet mixers merge two unit droplets and (for dilutors) split the
+// result, so any achievable sample concentration after d steps is k/2^d
+// for integer k — the classic bit-recursive ("Remia"-style) construction:
+// reading the binary expansion of the target from LSB to MSB decides, at
+// each 1:1 mixing step, whether fresh sample or buffer joins the chain.
+// This turns a numeric target into a sequencing graph our synthesis flow
+// can schedule, place, and simulate; tests assert that the simulated
+// droplet hits the target concentration exactly.
+#pragma once
+
+#include "assay/assay_library.h"
+#include "biochip/module_library.h"
+
+namespace dmfb {
+
+/// A target concentration k / 2^depth (0 < k < 2^depth).
+struct MixRatio {
+  int numerator = 1;
+  int depth = 1;  ///< number of 1:1 mixing steps
+
+  double value() const {
+    return static_cast<double>(numerator) / (1 << depth);
+  }
+};
+
+/// True when the ratio is representable (0 < k < 2^depth, depth in
+/// [1, 16]).
+bool is_valid_ratio(const MixRatio& ratio);
+
+/// Builds the minimal 1:1 mixing chain reaching exactly
+/// `ratio.numerator / 2^ratio.depth` of reagent "sample" in "buffer".
+/// The result has `depth` dilute operations; sinks with a detector when
+/// `add_detector`. Throws std::invalid_argument on invalid ratios.
+AssayCase mixing_tree_assay(const MixRatio& ratio,
+                            const ModuleLibrary& library,
+                            bool add_detector = false);
+
+/// The number of 1:1 steps the chain construction uses for `ratio`
+/// (= ratio.depth after trailing-zero reduction).
+int mixing_steps_required(const MixRatio& ratio);
+
+}  // namespace dmfb

@@ -1,0 +1,57 @@
+#include "assay/operation.h"
+
+#include <stdexcept>
+
+namespace dmfb {
+
+const char* to_string(OperationType type) {
+  switch (type) {
+    case OperationType::kDispense:
+      return "dispense";
+    case OperationType::kMix:
+      return "mix";
+    case OperationType::kDilute:
+      return "dilute";
+    case OperationType::kStore:
+      return "store";
+    case OperationType::kDetect:
+      return "detect";
+    case OperationType::kOutput:
+      return "output";
+  }
+  return "?";
+}
+
+bool is_reconfigurable(OperationType type) {
+  switch (type) {
+    case OperationType::kMix:
+    case OperationType::kDilute:
+    case OperationType::kStore:
+    case OperationType::kDetect:
+      return true;
+    case OperationType::kDispense:
+    case OperationType::kOutput:
+      return false;
+  }
+  return false;
+}
+
+ModuleKind module_kind_for(OperationType type) {
+  switch (type) {
+    case OperationType::kMix:
+      return ModuleKind::kMixer;
+    case OperationType::kDilute:
+      return ModuleKind::kDilutor;
+    case OperationType::kStore:
+      return ModuleKind::kStorage;
+    case OperationType::kDetect:
+      return ModuleKind::kDetector;
+    case OperationType::kDispense:
+    case OperationType::kOutput:
+      break;
+  }
+  throw std::invalid_argument(
+      "module_kind_for: operation type is not reconfigurable");
+}
+
+}  // namespace dmfb

@@ -1,0 +1,44 @@
+// operation.h — the node type of a bioassay sequencing graph.
+#pragma once
+
+#include <string>
+
+#include "biochip/module_spec.h"
+
+namespace dmfb {
+
+/// Identifier of an operation within one sequencing graph (dense, 0-based).
+using OperationId = int;
+
+/// What a sequencing-graph node asks the chip to do. Dispense/output
+/// operations happen at reservoir ports on the array boundary; the
+/// reconfigurable operations (mix/dilute/store/detect) consume array cells
+/// and are what the placer places.
+enum class OperationType {
+  kDispense,  ///< emit a droplet from an off-chip reservoir
+  kMix,       ///< merge two droplets and mix to homogeneity
+  kDilute,    ///< mix then split (dilution step)
+  kStore,     ///< hold a droplet between operations
+  kDetect,    ///< optical detection
+  kOutput,    ///< move a droplet to a waste/collection port
+};
+
+const char* to_string(OperationType type);
+
+/// True for operation types realized as reconfigurable modules on the
+/// array (and therefore subject to placement).
+bool is_reconfigurable(OperationType type);
+
+/// Module kind needed to execute an operation type; only valid for
+/// reconfigurable types.
+ModuleKind module_kind_for(OperationType type);
+
+/// A sequencing-graph node.
+struct Operation {
+  OperationId id = -1;
+  OperationType type = OperationType::kMix;
+  std::string label;    ///< e.g. "M1" in the paper's PCR example
+  std::string reagent;  ///< for dispense ops: which fluid is emitted
+};
+
+}  // namespace dmfb

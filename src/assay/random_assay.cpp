@@ -1,0 +1,90 @@
+#include "assay/random_assay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmfb {
+
+AssayCase random_assay(const RandomAssayParams& params,
+                       const ModuleLibrary& library, Rng& rng) {
+  if (params.mix_operations <= 0 || params.max_layer_width <= 0) {
+    throw std::invalid_argument("random_assay: sizes must be positive");
+  }
+  const auto mixers = library.by_kind(ModuleKind::kMixer);
+  if (mixers.empty()) {
+    throw std::runtime_error("random_assay: no mixers in library");
+  }
+  const auto detectors = library.by_kind(ModuleKind::kDetector);
+
+  AssayCase assay;
+  assay.name = "random-assay";
+  SequencingGraph graph(assay.name);
+
+  // Build mixes in layers; every mix consumes either fresh dispenses or
+  // outputs of earlier layers.
+  std::vector<OperationId> previous_layer;
+  int mixes_left = params.mix_operations;
+  int mix_counter = 0;
+  int dispense_counter = 0;
+  std::vector<OperationId> unconsumed;  // droplets not yet used downstream
+
+  auto new_dispense = [&]() {
+    ++dispense_counter;
+    return graph.add_operation(OperationType::kDispense,
+                               "D" + std::to_string(dispense_counter),
+                               "reagent-" + std::to_string(dispense_counter));
+  };
+
+  while (mixes_left > 0) {
+    const int layer_width = std::min(
+        mixes_left, 1 + static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(params.max_layer_width))));
+    std::vector<OperationId> layer;
+    for (int i = 0; i < layer_width; ++i) {
+      ++mix_counter;
+      const OperationId mix = graph.add_operation(
+          OperationType::kMix, "M" + std::to_string(mix_counter));
+      // Two inputs: prefer unconsumed upstream droplets, else dispense.
+      for (int input = 0; input < 2; ++input) {
+        if (!unconsumed.empty() && rng.next_bool(0.6)) {
+          const std::size_t pick = rng.next_below(unconsumed.size());
+          graph.add_dependency(unconsumed[pick], mix);
+          unconsumed.erase(unconsumed.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+        } else {
+          graph.add_dependency(new_dispense(), mix);
+        }
+      }
+      assay.binding.emplace(mix, mixers[rng.next_below(mixers.size())]);
+      layer.push_back(mix);
+    }
+    for (OperationId id : layer) unconsumed.push_back(id);
+    previous_layer = std::move(layer);
+    mixes_left -= layer_width;
+  }
+
+  // Terminate every remaining droplet with (optionally) a detect, then an
+  // output.
+  int sink_counter = 0;
+  for (OperationId id : unconsumed) {
+    ++sink_counter;
+    OperationId tail = id;
+    if (!detectors.empty() && rng.next_bool(params.detect_fraction)) {
+      const OperationId det = graph.add_operation(
+          OperationType::kDetect, "Det" + std::to_string(sink_counter));
+      graph.add_dependency(tail, det);
+      assay.binding.emplace(det, detectors.front());
+      tail = det;
+    }
+    const OperationId out = graph.add_operation(
+        OperationType::kOutput, "Out" + std::to_string(sink_counter));
+    graph.add_dependency(tail, out);
+  }
+
+  assay.graph = std::move(graph);
+  assay.scheduler_options.constraints.max_concurrent_modules =
+      params.max_concurrent_modules;
+  return assay;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,26 @@
+// random_assay.h — synthetic bioassay generator for stress tests and
+// property-based testing. Produces layered DAGs of mix operations with
+// random fan-in, mimicking the structure of real protocols (dispenses at
+// the top, a reduction tree of mixes, outputs at the bottom).
+#pragma once
+
+#include "assay/assay_library.h"
+#include "biochip/module_library.h"
+#include "util/rng.h"
+
+namespace dmfb {
+
+/// Parameters of the random assay generator.
+struct RandomAssayParams {
+  int mix_operations = 8;    ///< number of mix nodes to generate
+  int max_layer_width = 4;   ///< cap on mixes per layer
+  double detect_fraction = 0.0;  ///< fraction of sinks that get a detector
+  int max_concurrent_modules = 4;
+};
+
+/// Generates a random assay; deterministic for a given (params, rng-state).
+/// All mix operations are bound round-robin over the library's mixers.
+AssayCase random_assay(const RandomAssayParams& params,
+                       const ModuleLibrary& library, Rng& rng);
+
+}  // namespace dmfb

@@ -1,0 +1,110 @@
+#include "assay/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmfb {
+
+void Schedule::add(ScheduledModule module) {
+  if (module.end_s < module.start_s) {
+    throw std::invalid_argument("Schedule: module ends before it starts");
+  }
+  modules_.push_back(std::move(module));
+}
+
+double Schedule::makespan_s() const {
+  double makespan = 0.0;
+  for (const auto& m : modules_) makespan = std::max(makespan, m.end_s);
+  return makespan;
+}
+
+std::vector<TimeSlice> Schedule::time_slices() const {
+  std::set<double> boundaries;
+  for (const auto& m : modules_) {
+    boundaries.insert(m.start_s);
+    boundaries.insert(m.end_s);
+  }
+  std::vector<TimeSlice> slices;
+  if (boundaries.size() < 2) return slices;
+
+  auto it = boundaries.begin();
+  double prev = *it++;
+  for (; it != boundaries.end(); ++it) {
+    const double next = *it;
+    TimeSlice slice{prev, next, {}};
+    for (int i = 0; i < module_count(); ++i) {
+      if (modules_[i].start_s <= prev && next <= modules_[i].end_s) {
+        slice.active.push_back(i);
+      }
+    }
+    if (!slice.active.empty()) slices.push_back(std::move(slice));
+    prev = next;
+  }
+  return slices;
+}
+
+std::vector<int> Schedule::active_at(double t) const {
+  std::vector<int> active;
+  for (int i = 0; i < module_count(); ++i) {
+    if (modules_[i].start_s <= t && t < modules_[i].end_s) {
+      active.push_back(i);
+    }
+  }
+  return active;
+}
+
+long long Schedule::peak_concurrent_cells() const {
+  long long peak = 0;
+  for (const auto& slice : time_slices()) {
+    long long cells = 0;
+    for (int index : slice.active) {
+      cells += modules_[index].spec.footprint_cells();
+    }
+    peak = std::max(peak, cells);
+  }
+  return peak;
+}
+
+std::vector<std::string> Schedule::validate_against(
+    const SequencingGraph& graph) const {
+  std::vector<std::string> violations;
+
+  // Map operation id -> schedule index (helper modules have op_id == -1).
+  std::vector<int> by_op(graph.operation_count(), -1);
+  for (int i = 0; i < module_count(); ++i) {
+    const OperationId op = modules_[i].op_id;
+    if (op < 0) continue;
+    if (op >= graph.operation_count()) {
+      violations.push_back("module '" + modules_[i].label +
+                           "' references an operation outside the graph");
+      continue;
+    }
+    if (by_op[op] != -1) {
+      violations.push_back("operation '" + graph.operation(op).label +
+                           "' is scheduled twice");
+      continue;
+    }
+    by_op[op] = i;
+  }
+
+  for (const auto& op : graph.operations()) {
+    const int v = op.id < static_cast<int>(by_op.size()) ? by_op[op.id] : -1;
+    if (v == -1) continue;
+    for (OperationId pred : graph.predecessors(op.id)) {
+      const int u = by_op[pred];
+      if (u == -1) continue;
+      if (modules_[v].start_s + 1e-9 < modules_[u].end_s) {
+        std::ostringstream os;
+        os << "precedence violated: '" << modules_[v].label << "' starts at "
+           << modules_[v].start_s << "s before predecessor '"
+           << modules_[u].label << "' ends at " << modules_[u].end_s << "s";
+        violations.push_back(os.str());
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dmfb

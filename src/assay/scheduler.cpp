@@ -1,0 +1,291 @@
+#include "assay/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmfb {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double operation_duration(const Operation& op, const Binding& binding,
+                          const SchedulerOptions& options) {
+  if (is_reconfigurable(op.type)) return binding.at(op.id).duration_s;
+  if (op.type == OperationType::kDispense) {
+    return options.constraints.dispense_duration_s;
+  }
+  return 0.0;  // outputs are instantaneous for scheduling purposes
+}
+
+/// Critical-path-to-sink priorities in seconds (including own duration).
+std::vector<double> compute_priorities(const SequencingGraph& graph,
+                                       const Binding& binding,
+                                       const SchedulerOptions& options) {
+  const auto order = graph.topological_order();
+  std::vector<double> priority(graph.operation_count(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OperationId id = *it;
+    double downstream = 0.0;
+    for (OperationId succ : graph.successors(id)) {
+      downstream = std::max(downstream, priority[succ]);
+    }
+    priority[id] =
+        operation_duration(graph.operation(id), binding, options) + downstream;
+  }
+  return priority;
+}
+
+/// Tracks how many operations of each resource class are running.
+class ResourceTracker {
+ public:
+  ResourceTracker(const ResourceConstraints& limits, const Binding& binding)
+      : limits_(limits), binding_(binding) {}
+
+  bool can_start(const Operation& op) const {
+    if (op.type == OperationType::kDispense) {
+      return active_dispenses_ < limits_.max_concurrent_dispenses;
+    }
+    if (!is_reconfigurable(op.type)) return true;
+    if (active_modules_ >= limits_.max_concurrent_modules) return false;
+    const ModuleKind kind = binding_.at(op.id).kind;
+    const auto it = limits_.max_concurrent_by_kind.find(kind);
+    if (it == limits_.max_concurrent_by_kind.end()) return true;
+    const auto active_it = active_by_kind_.find(kind);
+    const int active =
+        active_it == active_by_kind_.end() ? 0 : active_it->second;
+    return active < it->second;
+  }
+
+  void occupy(const Operation& op) { adjust(op, +1); }
+  void release(const Operation& op) { adjust(op, -1); }
+
+ private:
+  void adjust(const Operation& op, int delta) {
+    if (op.type == OperationType::kDispense) {
+      active_dispenses_ += delta;
+    } else if (is_reconfigurable(op.type)) {
+      active_modules_ += delta;
+      active_by_kind_[binding_.at(op.id).kind] += delta;
+    }
+  }
+
+  const ResourceConstraints& limits_;
+  const Binding& binding_;
+  int active_modules_ = 0;
+  int active_dispenses_ = 0;
+  std::map<ModuleKind, int> active_by_kind_;
+};
+
+}  // namespace
+
+Schedule list_schedule(const SequencingGraph& graph, const Binding& binding,
+                       const SchedulerOptions& options) {
+  const auto problems = validate_binding(graph, binding);
+  if (!problems.empty()) {
+    throw std::invalid_argument("list_schedule: invalid binding: " +
+                                problems.front());
+  }
+  if (!graph.is_acyclic()) {
+    throw std::invalid_argument("list_schedule: graph contains a cycle");
+  }
+
+  const auto priority = compute_priorities(graph, binding, options);
+  const int n = graph.operation_count();
+
+  std::vector<double> start(n, 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> unfinished_preds(n, 0);
+  for (const auto& op : graph.operations()) {
+    unfinished_preds[op.id] =
+        static_cast<int>(graph.predecessors(op.id).size());
+  }
+
+  std::vector<OperationId> ready;
+  for (const auto& op : graph.operations()) {
+    if (unfinished_preds[op.id] == 0) ready.push_back(op.id);
+  }
+
+  struct Running {
+    OperationId id;
+    double end;
+  };
+  std::vector<Running> running;
+  ResourceTracker resources(options.constraints, binding);
+
+  auto retire_finished = [&](double now) {
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].end <= now + kEps) {
+        const OperationId id = running[i].id;
+        resources.release(graph.operation(id));
+        for (OperationId succ : graph.successors(id)) {
+          if (--unfinished_preds[succ] == 0) ready.push_back(succ);
+        }
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  };
+
+  double now = 0.0;
+  int started_total = 0;
+  while (started_total < n) {
+    retire_finished(now);
+
+    // Start everything the resources allow, highest critical path first
+    // (ties by id for determinism). Restart the scan after each start since
+    // zero-length ops retire immediately and may unlock successors.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      std::sort(ready.begin(), ready.end(),
+                [&](OperationId a, OperationId b) {
+                  if (priority[a] != priority[b])
+                    return priority[a] > priority[b];
+                  return a < b;
+                });
+      for (std::size_t i = 0; i < ready.size(); ++i) {
+        const OperationId id = ready[i];
+        const Operation& op = graph.operation(id);
+        if (!resources.can_start(op)) continue;
+        const double duration = operation_duration(op, binding, options);
+        start[id] = now;
+        finish[id] = now + duration;
+        resources.occupy(op);
+        running.push_back(Running{id, finish[id]});
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+        ++started_total;
+        progressed = true;
+        break;
+      }
+      if (progressed) retire_finished(now);
+    }
+
+    if (started_total >= n) break;
+
+    // Nothing else can start now; advance to the next completion.
+    if (running.empty()) {
+      throw std::logic_error(
+          "list_schedule: deadlock — resource constraints unsatisfiable");
+    }
+    double next = running.front().end;
+    for (const auto& r : running) next = std::min(next, r.end);
+    now = std::max(next, now + kEps);
+  }
+
+  Schedule schedule;
+  for (const auto& op : graph.operations()) {
+    if (!is_reconfigurable(op.type)) continue;
+    ScheduledModule m;
+    m.op_id = op.id;
+    m.label = op.label;
+    m.spec = binding.at(op.id);
+    m.start_s = start[op.id];
+    m.end_s = finish[op.id];
+    schedule.add(m);
+  }
+
+  if (options.insert_storage) {
+    // A droplet produced by u and consumed by v after a gap must sit in a
+    // storage module meanwhile. Dispense outputs wait in their reservoir,
+    // so only reconfigurable producers need storage.
+    for (const auto& op : graph.operations()) {
+      if (!is_reconfigurable(op.type)) continue;
+      for (OperationId succ : graph.successors(op.id)) {
+        const Operation& consumer = graph.operation(succ);
+        if (!is_reconfigurable(consumer.type)) continue;
+        if (start[succ] > finish[op.id] + kEps) {
+          ScheduledModule storage;
+          storage.op_id = -1;
+          storage.label = "S(" + op.label + ")";
+          storage.spec = options.storage_spec;
+          storage.start_s = finish[op.id];
+          storage.end_s = start[succ];
+          storage.producer_op = op.id;
+          storage.consumer_op = succ;
+          schedule.add(storage);
+        }
+      }
+    }
+  }
+
+  return schedule;
+}
+
+Schedule asap_schedule(const SequencingGraph& graph, const Binding& binding,
+                       bool insert_storage) {
+  SchedulerOptions options;
+  options.insert_storage = insert_storage;
+  return list_schedule(graph, binding, options);
+}
+
+std::vector<OperationMobility> compute_mobility(const SequencingGraph& graph,
+                                                const Binding& binding,
+                                                double deadline_s) {
+  const auto problems = validate_binding(graph, binding);
+  if (!problems.empty()) {
+    throw std::invalid_argument("compute_mobility: invalid binding: " +
+                                problems.front());
+  }
+  const SchedulerOptions options;  // durations only; no resource limits
+  const auto order = graph.topological_order();
+
+  // ASAP: earliest start given predecessors.
+  std::vector<double> asap(graph.operation_count(), 0.0);
+  double makespan = 0.0;
+  for (const OperationId id : order) {
+    for (const OperationId pred : graph.predecessors(id)) {
+      const double pred_end =
+          asap[pred] + operation_duration(graph.operation(pred), binding,
+                                          options);
+      asap[id] = std::max(asap[id], pred_end);
+    }
+    makespan = std::max(
+        makespan,
+        asap[id] + operation_duration(graph.operation(id), binding, options));
+  }
+
+  if (deadline_s < 0.0) deadline_s = makespan;
+  if (deadline_s + 1e-9 < makespan) {
+    throw std::invalid_argument(
+        "compute_mobility: deadline below the ASAP makespan");
+  }
+
+  // ALAP: latest start such that every successor can still meet its own
+  // latest start and the sinks meet the deadline.
+  std::vector<double> alap(graph.operation_count(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const OperationId id = *it;
+    const double duration =
+        operation_duration(graph.operation(id), binding, options);
+    double latest_end = deadline_s;
+    for (const OperationId succ : graph.successors(id)) {
+      latest_end = std::min(latest_end, alap[succ]);
+    }
+    alap[id] = latest_end - duration;
+  }
+
+  std::vector<OperationMobility> result;
+  result.reserve(static_cast<std::size_t>(graph.operation_count()));
+  for (const auto& op : graph.operations()) {
+    OperationMobility m;
+    m.op = op.id;
+    m.asap_start_s = asap[op.id];
+    m.alap_start_s = alap[op.id];
+    m.mobility_s = alap[op.id] - asap[op.id];
+    result.push_back(m);
+  }
+  return result;
+}
+
+std::vector<OperationId> critical_path(const SequencingGraph& graph,
+                                       const Binding& binding) {
+  std::vector<OperationId> critical;
+  for (const auto& m : compute_mobility(graph, binding)) {
+    if (m.mobility_s <= 1e-9) critical.push_back(m.op);
+  }
+  return critical;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,81 @@
+// scheduler.h — resource-constrained list scheduling of a bound sequencing
+// graph (the second half of architectural-level synthesis; Fig. 6 of the
+// paper is one such schedule).
+//
+// The paper takes the schedule as a given input to placement; we implement
+// the scheduler so the whole flow runs end-to-end. Priorities are critical-
+// path lengths (in seconds), the classic list-scheduling heuristic.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "assay/binder.h"
+#include "assay/schedule.h"
+#include "assay/sequencing_graph.h"
+
+namespace dmfb {
+
+/// Resource bounds honoured by the list scheduler. On a real DMFB the
+/// limits come from dispensing-port count and from how much array area the
+/// designer wants active at once; the paper's PCR schedule keeps at most
+/// two mixers running concurrently.
+struct ResourceConstraints {
+  /// Max reconfigurable operations running at once (storage excluded).
+  int max_concurrent_modules = std::numeric_limits<int>::max();
+  /// Optional per-kind limits (e.g., one optical detector on chip).
+  std::map<ModuleKind, int> max_concurrent_by_kind;
+  /// Seconds a dispense takes; dispenses consume a port, not array cells.
+  double dispense_duration_s = 0.0;
+  /// Max concurrent dispense operations (number of ports); unlimited by
+  /// default.
+  int max_concurrent_dispenses = std::numeric_limits<int>::max();
+};
+
+/// Options controlling schedule post-processing.
+struct SchedulerOptions {
+  ResourceConstraints constraints;
+  /// Insert a storage module for every droplet that waits on the array
+  /// between its producer finishing and its consumer starting.
+  bool insert_storage = true;
+  /// Spec used for inserted storage modules.
+  ModuleSpec storage_spec{"storage-1x1", ModuleKind::kStorage, 1, 1, 0.0};
+};
+
+/// List-schedules `graph` with module types from `binding`.
+/// Returns a Schedule containing one ScheduledModule per reconfigurable
+/// operation plus (optionally) inserted storage modules labelled "S(<op>)".
+/// Throws std::invalid_argument when the binding fails validation.
+Schedule list_schedule(const SequencingGraph& graph, const Binding& binding,
+                       const SchedulerOptions& options = {});
+
+/// Unconstrained as-soon-as-possible schedule (every op starts the moment
+/// its predecessors finish). Used as a lower-bound reference in tests and
+/// benches.
+Schedule asap_schedule(const SequencingGraph& graph, const Binding& binding,
+                       bool insert_storage = true);
+
+/// Per-operation timing slack (classic high-level-synthesis mobility):
+/// ASAP start, ALAP start against a deadline, and their difference.
+/// Operations with zero mobility form the critical path.
+struct OperationMobility {
+  OperationId op = -1;
+  double asap_start_s = 0.0;
+  double alap_start_s = 0.0;
+  double mobility_s = 0.0;
+};
+
+/// Computes ASAP/ALAP starts for every operation against `deadline_s`
+/// (defaults to the ASAP makespan, i.e. zero slack on the critical path).
+/// Throws std::invalid_argument when the deadline is below the ASAP
+/// makespan or the binding is invalid.
+std::vector<OperationMobility> compute_mobility(
+    const SequencingGraph& graph, const Binding& binding,
+    double deadline_s = -1.0);
+
+/// Operations with (near-)zero mobility — the critical path of the assay.
+std::vector<OperationId> critical_path(const SequencingGraph& graph,
+                                       const Binding& binding);
+
+}  // namespace dmfb

@@ -1,0 +1,145 @@
+#include "assay/sequencing_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace dmfb {
+
+OperationId SequencingGraph::add_operation(OperationType type,
+                                           std::string label,
+                                           std::string reagent) {
+  const OperationId id = static_cast<OperationId>(operations_.size());
+  if (label.empty()) {
+    label = std::string(to_string(type)) + std::to_string(id);
+  }
+  operations_.push_back(
+      Operation{id, type, std::move(label), std::move(reagent)});
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void SequencingGraph::add_dependency(OperationId from, OperationId to) {
+  check_id(from);
+  check_id(to);
+  if (from == to) {
+    throw std::invalid_argument("SequencingGraph: self-dependency");
+  }
+  auto& out = succs_[from];
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  preds_[to].push_back(from);
+}
+
+const Operation& SequencingGraph::operation(OperationId id) const {
+  check_id(id);
+  return operations_[id];
+}
+
+const std::vector<OperationId>& SequencingGraph::predecessors(
+    OperationId id) const {
+  check_id(id);
+  return preds_[id];
+}
+
+const std::vector<OperationId>& SequencingGraph::successors(
+    OperationId id) const {
+  check_id(id);
+  return succs_[id];
+}
+
+std::vector<OperationId> SequencingGraph::sources() const {
+  std::vector<OperationId> result;
+  for (const auto& op : operations_) {
+    if (preds_[op.id].empty()) result.push_back(op.id);
+  }
+  return result;
+}
+
+std::vector<OperationId> SequencingGraph::sinks() const {
+  std::vector<OperationId> result;
+  for (const auto& op : operations_) {
+    if (succs_[op.id].empty()) result.push_back(op.id);
+  }
+  return result;
+}
+
+bool SequencingGraph::is_acyclic() const {
+  std::vector<int> in_degree(operations_.size());
+  for (const auto& op : operations_) {
+    in_degree[op.id] = static_cast<int>(preds_[op.id].size());
+  }
+  std::queue<OperationId> ready;
+  for (const auto& op : operations_) {
+    if (in_degree[op.id] == 0) ready.push(op.id);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const OperationId id = ready.front();
+    ready.pop();
+    ++visited;
+    for (OperationId succ : succs_[id]) {
+      if (--in_degree[succ] == 0) ready.push(succ);
+    }
+  }
+  return visited == operations_.size();
+}
+
+std::vector<OperationId> SequencingGraph::topological_order() const {
+  std::vector<int> in_degree(operations_.size());
+  for (const auto& op : operations_) {
+    in_degree[op.id] = static_cast<int>(preds_[op.id].size());
+  }
+  // Min-id-first queue keeps the order deterministic across platforms.
+  std::priority_queue<OperationId, std::vector<OperationId>,
+                      std::greater<OperationId>>
+      ready;
+  for (const auto& op : operations_) {
+    if (in_degree[op.id] == 0) ready.push(op.id);
+  }
+  std::vector<OperationId> order;
+  order.reserve(operations_.size());
+  while (!ready.empty()) {
+    const OperationId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (OperationId succ : succs_[id]) {
+      if (--in_degree[succ] == 0) ready.push(succ);
+    }
+  }
+  if (order.size() != operations_.size()) {
+    throw std::logic_error("SequencingGraph: graph contains a cycle");
+  }
+  return order;
+}
+
+int SequencingGraph::longest_path_length() const {
+  const auto order = topological_order();
+  std::vector<int> depth(operations_.size(), 0);
+  int longest = operations_.empty() ? 0 : 1;
+  for (OperationId id : order) {
+    depth[id] = 1;
+    for (OperationId pred : preds_[id]) {
+      depth[id] = std::max(depth[id], depth[pred] + 1);
+    }
+    longest = std::max(longest, depth[id]);
+  }
+  return longest;
+}
+
+std::vector<OperationId> SequencingGraph::reconfigurable_operations() const {
+  std::vector<OperationId> result;
+  for (const auto& op : operations_) {
+    if (is_reconfigurable(op.type)) result.push_back(op.id);
+  }
+  return result;
+}
+
+void SequencingGraph::check_id(OperationId id) const {
+  if (id < 0 || id >= operation_count()) {
+    throw std::out_of_range("SequencingGraph: bad operation id");
+  }
+}
+
+}  // namespace dmfb

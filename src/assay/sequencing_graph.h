@@ -1,0 +1,67 @@
+// sequencing_graph.h — the behavioural model of a bioassay.
+//
+// A sequencing graph (as in Fig. 5 of the paper, after Zhang et al.) is a
+// DAG whose nodes are assay operations and whose edges are droplet-flow
+// dependencies: an edge u -> v means an output droplet of u is an input of
+// v, so v cannot start before u finishes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assay/operation.h"
+
+namespace dmfb {
+
+/// Directed acyclic graph of assay operations.
+class SequencingGraph {
+ public:
+  SequencingGraph() = default;
+  explicit SequencingGraph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an operation; returns its id. Labels default to "<type><id>".
+  OperationId add_operation(OperationType type, std::string label = {},
+                            std::string reagent = {});
+
+  /// Adds a dependency edge from -> to. Throws on out-of-range ids or
+  /// self-edges; duplicate edges are ignored.
+  void add_dependency(OperationId from, OperationId to);
+
+  int operation_count() const { return static_cast<int>(operations_.size()); }
+  const Operation& operation(OperationId id) const;
+  const std::vector<Operation>& operations() const { return operations_; }
+
+  const std::vector<OperationId>& predecessors(OperationId id) const;
+  const std::vector<OperationId>& successors(OperationId id) const;
+
+  /// In-degree-zero operations (typically dispenses).
+  std::vector<OperationId> sources() const;
+  /// Out-degree-zero operations (typically outputs or final detects).
+  std::vector<OperationId> sinks() const;
+
+  /// True when the edge set is acyclic (always the case for graphs built
+  /// purely with add_dependency's checks plus this validation).
+  bool is_acyclic() const;
+
+  /// Kahn topological order; throws std::logic_error if cyclic.
+  std::vector<OperationId> topological_order() const;
+
+  /// Length (in operations) of the longest path; 0 for an empty graph.
+  int longest_path_length() const;
+
+  /// Ids of operations that are realized as reconfigurable modules.
+  std::vector<OperationId> reconfigurable_operations() const;
+
+ private:
+  void check_id(OperationId id) const;
+
+  std::string name_;
+  std::vector<Operation> operations_;
+  std::vector<std::vector<OperationId>> preds_;
+  std::vector<std::vector<OperationId>> succs_;
+};
+
+}  // namespace dmfb

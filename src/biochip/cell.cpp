@@ -1,0 +1,31 @@
+#include "biochip/cell.h"
+
+namespace dmfb {
+
+const char* to_string(CellRole role) {
+  switch (role) {
+    case CellRole::kFree:
+      return "free";
+    case CellRole::kFunctional:
+      return "functional";
+    case CellRole::kSegregation:
+      return "segregation";
+    case CellRole::kTransport:
+      return "transport";
+    case CellRole::kReservoir:
+      return "reservoir";
+  }
+  return "?";
+}
+
+const char* to_string(CellHealth health) {
+  switch (health) {
+    case CellHealth::kGood:
+      return "good";
+    case CellHealth::kFaulty:
+      return "faulty";
+  }
+  return "?";
+}
+
+}  // namespace dmfb

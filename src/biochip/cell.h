@@ -1,0 +1,29 @@
+// cell.h — per-cell state of the electrode array.
+#pragma once
+
+#include <cstdint>
+
+namespace dmfb {
+
+/// What a cell of the microfluidic array is doing in a given configuration.
+/// In a DMFB every cell has the same physical structure (Fig. 1 of the
+/// paper); the role is assigned dynamically by the controller.
+enum class CellRole : std::uint8_t {
+  kFree = 0,         ///< unused; available for reconfiguration / routing
+  kFunctional,       ///< inside the functional region of a module
+  kSegregation,      ///< segregation ring isolating a module
+  kTransport,        ///< reserved for droplet transport this time slice
+  kReservoir,        ///< dispensing port / reservoir attachment point
+};
+
+/// Health of a cell's electrode. The paper's fault model is a single
+/// faulty cell with uniform failure probability across cells (§5.2).
+enum class CellHealth : std::uint8_t {
+  kGood = 0,
+  kFaulty,
+};
+
+const char* to_string(CellRole role);
+const char* to_string(CellHealth health);
+
+}  // namespace dmfb

@@ -1,0 +1,67 @@
+#include "biochip/chip.h"
+
+#include <stdexcept>
+
+namespace dmfb {
+
+Chip::Chip(const ChipGeometry& geometry)
+    : geometry_(geometry),
+      electrodes_(geometry.width_cells, geometry.height_cells) {
+  if (geometry.width_cells <= 0 || geometry.height_cells <= 0) {
+    throw std::invalid_argument("Chip: dimensions must be positive");
+  }
+  if (geometry.pitch_mm <= 0.0) {
+    throw std::invalid_argument("Chip: pitch must be positive");
+  }
+}
+
+Chip::Chip(int width_cells, int height_cells)
+    : Chip(ChipGeometry{width_cells, height_cells, kDefaultPitchMm,
+                        kDefaultGapHeightUm}) {}
+
+void Chip::set_faulty(Point p, bool faulty) {
+  electrodes_.at(p).set_faulty(faulty);
+}
+
+std::vector<Point> Chip::faulty_cells() const {
+  std::vector<Point> cells;
+  for (int y = 0; y < height(); ++y) {
+    for (int x = 0; x < width(); ++x) {
+      if (electrodes_.at(x, y).faulty()) cells.push_back(Point{x, y});
+    }
+  }
+  return cells;
+}
+
+int Chip::faulty_count() const {
+  return static_cast<int>(faulty_cells().size());
+}
+
+void Chip::actuate_rect(const Rect& rect, double volts) {
+  const Rect clipped = rect.intersection(Rect{0, 0, width(), height()});
+  for (int y = clipped.y; y < clipped.top(); ++y) {
+    for (int x = clipped.x; x < clipped.right(); ++x) {
+      electrodes_.at(x, y).set_voltage(volts);
+    }
+  }
+}
+
+void Chip::deactivate_all() {
+  for (int y = 0; y < height(); ++y) {
+    for (int x = 0; x < width(); ++x) {
+      electrodes_.at(x, y).set_voltage(0.0);
+    }
+  }
+}
+
+int Chip::actuated_count() const {
+  int count = 0;
+  for (int y = 0; y < height(); ++y) {
+    for (int x = 0; x < width(); ++x) {
+      if (electrodes_.at(x, y).actuated()) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,74 @@
+// chip.h — the physical electrode array of a digital microfluidic biochip.
+//
+// Models the bottom-plate electrode matrix (Fig. 1(b) of the paper): an
+// m-by-n grid of independently controllable electrodes with a common pitch
+// and plate gap. The chip owns electrode health (the fault model) and the
+// voltage map that a configuration programs into the microcontroller.
+#pragma once
+
+#include <vector>
+
+#include "biochip/cell.h"
+#include "biochip/electrode.h"
+#include "util/geometry.h"
+#include "util/matrix.h"
+
+namespace dmfb {
+
+/// Physical parameters of a fabricated array.
+struct ChipGeometry {
+  int width_cells = 0;                      ///< columns (n)
+  int height_cells = 0;                     ///< rows (m)
+  double pitch_mm = kDefaultPitchMm;        ///< electrode pitch
+  double gap_height_um = kDefaultGapHeightUm;
+
+  /// Area of one cell in mm^2 (pitch squared).
+  double cell_area_mm2() const { return pitch_mm * pitch_mm; }
+  /// Total die area of the array in mm^2.
+  double total_area_mm2() const {
+    return cell_area_mm2() * width_cells * height_cells;
+  }
+};
+
+/// A fabricated electrode array with per-cell health and voltages.
+class Chip {
+ public:
+  Chip() = default;
+
+  /// Builds a fault-free chip of the given geometry.
+  explicit Chip(const ChipGeometry& geometry);
+
+  /// Convenience constructor with the default (paper) pitch and gap.
+  Chip(int width_cells, int height_cells);
+
+  const ChipGeometry& geometry() const { return geometry_; }
+  int width() const { return geometry_.width_cells; }
+  int height() const { return geometry_.height_cells; }
+  bool in_bounds(Point p) const { return electrodes_.in_bounds(p); }
+
+  Electrode& electrode(Point p) { return electrodes_.at(p); }
+  const Electrode& electrode(Point p) const { return electrodes_.at(p); }
+
+  /// Injects / clears a single-cell fault (the paper's §5.2 fault model).
+  void set_faulty(Point p, bool faulty = true);
+  bool is_faulty(Point p) const { return electrodes_.at(p).faulty(); }
+  std::vector<Point> faulty_cells() const;
+  int faulty_count() const;
+
+  /// Applies `volts` to every electrode in `rect` (clipped to bounds) —
+  /// how a module or a transport path is "programmed" onto the array.
+  void actuate_rect(const Rect& rect, double volts);
+
+  /// Drops every electrode back to 0 V.
+  void deactivate_all();
+
+  /// Count of currently actuated electrodes (voltage above threshold and
+  /// not faulty).
+  int actuated_count() const;
+
+ private:
+  ChipGeometry geometry_;
+  Matrix<Electrode> electrodes_;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,42 @@
+#include "biochip/droplet.h"
+
+namespace dmfb {
+
+Droplet::Droplet(DropletId id, Point position, std::string reagent,
+                 double volume_nl)
+    : id_(id), position_(position), volume_nl_(volume_nl) {
+  if (!reagent.empty() && volume_nl > 0.0) {
+    contents_[std::move(reagent)] = 1.0;
+  }
+}
+
+double Droplet::fraction_of(const std::string& reagent) const {
+  const auto it = contents_.find(reagent);
+  return it == contents_.end() ? 0.0 : it->second;
+}
+
+void Droplet::merge(const Droplet& other) {
+  const double total = volume_nl_ + other.volume_nl_;
+  if (total <= 0.0) return;
+  std::map<std::string, double> merged;
+  for (const auto& [reagent, fraction] : contents_) {
+    merged[reagent] += fraction * volume_nl_ / total;
+  }
+  for (const auto& [reagent, fraction] : other.contents_) {
+    merged[reagent] += fraction * other.volume_nl_ / total;
+  }
+  contents_ = std::move(merged);
+  volume_nl_ = total;
+}
+
+Droplet Droplet::split(DropletId new_id, Point new_position) {
+  volume_nl_ /= 2.0;
+  Droplet half;
+  half.id_ = new_id;
+  half.position_ = new_position;
+  half.volume_nl_ = volume_nl_;
+  half.contents_ = contents_;
+  return half;
+}
+
+}  // namespace dmfb

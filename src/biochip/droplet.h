@@ -1,0 +1,52 @@
+// droplet.h — discrete droplets, the unit of fluid in digital microfluidics.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/geometry.h"
+
+namespace dmfb {
+
+/// Identifier for a droplet within a simulation.
+using DropletId = int;
+
+/// A nanoliter-scale droplet sitting on one cell of the array. Contents are
+/// tracked as reagent-name -> volume fraction so that mixing operations can
+/// be checked for correctness in the simulator.
+class Droplet {
+ public:
+  Droplet() = default;
+  Droplet(DropletId id, Point position, std::string reagent,
+          double volume_nl = 100.0);
+
+  DropletId id() const { return id_; }
+  Point position() const { return position_; }
+  void move_to(Point p) { position_ = p; }
+
+  double volume_nl() const { return volume_nl_; }
+
+  /// Volume fraction per reagent; fractions sum to 1 for a non-empty droplet.
+  const std::map<std::string, double>& contents() const { return contents_; }
+  double fraction_of(const std::string& reagent) const;
+
+  /// Merges `other` into this droplet (volumes add, contents mix
+  /// proportionally to volume). This models the first half of a mix
+  /// operation: routing two droplets onto the same cell.
+  void merge(const Droplet& other);
+
+  /// Splits this droplet into two equal halves; returns the new droplet,
+  /// which is placed at `new_position` with id `new_id`. Models a dilutor's
+  /// split phase.
+  Droplet split(DropletId new_id, Point new_position);
+
+  friend bool operator==(const Droplet&, const Droplet&) = default;
+
+ private:
+  DropletId id_ = -1;
+  Point position_{};
+  double volume_nl_ = 0.0;
+  std::map<std::string, double> contents_;
+};
+
+}  // namespace dmfb

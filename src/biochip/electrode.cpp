@@ -1,0 +1,17 @@
+#include "biochip/electrode.h"
+
+#include <algorithm>
+
+namespace dmfb {
+
+void Electrode::set_voltage(double volts) {
+  voltage_ = std::clamp(volts, kMinControlVoltage, kMaxControlVoltage);
+}
+
+double Electrode::droplet_velocity_cm_per_s() const {
+  if (!actuated()) return 0.0;
+  const double ratio = voltage_ / kMaxControlVoltage;
+  return kMaxDropletVelocityCmPerS * ratio * ratio;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,59 @@
+// electrode.h — electrowetting actuation model for a single control
+// electrode (bottom-plate pad of one cell, Fig. 1(a) of the paper).
+//
+// The physical behaviour reproduced here is the part the CAD flow depends
+// on: an electrode is either actuated (droplet is pulled onto it) or not,
+// actuation requires the control voltage to exceed an actuation threshold,
+// droplet velocity rises with voltage up to ~20 cm/s at ~90 V, and a faulty
+// electrode never actuates regardless of voltage.
+#pragma once
+
+namespace dmfb {
+
+/// Default electrode geometry from Table 1 of the paper.
+inline constexpr double kDefaultPitchMm = 1.5;        ///< electrode pitch
+inline constexpr double kDefaultGapHeightUm = 600.0;  ///< plate gap height
+
+/// Voltage range of the electrowetting driver (0–90 V per §2).
+inline constexpr double kMinControlVoltage = 0.0;
+inline constexpr double kMaxControlVoltage = 90.0;
+
+/// Minimum voltage at which a droplet reliably moves onto the electrode.
+/// Electrowetting force scales with V^2; published Duke devices move
+/// droplets dependably in the tens of volts, we use 25 V as the threshold.
+inline constexpr double kActuationThresholdVoltage = 25.0;
+
+/// Peak droplet transport velocity at maximum voltage (§2: up to 20 cm/s).
+inline constexpr double kMaxDropletVelocityCmPerS = 20.0;
+
+/// One independently controllable electrode.
+class Electrode {
+ public:
+  Electrode() = default;
+
+  /// Sets the applied control voltage, clamped to the legal driver range.
+  void set_voltage(double volts);
+  double voltage() const { return voltage_; }
+
+  /// Marks the electrode as failed (e.g., dielectric breakdown). A faulty
+  /// electrode never actuates; this is what the paper's single-cell fault
+  /// model abstracts.
+  void set_faulty(bool faulty) { faulty_ = faulty; }
+  bool faulty() const { return faulty_; }
+
+  /// True when a droplet adjacent to this electrode would be pulled onto it.
+  bool actuated() const {
+    return !faulty_ && voltage_ >= kActuationThresholdVoltage;
+  }
+
+  /// Droplet transport velocity in cm/s for the current voltage. A simple
+  /// quadratic law (force ~ V^2) normalized to hit the published 20 cm/s at
+  /// 90 V; zero below the actuation threshold or when faulty.
+  double droplet_velocity_cm_per_s() const;
+
+ private:
+  double voltage_ = 0.0;
+  bool faulty_ = false;
+};
+
+}  // namespace dmfb

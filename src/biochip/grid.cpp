@@ -1,0 +1,59 @@
+#include "biochip/grid.h"
+
+#include <sstream>
+
+namespace dmfb {
+
+OccupancyGrid build_occupancy(int width, int height,
+                              const std::vector<Rect>& footprints) {
+  OccupancyGrid grid(width, height, 0);
+  for (std::size_t i = 0; i < footprints.size(); ++i) {
+    grid.fill_rect(footprints[i], static_cast<std::int16_t>(i + 1));
+  }
+  return grid;
+}
+
+Matrix<std::uint8_t> to_binary(const OccupancyGrid& grid) {
+  Matrix<std::uint8_t> binary(grid.width(), grid.height(), 0);
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      binary.at(x, y) = grid.at(x, y) != 0 ? 1 : 0;
+    }
+  }
+  return binary;
+}
+
+void mark_cells(Matrix<std::uint8_t>& grid, const std::vector<Point>& cells) {
+  for (const Point& p : cells) {
+    if (grid.in_bounds(p)) grid.at(p) = 1;
+  }
+}
+
+namespace {
+
+char module_glyph(std::int16_t index) {
+  if (index <= 0) return '.';
+  if (index <= 26) return static_cast<char>('A' + index - 1);
+  if (index <= 52) return static_cast<char>('a' + index - 27);
+  return '#';
+}
+
+}  // namespace
+
+std::string render_grid(const OccupancyGrid& grid,
+                        const std::vector<Point>& faults) {
+  Matrix<std::uint8_t> fault_mask(grid.width(), grid.height(), 0);
+  mark_cells(fault_mask, faults);
+
+  std::ostringstream os;
+  // Render top row first so the output matches the paper's y-up convention.
+  for (int y = grid.height() - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      os << (fault_mask.at(x, y) != 0 ? 'X' : module_glyph(grid.at(x, y)));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dmfb

@@ -1,0 +1,36 @@
+// grid.h — per-time-slice occupancy of the array ("configuration" in the
+// paper's sense) plus ASCII rendering of placements for the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "biochip/cell.h"
+#include "util/geometry.h"
+#include "util/matrix.h"
+
+namespace dmfb {
+
+/// Value stored per cell of an occupancy grid: 0 = free, otherwise the
+/// 1-based index of the occupying module within the slice.
+using OccupancyGrid = Matrix<std::int16_t>;
+
+/// Builds an occupancy grid of the given dimensions from module footprints
+/// (rect per module, clipped to bounds). Later rects overwrite earlier
+/// ones; callers that care about overlaps must check separately.
+OccupancyGrid build_occupancy(int width, int height,
+                              const std::vector<Rect>& footprints);
+
+/// Binary view (1 = occupied) used by the empty-rectangle machinery.
+Matrix<std::uint8_t> to_binary(const OccupancyGrid& grid);
+
+/// Marks extra cells (e.g., a faulty cell) as occupied in a binary grid.
+void mark_cells(Matrix<std::uint8_t>& grid, const std::vector<Point>& cells);
+
+/// Renders a grid as ASCII art: '.' for free cells, 'A'..'Z' then 'a'..'z'
+/// for modules 1..52, '#' beyond that, 'X' overlaid for `faults`.
+std::string render_grid(const OccupancyGrid& grid,
+                        const std::vector<Point>& faults = {});
+
+}  // namespace dmfb

@@ -1,0 +1,50 @@
+#include "biochip/module_library.h"
+
+#include <algorithm>
+
+namespace dmfb {
+
+bool ModuleLibrary::add(ModuleSpec spec) {
+  if (contains(spec.name)) return false;
+  specs_.push_back(std::move(spec));
+  return true;
+}
+
+std::optional<ModuleSpec> ModuleLibrary::find(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+bool ModuleLibrary::contains(const std::string& name) const {
+  return find(name).has_value();
+}
+
+std::vector<ModuleSpec> ModuleLibrary::by_kind(ModuleKind kind) const {
+  std::vector<ModuleSpec> result;
+  for (const auto& spec : specs_) {
+    if (spec.kind == kind) result.push_back(spec);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ModuleSpec& a, const ModuleSpec& b) {
+              if (a.duration_s != b.duration_s)
+                return a.duration_s < b.duration_s;
+              return a.footprint_cells() < b.footprint_cells();
+            });
+  return result;
+}
+
+ModuleLibrary ModuleLibrary::standard() {
+  ModuleLibrary lib;
+  lib.add(ModuleSpec{"mixer-2x2", ModuleKind::kMixer, 2, 2, 10.0});
+  lib.add(ModuleSpec{"mixer-1x4", ModuleKind::kMixer, 1, 4, 5.0});
+  lib.add(ModuleSpec{"mixer-2x3", ModuleKind::kMixer, 2, 3, 6.0});
+  lib.add(ModuleSpec{"mixer-2x4", ModuleKind::kMixer, 2, 4, 3.0});
+  lib.add(ModuleSpec{"dilutor-2x4", ModuleKind::kDilutor, 2, 4, 4.0});
+  lib.add(ModuleSpec{"storage-1x1", ModuleKind::kStorage, 1, 1, 0.0});
+  lib.add(ModuleSpec{"detector-1x1", ModuleKind::kDetector, 1, 1, 30.0});
+  return lib;
+}
+
+}  // namespace dmfb

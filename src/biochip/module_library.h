@@ -1,0 +1,52 @@
+// module_library.h — catalogue of reconfigurable module types.
+//
+// Mixer latencies come from the droplet-mixer characterization of Paik et
+// al. (Lab on a Chip 2003), which is where Table 1 of the paper gets its
+// numbers: a 2x2 electrode array mixes in 10 s, a 4-electrode linear array
+// in 5 s, a 2x3 array in 6 s and a 2x4 array in 3 s.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "biochip/module_spec.h"
+
+namespace dmfb {
+
+/// Named registry of ModuleSpec entries. Immutable after construction in
+/// typical use; the synthesizer binds operations to entries by name.
+class ModuleLibrary {
+ public:
+  /// Empty library.
+  ModuleLibrary() = default;
+
+  /// Registers a spec. Returns false (and leaves the library unchanged)
+  /// when a spec with the same name already exists.
+  bool add(ModuleSpec spec);
+
+  /// Looks a spec up by name.
+  std::optional<ModuleSpec> find(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const { return specs_.size(); }
+  const std::vector<ModuleSpec>& specs() const { return specs_; }
+
+  /// Specs of a given kind, fastest first. The binder uses this to trade
+  /// latency against area.
+  std::vector<ModuleSpec> by_kind(ModuleKind kind) const;
+
+  /// The standard library used throughout the paper's evaluation:
+  ///  - "mixer-2x2"    : 2x2 electrode array, 4x4-cell footprint, 10 s
+  ///  - "mixer-1x4"    : 4-electrode linear array, 3x6-cell footprint, 5 s
+  ///  - "mixer-2x3"    : 2x3 electrode array, 4x5-cell footprint, 6 s
+  ///  - "mixer-2x4"    : 2x4 electrode array, 4x6-cell footprint, 3 s
+  ///  - "storage-1x1"  : single-cell storage, 3x3-cell footprint
+  ///  - "detector-1x1" : single-cell optical detector, 3x3-cell footprint
+  static ModuleLibrary standard();
+
+ private:
+  std::vector<ModuleSpec> specs_;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,25 @@
+#include "biochip/module_spec.h"
+
+namespace dmfb {
+
+const char* to_string(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kMixer:
+      return "mixer";
+    case ModuleKind::kDilutor:
+      return "dilutor";
+    case ModuleKind::kStorage:
+      return "storage";
+    case ModuleKind::kDetector:
+      return "detector";
+  }
+  return "?";
+}
+
+Rect footprint_rect(const ModuleSpec& spec, Point anchor, bool rotated) {
+  const int w = rotated ? spec.footprint_height() : spec.footprint_width();
+  const int h = rotated ? spec.footprint_width() : spec.footprint_height();
+  return Rect{anchor.x, anchor.y, w, h};
+}
+
+}  // namespace dmfb

@@ -1,0 +1,61 @@
+// module_spec.h — reconfigurable virtual devices ("microfluidic modules").
+//
+// A module is a group of cells temporarily programmed to perform an assay
+// operation: mixers of several electrode-array shapes, storage units and
+// optical detectors. Per the paper (§6, Table 1), every module carries a
+// one-cell-wide *segregation ring* around its functional region, which both
+// isolates it from neighbouring droplets and provides a transport path; the
+// cell footprint used by placement therefore equals functional size + 2 in
+// each dimension.
+#pragma once
+
+#include <string>
+
+#include "util/geometry.h"
+
+namespace dmfb {
+
+/// Kinds of reconfigurable module the library knows how to synthesize.
+enum class ModuleKind {
+  kMixer,    ///< droplets merged and rotated around pivot cells
+  kDilutor,  ///< 1:1 mix followed by a split (used by dilution assays)
+  kStorage,  ///< holds a droplet between operations
+  kDetector, ///< optical detection site (LED + photodiode above one cell)
+};
+
+const char* to_string(ModuleKind kind);
+
+/// Width of the segregation region wrapped around the functional region.
+inline constexpr int kSegregationRingCells = 1;
+
+/// Static description of one module type, before placement.
+struct ModuleSpec {
+  std::string name;                ///< e.g. "2x2-array mixer"
+  ModuleKind kind = ModuleKind::kMixer;
+  int functional_width = 1;        ///< electrodes across the functional region
+  int functional_height = 1;       ///< electrodes down the functional region
+  double duration_s = 0.0;         ///< operation latency in seconds
+
+  /// Cell footprint including the segregation ring, width-by-height, in the
+  /// module's canonical (unrotated) orientation.
+  int footprint_width() const {
+    return functional_width + 2 * kSegregationRingCells;
+  }
+  int footprint_height() const {
+    return functional_height + 2 * kSegregationRingCells;
+  }
+
+  long long footprint_cells() const {
+    return static_cast<long long>(footprint_width()) * footprint_height();
+  }
+
+  /// True when rotating the footprint by 90 degrees changes nothing.
+  bool square() const { return footprint_width() == footprint_height(); }
+
+  friend bool operator==(const ModuleSpec&, const ModuleSpec&) = default;
+};
+
+/// Footprint rectangle of `spec` anchored at `anchor`, optionally rotated.
+Rect footprint_rect(const ModuleSpec& spec, Point anchor, bool rotated);
+
+}  // namespace dmfb

@@ -1,0 +1,109 @@
+// annealer.h — the simulated-annealing engine (Fig. 3 of the paper).
+//
+// Generic over the state type so the placement problem and tests can share
+// it. Implements exactly the paper's loop: geometric cooling
+// T_new = alpha * T_old, an inner loop of N = Na * Nm iterations per
+// temperature, Metropolis acceptance (accept when dC < 0 or
+// r < exp(-dC / T)), and a stopping criterion tied to the controlling
+// window reaching its minimum span (expressed as a minimum temperature).
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace dmfb {
+
+/// Annealing parameters; defaults are the paper's (§4d).
+struct AnnealingSchedule {
+  double initial_temperature = 10000.0;  ///< T0, "almost every move accepted"
+  double cooling_rate = 0.9;             ///< alpha in T_new = alpha * T_old
+  int iterations_per_module = 400;       ///< Na in N = Na * Nm
+  double min_temperature = 0.05;         ///< stop when T falls below this
+};
+
+/// Counters for reporting and the ablation benches.
+struct AnnealingStats {
+  long long proposals = 0;
+  long long accepted = 0;
+  long long uphill_accepted = 0;
+  int temperature_steps = 0;
+  double final_temperature = 0.0;
+  double best_cost = std::numeric_limits<double>::infinity();
+};
+
+/// Problem plumbing: cost of a state, neighbour generation (given the
+/// current temperature as a fraction of T0, for the controlling window),
+/// and which states may be recorded as "the answer" (e.g. only feasible
+/// placements).
+template <typename State>
+struct AnnealingProblem {
+  std::function<double(const State&)> cost;
+  std::function<State(const State&, double /*temperature_fraction*/, Rng&)>
+      neighbor;
+  std::function<bool(const State&)> recordable;  ///< nullable -> always true
+};
+
+/// Runs the annealing loop and returns the best recordable state seen
+/// (falling back to the initial state if no recordable state is ever
+/// visited — callers that start from a feasible state always get one).
+template <typename State>
+State anneal(State initial, const AnnealingProblem<State>& problem,
+             const AnnealingSchedule& schedule, int module_count, Rng& rng,
+             AnnealingStats* stats_out = nullptr) {
+  AnnealingStats stats;
+  const auto recordable = [&](const State& s) {
+    return !problem.recordable || problem.recordable(s);
+  };
+
+  State current = std::move(initial);
+  double current_cost = problem.cost(current);
+
+  State best = current;
+  bool have_best = recordable(current);
+  double best_cost = have_best ? current_cost
+                               : std::numeric_limits<double>::infinity();
+
+  const int inner_iterations =
+      schedule.iterations_per_module * std::max(1, module_count);
+
+  double temperature = schedule.initial_temperature;
+  while (temperature > schedule.min_temperature) {
+    const double fraction =
+        schedule.initial_temperature > 0.0
+            ? temperature / schedule.initial_temperature
+            : 0.0;
+    for (int i = 0; i < inner_iterations; ++i) {
+      State candidate = problem.neighbor(current, fraction, rng);
+      const double candidate_cost = problem.cost(candidate);
+      const double delta = candidate_cost - current_cost;
+      ++stats.proposals;
+      bool accept = delta < 0.0;
+      if (!accept && temperature > 0.0) {
+        accept = rng.next_double() < std::exp(-delta / temperature);
+        if (accept) ++stats.uphill_accepted;
+      }
+      if (accept) {
+        current = std::move(candidate);
+        current_cost = candidate_cost;
+        ++stats.accepted;
+        if (current_cost < best_cost && recordable(current)) {
+          best = current;
+          best_cost = current_cost;
+          have_best = true;
+        }
+      }
+    }
+    temperature *= schedule.cooling_rate;
+    ++stats.temperature_steps;
+  }
+
+  stats.final_temperature = temperature;
+  stats.best_cost = best_cost;
+  if (stats_out) *stats_out = stats;
+  return have_best ? best : current;
+}
+
+}  // namespace dmfb

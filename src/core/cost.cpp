@@ -1,0 +1,39 @@
+#include "core/cost.h"
+
+namespace dmfb {
+
+CostBreakdown CostEvaluator::evaluate(const Placement& placement) const {
+  CostBreakdown result;
+  result.area_cells = placement.bounding_box_cells();
+  result.overlap_cells = placement.overlap_cells();
+  result.defect_cells = defect_usage(placement);
+  if (weights_.beta != 0.0) {
+    const FtiResult fti = evaluate_fti(placement, fti_options_);
+    result.fti = fti.fti();
+  }
+  result.value = weights_.alpha * static_cast<double>(result.area_cells) +
+                 weights_.lambda_overlap *
+                     static_cast<double>(result.overlap_cells) +
+                 weights_.lambda_defect *
+                     static_cast<double>(result.defect_cells) -
+                 weights_.beta * result.fti;
+  return result;
+}
+
+double CostEvaluator::cost(const Placement& placement) const {
+  return evaluate(placement).value;
+}
+
+long long CostEvaluator::defect_usage(const Placement& placement) const {
+  if (defects_.empty()) return 0;
+  long long count = 0;
+  for (const auto& m : placement.modules()) {
+    const Rect fp = m.footprint();
+    for (const Point& defect : defects_) {
+      if (fp.contains(defect)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,76 @@
+// cost.h — placement cost metrics (§4e and §6.2 of the paper).
+//
+// Stage-1 (fault-oblivious) cost: array area plus a penalty for forbidden
+// overlaps, which the annealer drives to zero. Stage-2 (fault-aware)
+// weighted objective: alpha * area - beta * fault-tolerance, the paper's
+// multi-objective weighting with alpha = 1 and beta the designer's
+// fault-tolerance importance knob (Table 2 sweeps it).
+#pragma once
+
+#include <vector>
+
+#include "core/fti.h"
+#include "core/placement.h"
+
+namespace dmfb {
+
+/// Cell pitch of the paper's chips: 1.5 mm, i.e. 2.25 mm^2 per cell.
+inline constexpr double kPaperCellAreaMm2 = 2.25;
+
+/// Weights of the combined objective. With beta == 0 the evaluator never
+/// computes FTI (stage-1 behaviour).
+struct CostWeights {
+  double alpha = 1.0;            ///< weight per cell of bounding-box area
+  double beta = 0.0;             ///< weight of FTI (0..1), 0 disables FTI
+  double lambda_overlap = 50.0;  ///< penalty per forbidden overlapping cell
+  /// Penalty per module cell sitting on a known-defective electrode
+  /// (manufacture-time defect maps; same order as the overlap penalty so
+  /// the annealer drives defect usage to zero).
+  double lambda_defect = 50.0;
+};
+
+/// Decomposed cost of one candidate placement.
+struct CostBreakdown {
+  long long area_cells = 0;
+  long long overlap_cells = 0;
+  long long defect_cells = 0;  ///< module cells on known-defective electrodes
+  double fti = 0.0;       ///< 0 when FTI is not part of the objective
+  double value = 0.0;     ///< alpha*area + penalties - beta*fti
+
+  double area_mm2(double cell_area_mm2 = kPaperCellAreaMm2) const {
+    return static_cast<double>(area_cells) * cell_area_mm2;
+  }
+};
+
+/// Evaluates candidate placements for the annealer.
+class CostEvaluator {
+ public:
+  explicit CostEvaluator(CostWeights weights, FtiOptions fti_options = {})
+      : weights_(weights), fti_options_(fti_options) {}
+
+  const CostWeights& weights() const { return weights_; }
+
+  /// Marks electrodes known defective at placement time (e.g. from a
+  /// manufacturing test); modules covering them are penalized like
+  /// overlaps, so defect-aware annealing places around them.
+  void set_defects(std::vector<Point> defects) {
+    defects_ = std::move(defects);
+  }
+  const std::vector<Point>& defects() const { return defects_; }
+
+  CostBreakdown evaluate(const Placement& placement) const;
+
+  /// Scalar cost (same as evaluate().value, saving the struct when hot).
+  double cost(const Placement& placement) const;
+
+  /// Module cells of `placement` lying on listed defects (each defect
+  /// counted once per module whose footprint contains it).
+  long long defect_usage(const Placement& placement) const;
+
+ private:
+  CostWeights weights_;
+  FtiOptions fti_options_;
+  std::vector<Point> defects_;
+};
+
+}  // namespace dmfb

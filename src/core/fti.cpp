@@ -1,0 +1,172 @@
+#include "core/fti.h"
+
+#include <algorithm>
+
+#include "core/mer.h"
+#include "util/prefix_sum.h"
+
+namespace dmfb {
+namespace {
+
+/// Binary occupancy of `region` by modules that time-overlap module
+/// `excluded` (excluding itself): exactly the cells unavailable to the
+/// module were it relocated.
+Matrix<std::uint8_t> occupancy_excluding(const Placement& placement,
+                                         int excluded, const Rect& region) {
+  Matrix<std::uint8_t> grid(region.width, region.height, 0);
+  const PlacedModule& target = placement.module(excluded);
+  for (int i = 0; i < placement.module_count(); ++i) {
+    if (i == excluded) continue;
+    const PlacedModule& other = placement.module(i);
+    if (!target.time_overlaps(other)) continue;
+    Rect fp = other.footprint();
+    fp.x -= region.x;
+    fp.y -= region.y;
+    grid.fill_rect(fp, 1);
+  }
+  return grid;
+}
+
+/// Grid of anchor positions where a w-by-h footprint fits entirely on empty
+/// cells. Cell (x, y) of the returned matrix is 1 iff rect (x, y, w, h) is
+/// empty; the matrix has the same dimensions as `occupied` with infeasible
+/// anchors (footprint sticking out) left 0.
+Matrix<std::uint8_t> valid_anchor_grid(const PrefixSum2D& sums, int w,
+                                       int h) {
+  Matrix<std::uint8_t> valid(sums.width(), sums.height(), 0);
+  for (int y = 0; y + h <= sums.height(); ++y) {
+    for (int x = 0; x + w <= sums.width(); ++x) {
+      if (sums.is_rect_empty(Rect{x, y, w, h})) valid.at(x, y) = 1;
+    }
+  }
+  return valid;
+}
+
+/// Per-orientation relocation query data for one module.
+struct OrientationQuery {
+  int w = 0;
+  int h = 0;
+  long long total_positions = 0;
+  PrefixSum2D position_sums;
+
+  /// Number of valid anchors whose footprint would contain `cell`
+  /// (region-relative coordinates).
+  long long positions_containing(Point cell) const {
+    const int x1 = std::max(0, cell.x - w + 1);
+    const int y1 = std::max(0, cell.y - h + 1);
+    const int x2 = std::min(cell.x, position_sums.width() - 1);
+    const int y2 = std::min(cell.y, position_sums.height() - 1);
+    if (x2 < x1 || y2 < y1) return 0;
+    return position_sums.occupied_in(Rect{x1, y1, x2 - x1 + 1, y2 - y1 + 1});
+  }
+
+  /// Relocation avoiding a fault at `cell` succeeds in this orientation iff
+  /// some valid anchor's footprint does not contain the cell.
+  bool relocatable_avoiding(Point cell) const {
+    return total_positions - positions_containing(cell) > 0;
+  }
+};
+
+/// Builds the queries (one or two orientations) for module `index`.
+std::vector<OrientationQuery> build_queries(const Placement& placement,
+                                            int index, const Rect& region,
+                                            const FtiOptions& options) {
+  const PlacedModule& m = placement.module(index);
+  const Matrix<std::uint8_t> occupied =
+      occupancy_excluding(placement, index, region);
+  const PrefixSum2D occupied_sums(occupied);
+
+  const int w = m.spec.footprint_width();
+  const int h = m.spec.footprint_height();
+
+  std::vector<OrientationQuery> queries;
+  auto add = [&](int qw, int qh) {
+    OrientationQuery q;
+    q.w = qw;
+    q.h = qh;
+    const Matrix<std::uint8_t> valid = valid_anchor_grid(occupied_sums, qw, qh);
+    long long total = 0;
+    for (const auto v : valid) total += v;
+    q.total_positions = total;
+    q.position_sums = PrefixSum2D(valid);
+    queries.push_back(std::move(q));
+  };
+  add(w, h);
+  if (options.allow_rotation && w != h) add(h, w);
+  return queries;
+}
+
+}  // namespace
+
+FtiResult evaluate_fti(const Placement& placement, const FtiOptions& options,
+                       std::optional<Rect> region_opt) {
+  const Rect region = region_opt.value_or(placement.bounding_box());
+  FtiResult result;
+  result.array = region;
+  result.total_cells = region.area();
+  result.covered = Matrix<std::uint8_t>(region.width, region.height, 1);
+  if (region.empty()) return result;
+
+  for (int index = 0; index < placement.module_count(); ++index) {
+    const Rect fp_abs = placement.module(index).footprint();
+    const Rect fp = fp_abs.intersection(region);
+    if (fp.empty()) continue;
+
+    const auto queries = build_queries(placement, index, region, options);
+    for (int y = fp.y; y < fp.top(); ++y) {
+      for (int x = fp.x; x < fp.right(); ++x) {
+        const Point cell{x - region.x, y - region.y};
+        if (result.covered.at(cell) == 0) continue;  // already uncovered
+        bool relocatable = false;
+        for (const auto& q : queries) {
+          if (q.relocatable_avoiding(cell)) {
+            relocatable = true;
+            break;
+          }
+        }
+        if (!relocatable) result.covered.at(cell) = 0;
+      }
+    }
+  }
+
+  long long covered = 0;
+  for (const auto v : result.covered) covered += v;
+  result.covered_cells = covered;
+  return result;
+}
+
+long long covered_cell_count(const Placement& placement,
+                             const FtiOptions& options, const Rect& region) {
+  return evaluate_fti(placement, options, region).covered_cells;
+}
+
+bool is_cell_covered_reference(const Placement& placement, Point cell,
+                               const FtiOptions& options, const Rect& region) {
+  if (!region.contains(cell)) return false;
+  for (int index = 0; index < placement.module_count(); ++index) {
+    const PlacedModule& m = placement.module(index);
+    if (!m.footprint().contains(cell)) continue;
+
+    // Encode the configuration per §5.3: cells of concurrently operational
+    // modules are 1, the faulty cell is 1, the failed module's own cells
+    // are freed (it is "temporarily removed from the placement").
+    Matrix<std::uint8_t> occupied =
+        occupancy_excluding(placement, index, region);
+    occupied.at(cell.x - region.x, cell.y - region.y) = 1;
+
+    const int w = m.spec.footprint_width();
+    const int h = m.spec.footprint_height();
+    bool relocatable = false;
+    for (const Rect& mer : maximal_empty_rectangles(occupied)) {
+      if ((mer.width >= w && mer.height >= h) ||
+          (options.allow_rotation && mer.width >= h && mer.height >= w)) {
+        relocatable = true;
+        break;
+      }
+    }
+    if (!relocatable) return false;
+  }
+  return true;
+}
+
+}  // namespace dmfb

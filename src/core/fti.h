@@ -1,0 +1,74 @@
+// fti.h — the Fault Tolerance Index (§5.2–5.3 of the paper).
+//
+// Single-cell fault model, uniform failure probability. A cell is
+// *C-covered* for a placement C iff, were that cell to fail, the assay
+// could still run after partial reconfiguration: for every module whose
+// footprint contains the cell, the module can be relocated to a region
+// that is free during the module's entire operation interval and does not
+// contain the faulty cell. Unused cells are trivially covered.
+//
+//   FTI = (#C-covered cells) / (m * n)
+//
+// FTI = 1 means any single fault is survivable; FTI = 0 means none is.
+//
+// Implementation note: the paper's fast algorithm enumerates maximal empty
+// rectangles with the staircase structure; an equivalent but
+// constant-factor-faster existence test is used here for the evaluator
+// (valid-position counting over a summed-area table, O(area) per module
+// and O(1) per cell). Property tests pin this against the MER-based
+// definition (see mer.h), and the reconfiguration engine (reconfig.h) uses
+// the staircase MERs directly since it needs actual target locations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/placement.h"
+#include "util/geometry.h"
+#include "util/matrix.h"
+
+namespace dmfb {
+
+/// Options shared by the FTI evaluator and the reconfiguration engine.
+struct FtiOptions {
+  /// Allow the relocated module to be transposed (90-degree rotation).
+  bool allow_rotation = true;
+};
+
+/// Result of evaluating FTI over an array region.
+struct FtiResult {
+  Rect array;                     ///< region evaluated (the m x n array)
+  long long covered_cells = 0;    ///< k in the paper's FTI = k/(m*n)
+  long long total_cells = 0;      ///< m * n
+  Matrix<std::uint8_t> covered;   ///< 1 = C-covered, indexed region-relative
+
+  double fti() const {
+    return total_cells == 0
+               ? 0.0
+               : static_cast<double>(covered_cells) / total_cells;
+  }
+};
+
+/// Evaluates the fault tolerance of `placement` over `region` (defaults to
+/// the placement's bounding box — the m x n array a designer would
+/// fabricate for it). Cells of `region` outside every module are covered;
+/// module cells are covered iff relocation avoiding them succeeds for every
+/// module using them.
+FtiResult evaluate_fti(const Placement& placement,
+                       const FtiOptions& options = {},
+                       std::optional<Rect> region = std::nullopt);
+
+/// Count-only fast path (identical result, no mask allocation); used inside
+/// the low-temperature annealing loop.
+long long covered_cell_count(const Placement& placement,
+                             const FtiOptions& options,
+                             const Rect& region);
+
+/// Definition-faithful reference: decides coverage of one cell by removing
+/// each module using it and searching the maximal-empty-rectangle list for
+/// a fitting relocation target. Quadratically slower; used by tests and the
+/// ablation bench to validate the fast evaluator.
+bool is_cell_covered_reference(const Placement& placement, Point cell,
+                               const FtiOptions& options, const Rect& region);
+
+}  // namespace dmfb

@@ -1,0 +1,74 @@
+#include "core/greedy_placer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dmfb {
+namespace {
+
+/// True when placing module `index` at `anchor` collides with any
+/// already-placed temporal neighbour or covers a defective cell.
+bool collides(const Placement& placement, int index, Point anchor,
+              const std::vector<bool>& placed,
+              const std::vector<Point>& defects) {
+  const auto& m = placement.module(index);
+  const Rect fp = footprint_rect(m.spec, anchor, m.rotated);
+  for (const Point& defect : defects) {
+    if (fp.contains(defect)) return true;
+  }
+  for (int other = 0; other < placement.module_count(); ++other) {
+    if (other == index || !placed[other]) continue;
+    if (!m.time_overlaps(placement.module(other))) continue;
+    if (fp.intersects(placement.module(other).footprint())) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void greedy_reset(Placement& placement, const std::vector<Point>& defects) {
+  const int count = placement.module_count();
+  std::vector<int> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const long long area_a = placement.module(a).spec.footprint_cells();
+    const long long area_b = placement.module(b).spec.footprint_cells();
+    if (area_a != area_b) return area_a > area_b;
+    return a < b;
+  });
+
+  std::vector<bool> placed(count, false);
+  for (int index : order) {
+    placement.set_rotated(index, false);
+    const auto& m = placement.module(index);
+    const int fw = m.spec.footprint_width();
+    const int fh = m.spec.footprint_height();
+    bool done = false;
+    for (int y = 0; y + fh <= placement.canvas_height() && !done; ++y) {
+      for (int x = 0; x + fw <= placement.canvas_width() && !done; ++x) {
+        const Point anchor{x, y};
+        if (!collides(placement, index, anchor, placed, defects)) {
+          placement.set_anchor(index, anchor);
+          placed[index] = true;
+          done = true;
+        }
+      }
+    }
+    if (!done) {
+      throw std::runtime_error("greedy placement: module '" + m.label +
+                               "' does not fit the canvas");
+    }
+  }
+}
+
+Placement place_greedy(const Schedule& schedule, int canvas_width,
+                       int canvas_height,
+                       const std::vector<Point>& defects) {
+  Placement placement(schedule, canvas_width, canvas_height);
+  greedy_reset(placement, defects);
+  return placement;
+}
+
+}  // namespace dmfb

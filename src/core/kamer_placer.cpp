@@ -1,0 +1,150 @@
+#include "core/kamer_placer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mer.h"
+
+namespace dmfb {
+namespace {
+
+/// Occupancy of `array` by already-placed modules that time-overlap
+/// module `index`.
+Matrix<std::uint8_t> occupancy_for(const Placement& placement, int index,
+                                   const std::vector<bool>& placed,
+                                   int array_width, int array_height) {
+  Matrix<std::uint8_t> grid(array_width, array_height, 0);
+  const PlacedModule& target = placement.module(index);
+  for (int i = 0; i < placement.module_count(); ++i) {
+    if (i == index || !placed[i]) continue;
+    const PlacedModule& other = placement.module(i);
+    if (!target.time_overlaps(other)) continue;
+    grid.fill_rect(other.footprint(), 1);
+  }
+  return grid;
+}
+
+}  // namespace
+
+KamerResult place_kamer(const Schedule& schedule, int array_width,
+                        int array_height, RelocationPolicy policy,
+                        bool allow_rotation) {
+  KamerResult result;
+  // Reject arrays some module cannot fit in either orientation, before
+  // the Placement constructor gets a chance to throw.
+  for (const auto& m : schedule.modules()) {
+    const int w = m.spec.footprint_width();
+    const int h = m.spec.footprint_height();
+    const bool fits = (w <= array_width && h <= array_height) ||
+                      (allow_rotation && h <= array_width &&
+                       w <= array_height);
+    if (!fits) {
+      result.success = false;
+      result.failure_reason = "module '" + m.label + "' (" +
+                              std::to_string(w) + "x" + std::to_string(h) +
+                              ") cannot fit a " +
+                              std::to_string(array_width) + "x" +
+                              std::to_string(array_height) + " array";
+      return result;
+    }
+  }
+  result.placement = Placement(schedule, array_width, array_height);
+  Placement& placement = result.placement;
+
+  // Arrival order: start time, then larger modules first (they are the
+  // hardest to fit), then index for determinism.
+  std::vector<int> order(static_cast<std::size_t>(placement.module_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& ma = placement.module(a);
+    const auto& mb = placement.module(b);
+    if (ma.start_s != mb.start_s) return ma.start_s < mb.start_s;
+    if (ma.spec.footprint_cells() != mb.spec.footprint_cells()) {
+      return ma.spec.footprint_cells() > mb.spec.footprint_cells();
+    }
+    return a < b;
+  });
+
+  std::vector<bool> placed(static_cast<std::size_t>(placement.module_count()),
+                           false);
+  for (const int index : order) {
+    const auto& m = placement.module(index);
+    const Matrix<std::uint8_t> occupied =
+        occupancy_for(placement, index, placed, array_width, array_height);
+    const std::vector<Rect> mers = maximal_empty_rectangles(occupied);
+
+    const int w = m.spec.footprint_width();
+    const int h = m.spec.footprint_height();
+
+    struct Candidate {
+      Rect mer;
+      bool rotated;
+    };
+    std::optional<Candidate> best;
+    auto consider = [&](const Rect& mer, bool rotated) {
+      const int cw = rotated ? h : w;
+      const int ch = rotated ? w : h;
+      if (mer.width < cw || mer.height < ch) return;
+      if (!best) {
+        best = Candidate{mer, rotated};
+        return;
+      }
+      switch (policy) {
+        case RelocationPolicy::kFirstFit:
+          break;  // keep the first in scan order
+        case RelocationPolicy::kBestFit:
+          if (mer.area() < best->mer.area()) best = Candidate{mer, rotated};
+          break;
+        case RelocationPolicy::kNearest:
+          // Online placement has no "previous location"; nearest to the
+          // origin keeps the array compact.
+          if (manhattan_distance({mer.x, mer.y}, {0, 0}) <
+              manhattan_distance({best->mer.x, best->mer.y}, {0, 0})) {
+            best = Candidate{mer, rotated};
+          }
+          break;
+      }
+    };
+    for (const Rect& mer : mers) {
+      consider(mer, false);
+      if (allow_rotation && w != h) consider(mer, true);
+    }
+
+    if (!best) {
+      result.success = false;
+      result.failure_reason =
+          "module '" + m.label + "' (start " + std::to_string(m.start_s) +
+          "s) does not fit any maximal empty rectangle of a " +
+          std::to_string(array_width) + "x" + std::to_string(array_height) +
+          " array";
+      return result;
+    }
+    placement.set_rotated(index, best->rotated);
+    placement.set_anchor(index, Point{best->mer.x, best->mer.y});
+    placed[index] = true;
+    ++result.modules_placed;
+  }
+
+  result.success = true;
+  return result;
+}
+
+std::optional<KamerResult> smallest_kamer_array(const Schedule& schedule,
+                                                int max_side,
+                                                RelocationPolicy policy) {
+  // A square side must hold each module's larger footprint dimension
+  // (rotation only swaps width and height).
+  int min_side = 1;
+  for (const auto& m : schedule.modules()) {
+    min_side = std::max(
+        min_side, std::max(m.spec.footprint_width(),
+                           m.spec.footprint_height()));
+  }
+  for (int side = min_side; side <= max_side; ++side) {
+    KamerResult result = place_kamer(schedule, side, side, policy);
+    if (result.success) return result;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dmfb

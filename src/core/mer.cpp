@@ -1,0 +1,139 @@
+#include "core/mer.h"
+
+#include <algorithm>
+
+#include "util/prefix_sum.h"
+
+namespace dmfb {
+namespace {
+
+/// Sorts rectangles into the documented deterministic order.
+void sort_rects(std::vector<Rect>& rects) {
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.y != b.y) return a.y < b.y;
+    if (a.x != b.x) return a.x < b.x;
+    if (a.width != b.width) return a.width < b.width;
+    return a.height < b.height;
+  });
+}
+
+}  // namespace
+
+std::vector<Rect> maximal_empty_rectangles(
+    const Matrix<std::uint8_t>& occupied) {
+  const int width = occupied.width();
+  const int height = occupied.height();
+  std::vector<Rect> result;
+  if (width == 0 || height == 0) return result;
+
+  // heights[x] = number of consecutive empty cells in column x ending at the
+  // current row y (the "staircase" profile of empty space below/at y).
+  std::vector<int> heights(static_cast<std::size_t>(width), 0);
+
+  struct StackEntry {
+    int height;
+    int left;  // leftmost column with profile >= height
+  };
+  std::vector<StackEntry> stack;
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      heights[x] = occupied.at(x, y) != 0 ? 0 : heights[x] + 1;
+    }
+
+    // A rectangle with top edge at row y cannot extend upward iff y is the
+    // last row or the row above has an occupied cell within its span.
+    // row_above_occupied_prefix[x] = #occupied cells in row y+1, cols [0,x).
+    std::vector<int> above_prefix(static_cast<std::size_t>(width) + 1, 0);
+    if (y + 1 < height) {
+      for (int x = 0; x < width; ++x) {
+        above_prefix[x + 1] =
+            above_prefix[x] + (occupied.at(x, y + 1) != 0 ? 1 : 0);
+      }
+    }
+    auto up_blocked = [&](int x1, int x2) {
+      if (y + 1 >= height) return true;
+      return above_prefix[x2 + 1] - above_prefix[x1] > 0;
+    };
+
+    // Stack walk over the histogram. Each maximal (height, span) pair —
+    // span maximal for that height, height = min over span — is produced
+    // exactly once; it is a maximal empty rectangle iff it is up-blocked.
+    stack.clear();
+    for (int x = 0; x <= width; ++x) {
+      const int h = x < width ? heights[x] : 0;
+      int left = x;
+      while (!stack.empty() && stack.back().height >= h) {
+        const StackEntry entry = stack.back();
+        stack.pop_back();
+        if (entry.height > h && entry.height > 0 &&
+            up_blocked(entry.left, x - 1)) {
+          result.push_back(Rect{entry.left, y - entry.height + 1,
+                                x - entry.left, entry.height});
+        }
+        left = entry.left;
+      }
+      if (h > 0 && (stack.empty() || stack.back().height < h)) {
+        stack.push_back(StackEntry{h, left});
+      }
+    }
+  }
+
+  sort_rects(result);
+  return result;
+}
+
+std::vector<Rect> maximal_empty_rectangles_brute(
+    const Matrix<std::uint8_t>& occupied) {
+  const int width = occupied.width();
+  const int height = occupied.height();
+  std::vector<Rect> result;
+  if (width == 0 || height == 0) return result;
+
+  const PrefixSum2D sums(occupied);
+  for (int y1 = 0; y1 < height; ++y1) {
+    for (int y2 = y1; y2 < height; ++y2) {
+      for (int x1 = 0; x1 < width; ++x1) {
+        for (int x2 = x1; x2 < width; ++x2) {
+          const Rect rect{x1, y1, x2 - x1 + 1, y2 - y1 + 1};
+          if (!sums.is_rect_empty(rect)) continue;
+          const bool left_blocked =
+              x1 == 0 || sums.occupied_in(Rect{x1 - 1, y1, 1, rect.height}) > 0;
+          const bool right_blocked =
+              x2 + 1 == width ||
+              sums.occupied_in(Rect{x2 + 1, y1, 1, rect.height}) > 0;
+          const bool down_blocked =
+              y1 == 0 || sums.occupied_in(Rect{x1, y1 - 1, rect.width, 1}) > 0;
+          const bool up_blocked =
+              y2 + 1 == height ||
+              sums.occupied_in(Rect{x1, y2 + 1, rect.width, 1}) > 0;
+          if (left_blocked && right_blocked && down_blocked && up_blocked) {
+            result.push_back(rect);
+          }
+        }
+      }
+    }
+  }
+
+  sort_rects(result);
+  return result;
+}
+
+std::optional<Rect> largest_empty_rectangle(
+    const Matrix<std::uint8_t>& occupied) {
+  std::optional<Rect> best;
+  for (const Rect& rect : maximal_empty_rectangles(occupied)) {
+    if (!best || rect.area() > best->area()) best = rect;
+  }
+  return best;
+}
+
+bool empty_rect_exists(const Matrix<std::uint8_t>& occupied, int w, int h) {
+  if (w <= 0 || h <= 0) return true;
+  for (const Rect& rect : maximal_empty_rectangles(occupied)) {
+    if (rect.width >= w && rect.height >= h) return true;
+  }
+  return false;
+}
+
+}  // namespace dmfb

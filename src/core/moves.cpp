@@ -1,0 +1,85 @@
+#include "core/moves.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmfb {
+namespace {
+
+/// Clamps `anchor` so the module's footprint stays inside the canvas.
+Point clamp_anchor(const Placement& placement, int index, Point anchor) {
+  const Point limit = max_anchor(placement, index);
+  return Point{std::clamp(anchor.x, 0, limit.x),
+               std::clamp(anchor.y, 0, limit.y)};
+}
+
+/// Flips the orientation of a (non-square) module; square footprints are
+/// rotation-invariant so flipping them would be a null move.
+bool try_rotate(Placement& placement, int index) {
+  const auto& m = placement.module(index);
+  if (m.spec.square()) return false;
+  placement.set_rotated(index, !m.rotated);
+  placement.set_anchor(index, clamp_anchor(placement, index, m.anchor));
+  return true;
+}
+
+}  // namespace
+
+Point max_anchor(const Placement& placement, int index) {
+  const auto& m = placement.module(index);
+  const Rect fp = m.footprint();
+  return Point{placement.canvas_width() - fp.width,
+               placement.canvas_height() - fp.height};
+}
+
+int controlling_window_span(const Placement& placement,
+                            double temperature_fraction,
+                            const MoveOptions& options) {
+  const int full_span =
+      std::max(placement.canvas_width(), placement.canvas_height());
+  if (!options.use_controlling_window) return full_span;
+  const double fraction = std::clamp(temperature_fraction, 0.0, 1.0);
+  const int span = static_cast<int>(std::lround(full_span * fraction));
+  return std::max(options.min_window, span);
+}
+
+MoveKind apply_random_move(Placement& placement, double temperature_fraction,
+                           const MoveOptions& options, Rng& rng) {
+  const int count = placement.module_count();
+  if (count == 0) return MoveKind::kDisplace;
+
+  const bool single =
+      count < 2 || rng.next_bool(options.single_move_probability);
+  const bool rotate = rng.next_bool(options.rotate_probability);
+
+  if (single) {
+    const int index = static_cast<int>(rng.next_below(count));
+    const int span =
+        controlling_window_span(placement, temperature_fraction, options);
+    const Point current = placement.module(index).anchor;
+    bool rotated = false;
+    if (rotate) rotated = try_rotate(placement, index);
+    const Point target{current.x + rng.next_int(-span, span),
+                       current.y + rng.next_int(-span, span)};
+    placement.set_anchor(index, clamp_anchor(placement, index, target));
+    return rotated ? MoveKind::kDisplaceRotate : MoveKind::kDisplace;
+  }
+
+  // Pair interchange.
+  const int i = static_cast<int>(rng.next_below(count));
+  int j = static_cast<int>(rng.next_below(count - 1));
+  if (j >= i) ++j;
+
+  const Point anchor_i = placement.module(i).anchor;
+  const Point anchor_j = placement.module(j).anchor;
+  bool rotated = false;
+  if (rotate) {
+    // Move (iv): at least one module of the pair changes orientation.
+    rotated = try_rotate(placement, rng.next_bool(0.5) ? i : j);
+  }
+  placement.set_anchor(i, clamp_anchor(placement, i, anchor_j));
+  placement.set_anchor(j, clamp_anchor(placement, j, anchor_i));
+  return rotated ? MoveKind::kSwapRotate : MoveKind::kSwap;
+}
+
+}  // namespace dmfb

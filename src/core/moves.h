@@ -1,0 +1,56 @@
+// moves.h — the annealer's generation function (§4b-c of the paper).
+//
+// Four move types: (i) single-module displacement to a random location,
+// (ii) displacement with orientation change, (iii) pair interchange,
+// (iv) pair interchange with at least one orientation change. Probability
+// p selects single-module displacement, 1-p pair interchange; the ratio is
+// set experimentally (the ablation bench sweeps it). A temperature-
+// controlled window discourages long displacements at low temperatures.
+#pragma once
+
+#include "core/placement.h"
+#include "util/rng.h"
+
+namespace dmfb {
+
+/// Which of the paper's four generation moves was applied.
+enum class MoveKind {
+  kDisplace,          ///< (i)
+  kDisplaceRotate,    ///< (ii)
+  kSwap,              ///< (iii)
+  kSwapRotate,        ///< (iv)
+};
+
+/// Move-generation tuning.
+struct MoveOptions {
+  /// p — probability of a single-module move (vs. a pair interchange).
+  double single_move_probability = 0.8;
+  /// Among single moves, probability that the orientation also changes
+  /// (move (ii) instead of (i)); likewise for pair moves (iv) vs (iii).
+  double rotate_probability = 0.3;
+  /// Enables the controlling window (§4c). When false, displacements are
+  /// uniform over the canvas at any temperature (ablation A2).
+  bool use_controlling_window = true;
+  /// Minimum window half-span; the stopping criterion corresponds to the
+  /// window reaching this.
+  int min_window = 1;
+};
+
+/// Applies one random move to `placement` in place. `temperature_fraction`
+/// is T / T0 in [0, 1] and scales the controlling window. Anchors are
+/// clamped so footprints stay inside the canvas (Fig. 4(a): modules are
+/// prevented from leaving the core area).
+/// Returns the move kind applied.
+MoveKind apply_random_move(Placement& placement, double temperature_fraction,
+                           const MoveOptions& options, Rng& rng);
+
+/// Largest legal anchor for module `index` given its current orientation.
+Point max_anchor(const Placement& placement, int index);
+
+/// Half-span of the controlling window for the given temperature fraction:
+/// from the full canvas extent at T = T0 down to options.min_window.
+int controlling_window_span(const Placement& placement,
+                            double temperature_fraction,
+                            const MoveOptions& options);
+
+}  // namespace dmfb

@@ -1,0 +1,179 @@
+#include "core/optimal_placer.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/greedy_placer.h"
+
+namespace dmfb {
+namespace {
+
+/// Depth-first feasibility search: can every module be placed in a
+/// W x H box? Modules are tried largest-first; positions scan bottom-left
+/// to top-right; both orientations when allowed.
+class BoxSearch {
+ public:
+  BoxSearch(Placement& placement, const std::vector<int>& order, int box_w,
+            int box_h, bool allow_rotation, long long node_budget,
+            long long& nodes)
+      : placement_(placement),
+        order_(order),
+        box_w_(box_w),
+        box_h_(box_h),
+        allow_rotation_(allow_rotation),
+        node_budget_(node_budget),
+        nodes_(nodes),
+        placed_(static_cast<std::size_t>(placement.module_count()), false) {}
+
+  bool solve() { return place_next(0); }
+
+ private:
+  bool collides(int index, const Rect& fp) const {
+    for (int other = 0; other < placement_.module_count(); ++other) {
+      if (other == index || !placed_[static_cast<std::size_t>(other)]) {
+        continue;
+      }
+      if (!placement_.module(index).time_overlaps(placement_.module(other))) {
+        continue;
+      }
+      if (fp.intersects(placement_.module(other).footprint())) return true;
+    }
+    return false;
+  }
+
+  bool place_next(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const int index = order_[depth];
+    const auto& spec = placement_.module(index).spec;
+
+    const int orientations = allow_rotation_ && !spec.square() ? 2 : 1;
+    for (int orientation = 0; orientation < orientations; ++orientation) {
+      const bool rotated = orientation == 1;
+      const int w = rotated ? spec.footprint_height() : spec.footprint_width();
+      const int h = rotated ? spec.footprint_width() : spec.footprint_height();
+      if (w > box_w_ || h > box_h_) continue;
+      for (int y = 0; y + h <= box_h_; ++y) {
+        for (int x = 0; x + w <= box_w_; ++x) {
+          if (++nodes_ > node_budget_) {
+            throw std::runtime_error(
+                "place_optimal: node budget exhausted");
+          }
+          const Rect fp{x, y, w, h};
+          if (collides(index, fp)) continue;
+          placement_.set_rotated(index, rotated);
+          placement_.set_anchor(index, Point{x, y});
+          placed_[static_cast<std::size_t>(index)] = true;
+          if (place_next(depth + 1)) return true;
+          placed_[static_cast<std::size_t>(index)] = false;
+        }
+      }
+    }
+    return false;
+  }
+
+  Placement& placement_;
+  const std::vector<int>& order_;
+  const int box_w_;
+  const int box_h_;
+  const bool allow_rotation_;
+  const long long node_budget_;
+  long long& nodes_;
+  std::vector<bool> placed_;
+};
+
+}  // namespace
+
+OptimalResult place_optimal(const Schedule& schedule,
+                            const OptimalPlacerOptions& options) {
+  if (schedule.module_count() > options.max_modules) {
+    throw std::invalid_argument(
+        "place_optimal: instance too large for exact search (" +
+        std::to_string(schedule.module_count()) + " modules)");
+  }
+  if (schedule.module_count() == 0) {
+    throw std::invalid_argument("place_optimal: empty schedule");
+  }
+
+  // Upper bound from the greedy placer.
+  int max_dim = 0;
+  int min_fit = 1;  // every box side must hold each module's smaller dim
+  for (const auto& m : schedule.modules()) {
+    max_dim = std::max({max_dim, m.spec.footprint_width(),
+                        m.spec.footprint_height()});
+    min_fit = std::max(min_fit, std::min(m.spec.footprint_width(),
+                                         m.spec.footprint_height()));
+  }
+  const Placement greedy =
+      place_greedy(schedule, std::max(max_dim, 24), std::max(max_dim, 24));
+  const Rect greedy_box = greedy.bounding_box();
+  long long best_area =
+      static_cast<long long>(greedy_box.width) * greedy_box.height;
+
+  // Every module must fit the candidate box in some allowed orientation.
+  auto all_fit = [&](int w, int h) {
+    for (const auto& m : schedule.modules()) {
+      const int fw = m.spec.footprint_width();
+      const int fh = m.spec.footprint_height();
+      const bool fits =
+          (fw <= w && fh <= h) ||
+          (options.allow_rotation && fh <= w && fw <= h);
+      if (!fits) return false;
+    }
+    return true;
+  };
+
+  // Candidate boxes in increasing area. Boxes can be long and thin (a
+  // 9x5 box is legal even when the largest module dimension is 6, as long
+  // as every module fits), so sides range up to best_area / min_fit.
+  struct Box {
+    int w, h;
+  };
+  std::vector<Box> boxes;
+  const int side_cap = static_cast<int>(best_area / min_fit);
+  for (int w = min_fit; w <= side_cap; ++w) {
+    for (int h = min_fit; static_cast<long long>(w) * h <= best_area; ++h) {
+      if (all_fit(w, h)) boxes.push_back(Box{w, h});
+    }
+  }
+  std::sort(boxes.begin(), boxes.end(), [](const Box& a, const Box& b) {
+    const long long area_a = static_cast<long long>(a.w) * a.h;
+    const long long area_b = static_cast<long long>(b.w) * b.h;
+    if (area_a != area_b) return area_a < area_b;
+    return a.w < b.w;
+  });
+
+  const long long lower_bound = schedule.peak_concurrent_cells();
+
+  OptimalResult result;
+  result.placement = greedy;
+  result.area_cells = best_area;
+
+  std::vector<int> order(static_cast<std::size_t>(schedule.module_count()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const long long area_a = schedule.module(a).spec.footprint_cells();
+    const long long area_b = schedule.module(b).spec.footprint_cells();
+    if (area_a != area_b) return area_a > area_b;
+    return a < b;
+  });
+
+  for (const Box& box : boxes) {
+    const long long area = static_cast<long long>(box.w) * box.h;
+    if (area >= result.area_cells) break;  // boxes are sorted by area
+    if (area < lower_bound) continue;
+    Placement candidate(schedule, box.w, box.h);
+    BoxSearch search(candidate, order, box.w, box.h, options.allow_rotation,
+                     options.max_nodes, result.nodes_visited);
+    if (search.solve()) {
+      result.placement = candidate;
+      result.area_cells = area;
+      // Keep scanning: a later box with smaller area cannot exist (sorted),
+      // so we are done.
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dmfb

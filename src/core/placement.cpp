@@ -1,0 +1,155 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmfb {
+
+Placement::Placement(const Schedule& schedule, int canvas_width,
+                     int canvas_height)
+    : canvas_width_(canvas_width), canvas_height_(canvas_height) {
+  if (canvas_width <= 0 || canvas_height <= 0) {
+    throw std::invalid_argument("Placement: canvas must be positive");
+  }
+  for (const auto& m : schedule.modules()) {
+    PlacedModule placed;
+    placed.label = m.label;
+    placed.spec = m.spec;
+    placed.start_s = m.start_s;
+    placed.end_s = m.end_s;
+    modules_.push_back(std::move(placed));
+  }
+  for (const auto& m : modules_) {
+    const int max_dim =
+        std::max(m.spec.footprint_width(), m.spec.footprint_height());
+    if (max_dim > std::max(canvas_width, canvas_height)) {
+      throw std::invalid_argument("Placement: module '" + m.label +
+                                  "' cannot fit the canvas");
+    }
+  }
+
+  for (int i = 0; i < module_count(); ++i) {
+    for (int j = i + 1; j < module_count(); ++j) {
+      if (modules_[i].time_overlaps(modules_[j])) {
+        conflicting_pairs_.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Slice decomposition mirrors Schedule::time_slices but on our indices.
+  std::set<double> boundaries;
+  for (const auto& m : modules_) {
+    boundaries.insert(m.start_s);
+    boundaries.insert(m.end_s);
+  }
+  if (boundaries.size() >= 2) {
+    auto it = boundaries.begin();
+    double prev = *it++;
+    for (; it != boundaries.end(); ++it) {
+      const double next = *it;
+      std::vector<int> members;
+      for (int i = 0; i < module_count(); ++i) {
+        if (modules_[i].start_s <= prev && next <= modules_[i].end_s) {
+          members.push_back(i);
+        }
+      }
+      if (!members.empty()) {
+        slice_members_.push_back(std::move(members));
+        slice_times_.emplace_back(prev, next);
+      }
+      prev = next;
+    }
+  }
+}
+
+void Placement::set_anchor(int index, Point anchor) {
+  modules_.at(index).anchor = anchor;
+}
+
+void Placement::set_rotated(int index, bool rotated) {
+  modules_.at(index).rotated = rotated;
+}
+
+std::vector<int> Placement::temporal_neighbors(int index) const {
+  std::vector<int> neighbors;
+  for (int i = 0; i < module_count(); ++i) {
+    if (i != index && modules_[index].time_overlaps(modules_[i])) {
+      neighbors.push_back(i);
+    }
+  }
+  return neighbors;
+}
+
+Rect Placement::bounding_box() const {
+  Rect box;
+  for (const auto& m : modules_) box = box.united(m.footprint());
+  return box;
+}
+
+long long Placement::bounding_box_cells() const {
+  return bounding_box().area();
+}
+
+long long Placement::overlap_cells() const {
+  long long total = 0;
+  for (const auto& [i, j] : conflicting_pairs_) {
+    total += modules_[i].footprint().overlap_area(modules_[j].footprint());
+  }
+  return total;
+}
+
+bool Placement::within_canvas() const {
+  for (const auto& m : modules_) {
+    if (!m.footprint().within_bounds(canvas_width_, canvas_height_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+OccupancyGrid Placement::slice_occupancy(int slice, const Rect& region) const {
+  OccupancyGrid grid(region.width, region.height, 0);
+  for (int index : slice_members_.at(slice)) {
+    Rect fp = modules_[index].footprint();
+    fp.x -= region.x;
+    fp.y -= region.y;
+    grid.fill_rect(fp, static_cast<std::int16_t>(index + 1));
+  }
+  return grid;
+}
+
+OccupancyGrid Placement::occupancy_during(double begin_s, double end_s,
+                                          const Rect& region) const {
+  OccupancyGrid grid(region.width, region.height, 0);
+  for (int i = 0; i < module_count(); ++i) {
+    const auto& m = modules_[i];
+    if (m.start_s < end_s && begin_s < m.end_s) {
+      Rect fp = m.footprint();
+      fp.x -= region.x;
+      fp.y -= region.y;
+      grid.fill_rect(fp, static_cast<std::int16_t>(i + 1));
+    }
+  }
+  return grid;
+}
+
+std::string Placement::render(const Rect& region) const {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < slice_members_.size(); ++s) {
+    os << "t = [" << slice_times_[s].first << "s, " << slice_times_[s].second
+       << "s):";
+    for (int index : slice_members_[s]) {
+      os << ' ' << modules_[index].label << '@'
+         << to_string(modules_[index].footprint());
+    }
+    os << '\n'
+       << render_grid(slice_occupancy(static_cast<int>(s), region)) << '\n';
+  }
+  return os.str();
+}
+
+std::string Placement::render() const { return render(bounding_box()); }
+
+}  // namespace dmfb

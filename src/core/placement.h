@@ -1,0 +1,111 @@
+// placement.h — the modified-2D placement model (§4 of the paper).
+//
+// Placement of reconfigurable modules is a 3-D packing problem (x, y, time)
+// whose time axis is fixed by architectural-level synthesis, so it reduces
+// to placing rectangles whose time intervals are given: two modules may
+// share cells iff their intervals do not overlap (dynamic reconfiguration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/schedule.h"
+#include "biochip/grid.h"
+#include "biochip/module_spec.h"
+#include "util/geometry.h"
+
+namespace dmfb {
+
+/// One module with a (mutable) physical location and a (fixed) interval.
+struct PlacedModule {
+  std::string label;
+  ModuleSpec spec;
+  double start_s = 0.0;  ///< fixed by synthesis (cutting plane t = S_i)
+  double end_s = 0.0;
+  Point anchor{0, 0};    ///< bottom-left cell of the footprint
+  bool rotated = false;  ///< footprint transposed when true
+
+  Rect footprint() const { return footprint_rect(spec, anchor, rotated); }
+
+  bool time_overlaps(const PlacedModule& other) const {
+    return start_s < other.end_s && other.start_s < end_s;
+  }
+};
+
+/// A candidate solution of the placement problem: module locations on a
+/// bounded canvas (the "core area" of Fig. 4(a)). The time structure —
+/// which pairs may conflict, and the slice decomposition — is immutable
+/// after construction, so it is precomputed once and shared by copies.
+class Placement {
+ public:
+  Placement() = default;
+
+  /// Builds an (un-positioned: all anchors at the origin) placement from a
+  /// synthesis schedule. Canvas bounds modules' reachable locations.
+  Placement(const Schedule& schedule, int canvas_width, int canvas_height);
+
+  int canvas_width() const { return canvas_width_; }
+  int canvas_height() const { return canvas_height_; }
+
+  int module_count() const { return static_cast<int>(modules_.size()); }
+  const std::vector<PlacedModule>& modules() const { return modules_; }
+  const PlacedModule& module(int index) const { return modules_.at(index); }
+
+  /// Moves a module; the caller is responsible for re-evaluating cost.
+  void set_anchor(int index, Point anchor);
+  void set_rotated(int index, bool rotated);
+
+  /// Index pairs (i < j) whose time intervals overlap — the only pairs that
+  /// can conflict spatially.
+  const std::vector<std::pair<int, int>>& conflicting_pairs() const {
+    return conflicting_pairs_;
+  }
+
+  /// For each time slice, the indices of modules active in it (ordered by
+  /// slice start time).
+  const std::vector<std::vector<int>>& slice_members() const {
+    return slice_members_;
+  }
+
+  /// Indices of modules whose interval overlaps module `index`'s interval
+  /// (excluding itself).
+  std::vector<int> temporal_neighbors(int index) const;
+
+  /// Smallest rectangle containing every footprint (empty if no modules).
+  Rect bounding_box() const;
+  long long bounding_box_cells() const;
+
+  /// Total pairwise overlap, in cells, across conflicting pairs. Zero for a
+  /// feasible placement.
+  long long overlap_cells() const;
+
+  /// True when every footprint lies inside the canvas.
+  bool within_canvas() const;
+
+  /// Feasible = no forbidden overlap and within the canvas.
+  bool feasible() const { return overlap_cells() == 0 && within_canvas(); }
+
+  /// Occupancy of one slice, restricted to `region`; cell values are
+  /// global module index + 1 (0 = free).
+  OccupancyGrid slice_occupancy(int slice, const Rect& region) const;
+
+  /// Occupancy of `region` by every module overlapping time interval
+  /// [begin_s, end_s); cell values are module index + 1 (later modules
+  /// overwrite earlier on illegal overlaps).
+  OccupancyGrid occupancy_during(double begin_s, double end_s,
+                                 const Rect& region) const;
+
+  /// ASCII rendering of every slice (paper Figs. 7/8 are drawn like this).
+  std::string render(const Rect& region) const;
+  std::string render() const;
+
+ private:
+  int canvas_width_ = 0;
+  int canvas_height_ = 0;
+  std::vector<PlacedModule> modules_;
+  std::vector<std::pair<int, int>> conflicting_pairs_;
+  std::vector<std::vector<int>> slice_members_;
+  std::vector<std::pair<double, double>> slice_times_;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,166 @@
+#include "core/reconfig.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/mer.h"
+
+namespace dmfb {
+namespace {
+
+/// Binary occupancy of `array` by modules time-overlapping module `index`
+/// (itself excluded), with every faulty cell marked occupied — the 0/1
+/// encoding of §5.3 generalized to a fault set.
+Matrix<std::uint8_t> relocation_grid(const Placement& placement, int index,
+                                     const std::vector<Point>& faulty_cells,
+                                     const Rect& array) {
+  Matrix<std::uint8_t> grid(array.width, array.height, 0);
+  const PlacedModule& target = placement.module(index);
+  for (int i = 0; i < placement.module_count(); ++i) {
+    if (i == index) continue;
+    const PlacedModule& other = placement.module(i);
+    if (!target.time_overlaps(other)) continue;
+    Rect fp = other.footprint();
+    fp.x -= array.x;
+    fp.y -= array.y;
+    grid.fill_rect(fp, 1);
+  }
+  for (const Point& cell : faulty_cells) {
+    if (array.contains(cell)) {
+      grid.at(cell.x - array.x, cell.y - array.y) = 1;
+    }
+  }
+  return grid;
+}
+
+/// Anchor (region-relative) inside `mer` for a w-by-h footprint, as close
+/// to `preferred` as the rectangle allows.
+Point anchor_within(const Rect& mer, int w, int h, Point preferred) {
+  const int max_x = mer.x + mer.width - w;
+  const int max_y = mer.y + mer.height - h;
+  return Point{std::clamp(preferred.x, mer.x, max_x),
+               std::clamp(preferred.y, mer.y, max_y)};
+}
+
+}  // namespace
+
+std::optional<RelocationOutcome> Reconfigurator::relocate_module(
+    const Placement& placement, int module_index,
+    const std::vector<Point>& faulty_cells, const Rect& array) const {
+  const PlacedModule& m = placement.module(module_index);
+  const Matrix<std::uint8_t> grid =
+      relocation_grid(placement, module_index, faulty_cells, array);
+  const std::vector<Rect> mers = maximal_empty_rectangles(grid);
+
+  const int w = m.spec.footprint_width();
+  const int h = m.spec.footprint_height();
+  const Point old_anchor_rel{m.anchor.x - array.x, m.anchor.y - array.y};
+
+  struct Candidate {
+    Rect mer;
+    Point anchor;  // region-relative
+    bool rotated;
+  };
+  std::optional<Candidate> best;
+  auto consider = [&](const Rect& mer, bool rotated) {
+    const int cw = rotated ? h : w;
+    const int ch = rotated ? w : h;
+    if (mer.width < cw || mer.height < ch) return;
+    const Point anchor = anchor_within(mer, cw, ch, old_anchor_rel);
+    const Candidate candidate{mer, anchor, rotated};
+    if (!best) {
+      best = candidate;
+      return;
+    }
+    switch (policy_) {
+      case RelocationPolicy::kFirstFit:
+        break;  // keep the first found (MERs arrive in scan order)
+      case RelocationPolicy::kBestFit:
+        if (mer.area() < best->mer.area()) best = candidate;
+        break;
+      case RelocationPolicy::kNearest:
+        if (manhattan_distance(anchor, old_anchor_rel) <
+            manhattan_distance(best->anchor, old_anchor_rel)) {
+          best = candidate;
+        }
+        break;
+    }
+  };
+
+  for (const Rect& mer : mers) {
+    consider(mer, false);
+    if (options_.allow_rotation && w != h) consider(mer, true);
+  }
+  if (!best) return std::nullopt;
+
+  RelocationOutcome outcome;
+  outcome.module_index = module_index;
+  outcome.module_label = m.label;
+  outcome.old_anchor = m.anchor;
+  outcome.old_rotated = m.rotated;
+  outcome.new_anchor =
+      Point{best->anchor.x + array.x, best->anchor.y + array.y};
+  outcome.new_rotated = best->rotated;
+  outcome.target_mer =
+      Rect{best->mer.x + array.x, best->mer.y + array.y, best->mer.width,
+           best->mer.height};
+  outcome.move_distance = manhattan_distance(outcome.new_anchor, m.anchor);
+  return outcome;
+}
+
+std::optional<RelocationOutcome> Reconfigurator::relocate_module(
+    const Placement& placement, int module_index, Point faulty_cell,
+    const Rect& array) const {
+  return relocate_module(placement, module_index,
+                         std::vector<Point>{faulty_cell}, array);
+}
+
+RecoveryResult Reconfigurator::recover(
+    const Placement& placement, const std::vector<Point>& faulty_cells,
+    const Rect& array) const {
+  RecoveryResult result;
+  result.placement = placement;
+
+  auto touches_fault = [&](const Rect& footprint) {
+    for (const Point& cell : faulty_cells) {
+      if (footprint.contains(cell)) return true;
+    }
+    return false;
+  };
+
+  // Relocate until no module touches a fault. A relocation target never
+  // contains a fault (faults are marked occupied in the grid), so each
+  // module needs at most one move; the loop guards the invariant anyway.
+  for (int index = 0; index < placement.module_count(); ++index) {
+    if (!touches_fault(result.placement.module(index).footprint())) continue;
+    const auto outcome =
+        relocate_module(result.placement, index, faulty_cells, array);
+    if (!outcome) {
+      result.success = false;
+      result.placement = placement;  // roll back
+      result.relocations.clear();
+      result.failure_reason =
+          "no maximal empty rectangle accommodates module '" +
+          placement.module(index).label + "'";
+      return result;
+    }
+    result.placement.set_anchor(index, outcome->new_anchor);
+    result.placement.set_rotated(index, outcome->new_rotated);
+    result.relocations.push_back(*outcome);
+  }
+  result.success = true;
+  return result;
+}
+
+RecoveryResult Reconfigurator::recover(const Placement& placement,
+                                       Point faulty_cell,
+                                       const Rect& array) const {
+  return recover(placement, std::vector<Point>{faulty_cell}, array);
+}
+
+RecoveryResult Reconfigurator::recover(const Placement& placement,
+                                       Point faulty_cell) const {
+  return recover(placement, faulty_cell, placement.bounding_box());
+}
+
+}  // namespace dmfb

@@ -1,0 +1,96 @@
+// reconfig.h — partial reconfiguration (§5.1 of the paper).
+//
+// When on-line testing detects a faulty cell, the module containing it is
+// relocated to spare (unused) cells by reprogramming electrode voltages;
+// everything else stays put. The engine finds relocation targets among the
+// maximal empty rectangles of the current configuration (staircase
+// algorithm, mer.h) and picks one according to a policy.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fti.h"
+#include "core/placement.h"
+#include "util/geometry.h"
+
+namespace dmfb {
+
+/// How a relocation target is chosen among fitting maximal empty
+/// rectangles.
+enum class RelocationPolicy {
+  kFirstFit,  ///< first fitting MER in deterministic scan order
+  kBestFit,   ///< fitting MER of smallest area (preserves big spares)
+  kNearest,   ///< anchor nearest the failed module's old anchor (fastest
+              ///< droplet migration — the paper's "fast heuristic" goal)
+};
+
+/// One successful (or failed) relocation.
+struct RelocationOutcome {
+  int module_index = -1;
+  std::string module_label;
+  Point old_anchor{};
+  bool old_rotated = false;
+  Point new_anchor{};
+  bool new_rotated = false;
+  Rect target_mer{};   ///< the maximal empty rectangle the module moved into
+  int move_distance = 0;  ///< Manhattan distance between anchors
+};
+
+/// Result of recovering a placement from a single-cell fault.
+struct RecoveryResult {
+  bool success = false;
+  Placement placement;  ///< updated placement (valid iff success)
+  std::vector<RelocationOutcome> relocations;
+  std::string failure_reason;  ///< set when success is false
+};
+
+/// Partial-reconfiguration engine.
+class Reconfigurator {
+ public:
+  explicit Reconfigurator(FtiOptions options = {},
+                          RelocationPolicy policy = RelocationPolicy::kNearest)
+      : options_(options), policy_(policy) {}
+
+  RelocationPolicy policy() const { return policy_; }
+
+  /// Finds a new location for module `module_index` of `placement` assuming
+  /// `faulty_cell` has failed, searching within `array`. Returns nullopt
+  /// when no maximal empty rectangle accommodates the module.
+  std::optional<RelocationOutcome> relocate_module(const Placement& placement,
+                                                   int module_index,
+                                                   Point faulty_cell,
+                                                   const Rect& array) const;
+
+  /// Multi-fault variant: the relocation target must avoid every cell of
+  /// `faulty_cells` (the paper's single-fault model is the 1-element case;
+  /// §5.2 anticipates updating the failure model).
+  std::optional<RelocationOutcome> relocate_module(
+      const Placement& placement, int module_index,
+      const std::vector<Point>& faulty_cells, const Rect& array) const;
+
+  /// Relocates every module whose footprint contains `faulty_cell`
+  /// (sequentially; modules sharing a cell never overlap in time, so their
+  /// relocations are independent). On failure the original placement is
+  /// returned unchanged with success = false.
+  RecoveryResult recover(const Placement& placement, Point faulty_cell,
+                         const Rect& array) const;
+
+  /// Multi-fault recovery: every module touching any faulty cell is
+  /// relocated to a region avoiding all of them. Relocated modules are
+  /// re-checked (a relocation may not land on another fault), so the
+  /// resulting placement, when successful, touches no faulty cell.
+  RecoveryResult recover(const Placement& placement,
+                         const std::vector<Point>& faulty_cells,
+                         const Rect& array) const;
+
+  /// Convenience: recover within the placement's bounding box.
+  RecoveryResult recover(const Placement& placement, Point faulty_cell) const;
+
+ private:
+  FtiOptions options_;
+  RelocationPolicy policy_;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,47 @@
+#include "core/sa_placer.h"
+
+#include <chrono>
+
+#include "core/greedy_placer.h"
+
+namespace dmfb {
+
+PlacementOutcome place_simulated_annealing(const Schedule& schedule,
+                                           const SaPlacerOptions& options) {
+  const Placement initial =
+      place_greedy(schedule, options.canvas_width, options.canvas_height,
+                   options.defects);
+  return anneal_from(initial, options);
+}
+
+PlacementOutcome anneal_from(const Placement& initial,
+                             const SaPlacerOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
+
+  CostEvaluator evaluator(options.weights, options.fti_options);
+  evaluator.set_defects(options.defects);
+  Rng rng(options.seed);
+
+  AnnealingProblem<Placement> problem;
+  problem.cost = [&](const Placement& p) { return evaluator.cost(p); };
+  problem.neighbor = [&](const Placement& p, double fraction, Rng& move_rng) {
+    Placement next = p;
+    apply_random_move(next, fraction, options.moves, move_rng);
+    return next;
+  };
+  problem.recordable = [&](const Placement& p) {
+    return p.feasible() && evaluator.defect_usage(p) == 0;
+  };
+
+  PlacementOutcome outcome;
+  outcome.placement = anneal(initial, problem, options.schedule,
+                             initial.module_count(), rng, &outcome.stats);
+  outcome.cost = evaluator.evaluate(outcome.placement);
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return outcome;
+}
+
+}  // namespace dmfb

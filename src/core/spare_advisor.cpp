@@ -1,0 +1,44 @@
+#include "core/spare_advisor.h"
+
+#include <algorithm>
+
+#include "core/fti.h"
+
+namespace dmfb {
+
+SpareAdvice advise_spares(const Schedule& schedule,
+                          const SpareAdvisorOptions& options) {
+  SpareAdvice advice;
+
+  for (const double beta : options.betas) {
+    TwoStageOptions two_stage = options.two_stage;
+    two_stage.beta = beta;
+    // Vary the stage-2 seed with beta so points are independent samples.
+    two_stage.stage2_seed ^= static_cast<std::uint64_t>(beta * 1021.0);
+    const TwoStageOutcome outcome = place_two_stage(schedule, two_stage);
+
+    FrontierPoint point;
+    point.beta = beta;
+    point.area_cells = outcome.stage2.cost.area_cells;
+    point.fti = evaluate_fti(outcome.stage2.placement).fti();
+    point.placement = outcome.stage2.placement;
+    advice.frontier.push_back(std::move(point));
+  }
+
+  // Smallest area among points meeting the target; ties broken by FTI.
+  const FrontierPoint* best = nullptr;
+  for (const auto& point : advice.frontier) {
+    if (point.fti + 1e-12 < options.target_fti) continue;
+    if (!best || point.area_cells < best->area_cells ||
+        (point.area_cells == best->area_cells && point.fti > best->fti)) {
+      best = &point;
+    }
+  }
+  if (best) {
+    advice.target_met = true;
+    advice.chosen = *best;
+  }
+  return advice;
+}
+
+}  // namespace dmfb

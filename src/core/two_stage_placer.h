@@ -1,0 +1,40 @@
+// two_stage_placer.h — the paper's enhanced, fault-aware placement (§6.2).
+//
+// Stage 1: fault-oblivious simulated annealing minimizes array area.
+// Stage 2: low-temperature simulated annealing (LTSA) starting from the
+// stage-1 placement refines for the weighted objective
+// alpha*area - beta*FTI, using only single-module displacement moves so
+// the compact structure is perturbed gently.
+#pragma once
+
+#include "assay/schedule.h"
+#include "core/sa_placer.h"
+
+namespace dmfb {
+
+/// Configuration of the two-stage flow.
+struct TwoStageOptions {
+  /// Stage-1 (area-only) options; weights.beta is forced to 0.
+  SaPlacerOptions stage1;
+  /// Fault-tolerance weight beta for stage 2 (Table 2 sweeps 10..60).
+  double beta = 30.0;
+  /// LTSA temperature schedule; initial temperature is low by design.
+  AnnealingSchedule ltsa{/*initial_temperature=*/100.0,
+                         /*cooling_rate=*/0.9,
+                         /*iterations_per_module=*/400,
+                         /*min_temperature=*/0.05};
+  /// Seed for the stage-2 annealer (stage 1 uses stage1.seed).
+  std::uint64_t stage2_seed = 0x17A2B00CULL;
+};
+
+/// Results of both stages; `stage2.placement` is the final answer.
+struct TwoStageOutcome {
+  PlacementOutcome stage1;
+  PlacementOutcome stage2;
+};
+
+/// Runs the two-stage flow on a synthesized schedule.
+TwoStageOutcome place_two_stage(const Schedule& schedule,
+                                const TwoStageOptions& options = {});
+
+}  // namespace dmfb

@@ -1,0 +1,259 @@
+#include "io/assay_format.h"
+
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace dmfb {
+namespace {
+
+OperationType parse_operation_type(int line, const std::string& word) {
+  if (word == "dispense") return OperationType::kDispense;
+  if (word == "mix") return OperationType::kMix;
+  if (word == "dilute") return OperationType::kDilute;
+  if (word == "store") return OperationType::kStore;
+  if (word == "detect") return OperationType::kDetect;
+  if (word == "output") return OperationType::kOutput;
+  throw ParseError(line, "unknown operation type '" + word + "'");
+}
+
+/// Splits a line into whitespace-separated tokens, dropping #-comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token.front() == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+int parse_int(int line, const std::string& token, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw ParseError(line, std::string("bad ") + what + " '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void write_assay(std::ostream& os, const AssayCase& assay) {
+  os << "assay " << (assay.name.empty() ? assay.graph.name() : assay.name)
+     << '\n';
+  for (const auto& op : assay.graph.operations()) {
+    os << "op " << op.id << ' ' << to_string(op.type) << ' ' << op.label;
+    if (!op.reagent.empty()) os << ' ' << op.reagent;
+    os << '\n';
+  }
+  for (const auto& op : assay.graph.operations()) {
+    for (const OperationId succ : assay.graph.successors(op.id)) {
+      os << "dep " << op.id << ' ' << succ << '\n';
+    }
+  }
+  for (const auto& [id, spec] : assay.binding) {
+    os << "bind " << id << ' ' << spec.name << '\n';
+  }
+  const auto& constraints = assay.scheduler_options.constraints;
+  if (constraints.max_concurrent_modules !=
+      std::numeric_limits<int>::max()) {
+    os << "max_concurrent_modules " << constraints.max_concurrent_modules
+       << '\n';
+  }
+  os << "insert_storage "
+     << (assay.scheduler_options.insert_storage ? "on" : "off") << '\n';
+  os << "end\n";
+}
+
+std::string assay_to_string(const AssayCase& assay) {
+  std::ostringstream os;
+  write_assay(os, assay);
+  return os.str();
+}
+
+AssayCase read_assay(std::istream& is, const ModuleLibrary& library) {
+  AssayCase assay;
+  struct PendingOp {
+    int id;
+    OperationType type;
+    std::string label;
+    std::string reagent;
+  };
+  std::vector<PendingOp> ops;
+  std::vector<std::pair<int, int>> deps;
+  std::vector<std::pair<int, std::string>> binds;
+  bool saw_assay = false;
+  bool saw_end = false;
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens.front();
+    if (keyword == "assay") {
+      if (tokens.size() != 2) throw ParseError(line_number, "assay <name>");
+      assay.name = tokens[1];
+      saw_assay = true;
+    } else if (keyword == "op") {
+      if (tokens.size() < 4 || tokens.size() > 5) {
+        throw ParseError(line_number, "op <id> <type> <label> [reagent]");
+      }
+      PendingOp op;
+      op.id = parse_int(line_number, tokens[1], "operation id");
+      op.type = parse_operation_type(line_number, tokens[2]);
+      op.label = tokens[3];
+      if (tokens.size() == 5) op.reagent = tokens[4];
+      ops.push_back(std::move(op));
+    } else if (keyword == "dep") {
+      if (tokens.size() != 3) throw ParseError(line_number, "dep <from> <to>");
+      deps.emplace_back(parse_int(line_number, tokens[1], "edge source"),
+                        parse_int(line_number, tokens[2], "edge target"));
+    } else if (keyword == "bind") {
+      if (tokens.size() != 3) {
+        throw ParseError(line_number, "bind <op_id> <module>");
+      }
+      binds.emplace_back(parse_int(line_number, tokens[1], "operation id"),
+                         tokens[2]);
+    } else if (keyword == "max_concurrent_modules") {
+      if (tokens.size() != 2) {
+        throw ParseError(line_number, "max_concurrent_modules <n>");
+      }
+      assay.scheduler_options.constraints.max_concurrent_modules =
+          parse_int(line_number, tokens[1], "limit");
+    } else if (keyword == "insert_storage") {
+      if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+        throw ParseError(line_number, "insert_storage on|off");
+      }
+      assay.scheduler_options.insert_storage = tokens[1] == "on";
+    } else if (keyword == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw ParseError(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_assay) throw ParseError(line_number, "missing 'assay' header");
+  if (!saw_end) throw ParseError(line_number, "missing 'end'");
+
+  // Ids must be dense 0..n-1; build the graph in id order.
+  std::map<int, PendingOp> by_id;
+  for (auto& op : ops) {
+    if (!by_id.emplace(op.id, op).second) {
+      throw ParseError(0, "duplicate operation id " +
+                              std::to_string(op.id));
+    }
+  }
+  SequencingGraph graph(assay.name);
+  int expected = 0;
+  for (const auto& [id, op] : by_id) {
+    if (id != expected++) {
+      throw ParseError(0, "operation ids must be dense; missing id " +
+                              std::to_string(expected - 1));
+    }
+    graph.add_operation(op.type, op.label, op.reagent);
+  }
+  for (const auto& [from, to] : deps) {
+    if (from < 0 || from >= graph.operation_count() || to < 0 ||
+        to >= graph.operation_count()) {
+      throw ParseError(0, "dependency references unknown operation");
+    }
+    graph.add_dependency(from, to);
+  }
+  if (!graph.is_acyclic()) throw ParseError(0, "assay graph has a cycle");
+
+  for (const auto& [id, name] : binds) {
+    const auto spec = library.find(name);
+    if (!spec) {
+      throw ParseError(0, "module '" + name + "' not in the library");
+    }
+    assay.binding.emplace(id, *spec);
+  }
+  assay.graph = std::move(graph);
+  return assay;
+}
+
+AssayCase assay_from_string(const std::string& text,
+                            const ModuleLibrary& library) {
+  std::istringstream is(text);
+  return read_assay(is, library);
+}
+
+void write_placement(std::ostream& os, const Placement& placement) {
+  os << "placement " << placement.canvas_width() << ' '
+     << placement.canvas_height() << '\n';
+  for (int i = 0; i < placement.module_count(); ++i) {
+    const auto& m = placement.module(i);
+    os << "place " << i << ' ' << m.anchor.x << ' ' << m.anchor.y << ' '
+       << (m.rotated ? 1 : 0) << "  # " << m.label << '\n';
+  }
+  os << "end\n";
+}
+
+std::string placement_to_string(const Placement& placement) {
+  std::ostringstream os;
+  write_placement(os, placement);
+  return os.str();
+}
+
+void apply_placement(std::istream& is, Placement& placement) {
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.front() == "placement") {
+      if (tokens.size() != 3) {
+        throw ParseError(line_number, "placement <width> <height>");
+      }
+      const int w = parse_int(line_number, tokens[1], "canvas width");
+      const int h = parse_int(line_number, tokens[2], "canvas height");
+      if (w != placement.canvas_width() || h != placement.canvas_height()) {
+        throw ParseError(line_number, "canvas mismatch");
+      }
+      saw_header = true;
+    } else if (tokens.front() == "place") {
+      if (tokens.size() != 5) {
+        throw ParseError(line_number, "place <index> <x> <y> <rotated>");
+      }
+      const int index = parse_int(line_number, tokens[1], "module index");
+      if (index < 0 || index >= placement.module_count()) {
+        throw ParseError(line_number, "module index out of range");
+      }
+      placement.set_anchor(index,
+                           Point{parse_int(line_number, tokens[2], "x"),
+                                 parse_int(line_number, tokens[3], "y")});
+      const int rotated = parse_int(line_number, tokens[4], "rotated flag");
+      if (rotated != 0 && rotated != 1) {
+        throw ParseError(line_number, "rotated flag must be 0 or 1");
+      }
+      placement.set_rotated(index, rotated == 1);
+    } else if (tokens.front() == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw ParseError(line_number,
+                       "unknown keyword '" + tokens.front() + "'");
+    }
+  }
+  if (!saw_header) throw ParseError(line_number, "missing 'placement' header");
+  if (!saw_end) throw ParseError(line_number, "missing 'end'");
+}
+
+void apply_placement_from_string(const std::string& text,
+                                 Placement& placement) {
+  std::istringstream is(text);
+  apply_placement(is, placement);
+}
+
+}  // namespace dmfb

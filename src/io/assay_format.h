@@ -1,0 +1,64 @@
+// assay_format.h — a plain-text interchange format for assays, schedules
+// and placements, so the flow can be driven from files (see
+// examples/assay_compiler.cpp) and results archived.
+//
+// Assay format (#-comments and blank lines ignored):
+//
+//   assay pcr-mixing-stage
+//   op 0 dispense D1 Tris-HCl      # id type label [reagent]
+//   op 8 mix M1
+//   dep 0 8                        # edge: droplet of op 0 feeds op 8
+//   bind 8 mixer-2x2               # module type from the library
+//   max_concurrent_modules 2
+//   insert_storage on
+//   end
+//
+// Operation ids must be dense (0..n-1) but may appear in any order.
+// Placement format:
+//
+//   placement 24 24                # canvas width height
+//   place 0 3 5 0                  # module-index x y rotated(0/1)
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "assay/assay_library.h"
+#include "biochip/module_library.h"
+#include "core/placement.h"
+
+namespace dmfb {
+
+/// Thrown on malformed input, with a 1-based line number in what().
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Serializes an assay (graph + binding + scheduler options).
+void write_assay(std::ostream& os, const AssayCase& assay);
+std::string assay_to_string(const AssayCase& assay);
+
+/// Parses an assay; module names in `bind` lines are resolved against
+/// `library`. Throws ParseError on malformed input.
+AssayCase read_assay(std::istream& is, const ModuleLibrary& library);
+AssayCase assay_from_string(const std::string& text,
+                            const ModuleLibrary& library);
+
+/// Serializes / parses module locations for an existing placement. The
+/// parser applies locations onto `placement` (module count must match).
+void write_placement(std::ostream& os, const Placement& placement);
+std::string placement_to_string(const Placement& placement);
+void apply_placement(std::istream& is, Placement& placement);
+void apply_placement_from_string(const std::string& text,
+                                 Placement& placement);
+
+}  // namespace dmfb

@@ -1,0 +1,135 @@
+#include "sim/actuation.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "biochip/module_spec.h"
+
+namespace dmfb {
+
+long long ActuationProgram::total_actuations() const {
+  long long total = 0;
+  for (const auto& frame : frames) {
+    total += static_cast<long long>(frame.actuated.size());
+  }
+  return total;
+}
+
+int ActuationProgram::peak_simultaneous() const {
+  int peak = 0;
+  for (const auto& frame : frames) {
+    peak = std::max(peak, static_cast<int>(frame.actuated.size()));
+  }
+  return peak;
+}
+
+ActuationProgram compile_actuation(const Schedule& schedule,
+                                   const Placement& placement,
+                                   const RoutePlan& routes, int chip_width,
+                                   int chip_height,
+                                   const ActuationOptions& options) {
+  ActuationProgram program;
+  program.chip_width = chip_width;
+  program.chip_height = chip_height;
+  program.control_voltage = options.control_voltage;
+
+  // Transport frames: per changeover, one frame per step; each frame
+  // energizes the cell every moving droplet should occupy at that step.
+  for (const auto& changeover : routes.changeovers) {
+    for (int step = 0; step <= changeover.makespan_steps; ++step) {
+      ActuationFrame frame;
+      frame.time_s = changeover.time_s + step * options.seconds_per_step;
+      frame.note = "transport step " + std::to_string(step) + " @" +
+                   std::to_string(changeover.time_s) + "s";
+      std::set<std::pair<int, int>> cells;
+      for (const auto& route : changeover.routes) {
+        const int clamped = std::min(
+            step, static_cast<int>(route.positions.size()) - 1);
+        const Point p = route.positions[static_cast<std::size_t>(clamped)];
+        cells.emplace(p.x, p.y);
+      }
+      for (const auto& [x, y] : cells) frame.actuated.push_back(Point{x, y});
+      program.frames.push_back(std::move(frame));
+    }
+  }
+
+  // Hold frames: one per time slice, energizing every functional cell of
+  // the slice's modules (keeps droplets captive while operations run).
+  const auto& slices = placement.slice_members();
+  std::vector<std::pair<double, double>> slice_times;
+  {
+    std::set<double> boundaries;
+    for (const auto& m : schedule.modules()) {
+      boundaries.insert(m.start_s);
+      boundaries.insert(m.end_s);
+    }
+    std::vector<double> sorted(boundaries.begin(), boundaries.end());
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      slice_times.emplace_back(sorted[i], sorted[i + 1]);
+    }
+  }
+  std::size_t slice_index = 0;
+  for (const auto& [begin, end] : slice_times) {
+    // Find modules active in this interval directly from the placement.
+    ActuationFrame frame;
+    frame.time_s = begin;
+    std::ostringstream note;
+    note << "hold slice [" << begin << "s, " << end << "s)";
+    frame.note = note.str();
+    std::set<std::pair<int, int>> cells;
+    for (int i = 0; i < placement.module_count(); ++i) {
+      const auto& m = placement.module(i);
+      if (m.start_s <= begin && end <= m.end_s) {
+        const Rect functional =
+            m.footprint().inflated(-kSegregationRingCells);
+        for (int y = functional.y; y < functional.top(); ++y) {
+          for (int x = functional.x; x < functional.right(); ++x) {
+            cells.emplace(x, y);
+          }
+        }
+      }
+    }
+    if (!cells.empty()) {
+      for (const auto& [x, y] : cells) frame.actuated.push_back(Point{x, y});
+      program.frames.push_back(std::move(frame));
+    }
+    ++slice_index;
+  }
+  (void)slices;
+  (void)slice_index;
+
+  std::sort(program.frames.begin(), program.frames.end(),
+            [](const ActuationFrame& a, const ActuationFrame& b) {
+              return a.time_s < b.time_s;
+            });
+  return program;
+}
+
+std::vector<std::string> validate_program(const ActuationProgram& program) {
+  std::vector<std::string> violations;
+  double last_time = -1.0;
+  for (const auto& frame : program.frames) {
+    if (frame.time_s < last_time) {
+      violations.push_back("frame at " + std::to_string(frame.time_s) +
+                           "s out of order");
+    }
+    last_time = frame.time_s;
+    std::set<std::pair<int, int>> seen;
+    for (const Point& p : frame.actuated) {
+      if (p.x < 0 || p.x >= program.chip_width || p.y < 0 ||
+          p.y >= program.chip_height) {
+        violations.push_back("actuated cell out of bounds in frame '" +
+                             frame.note + "'");
+        break;
+      }
+      if (!seen.emplace(p.x, p.y).second) {
+        violations.push_back("duplicate cell in frame '" + frame.note + "'");
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,66 @@
+// actuation.h — compiling a placed, routed assay into the electrode
+// actuation program a DMFB microcontroller executes.
+//
+// §2 of the paper: "the configurations of the microfluidic array are
+// dynamically programmed into a microcontroller that controls the
+// voltages of electrodes in the array". This module produces that
+// program: a sequence of frames, each the set of electrodes held at the
+// actuation voltage — module hold patterns while operations run, and
+// per-step droplet-transport patterns at changeovers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/schedule.h"
+#include "core/placement.h"
+#include "sim/route_planner.h"
+
+namespace dmfb {
+
+/// One control frame: every listed cell is driven at the actuation
+/// voltage from `time_s` until the next frame.
+struct ActuationFrame {
+  double time_s = 0.0;
+  std::vector<Point> actuated;
+  std::string note;  ///< e.g. "hold slice [0,6)" or "transport step 3"
+};
+
+/// A compiled control program.
+struct ActuationProgram {
+  int chip_width = 0;
+  int chip_height = 0;
+  double control_voltage = 80.0;
+  std::vector<ActuationFrame> frames;
+
+  long long total_actuations() const;
+  int peak_simultaneous() const;
+  double duration_s() const {
+    return frames.empty() ? 0.0 : frames.back().time_s;
+  }
+};
+
+/// Compiler options.
+struct ActuationOptions {
+  double control_voltage = 80.0;
+  /// Transport step duration (seconds per droplet move); 20 cm/s at the
+  /// paper's 1.5 mm pitch is ~13 steps/s.
+  double seconds_per_step = 1.0 / 13.0;
+};
+
+/// Compiles placement + schedule + routes into a frame program. Hold
+/// frames actuate every functional-region cell of the modules active in
+/// each slice; transport frames actuate the destination electrode of each
+/// moving droplet (electrowetting pulls the droplet onto the energized
+/// neighbour).
+ActuationProgram compile_actuation(const Schedule& schedule,
+                                   const Placement& placement,
+                                   const RoutePlan& routes, int chip_width,
+                                   int chip_height,
+                                   const ActuationOptions& options = {});
+
+/// Sanity checks: frames in chronological order, all cells in bounds,
+/// no duplicate cell within one frame. Returns violations (empty = OK).
+std::vector<std::string> validate_program(const ActuationProgram& program);
+
+}  // namespace dmfb

@@ -1,0 +1,40 @@
+#include "sim/fault.h"
+
+#include <stdexcept>
+
+namespace dmfb {
+
+Point sample_uniform_fault(const Rect& array, Rng& rng) {
+  if (array.empty()) {
+    throw std::invalid_argument("sample_uniform_fault: empty array");
+  }
+  const long long index = static_cast<long long>(
+      rng.next_below(static_cast<std::uint64_t>(array.area())));
+  const int dx = static_cast<int>(index % array.width);
+  const int dy = static_cast<int>(index / array.width);
+  return Point{array.x + dx, array.y + dy};
+}
+
+std::vector<Point> enumerate_cells(const Rect& array) {
+  std::vector<Point> cells;
+  cells.reserve(static_cast<std::size_t>(array.area()));
+  for (int y = array.y; y < array.top(); ++y) {
+    for (int x = array.x; x < array.right(); ++x) {
+      cells.push_back(Point{x, y});
+    }
+  }
+  return cells;
+}
+
+void inject_fault(Chip& chip, Point cell) {
+  if (!chip.in_bounds(cell)) {
+    throw std::out_of_range("inject_fault: cell outside the chip");
+  }
+  chip.set_faulty(cell, true);
+}
+
+void clear_faults(Chip& chip) {
+  for (const Point& cell : chip.faulty_cells()) chip.set_faulty(cell, false);
+}
+
+}  // namespace dmfb

@@ -1,0 +1,31 @@
+// fault.h — single-cell fault injection (§5.2 fault model).
+//
+// Every cell fails with uniform probability; testing and reconfiguration
+// run frequently enough that at most one fault is outstanding. Statistical
+// failure data for DMFBs did not exist when the paper was written, so the
+// uniform model is the one the paper defines — the sampler below makes it
+// executable.
+#pragma once
+
+#include <vector>
+
+#include "biochip/chip.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace dmfb {
+
+/// Uniform single-cell fault sampler over an array region.
+Point sample_uniform_fault(const Rect& array, Rng& rng);
+
+/// All cells of a region in deterministic (row-major, bottom-up) order —
+/// the enumeration used by exhaustive fault campaigns.
+std::vector<Point> enumerate_cells(const Rect& array);
+
+/// Injects a fault into `chip` at `cell` (throws when out of bounds).
+void inject_fault(Chip& chip, Point cell);
+
+/// Clears every fault on the chip.
+void clear_faults(Chip& chip);
+
+}  // namespace dmfb

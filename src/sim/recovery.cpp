@@ -1,0 +1,76 @@
+#include "sim/recovery.h"
+
+#include "sim/fault.h"
+
+namespace dmfb {
+
+OnlineRecoveryResult simulate_online_recovery(
+    const SequencingGraph& graph, const Schedule& schedule,
+    const Placement& placement, Point faulty_cell, const Rect& array,
+    const Reconfigurator& reconfigurator, const SimOptions& sim_options) {
+  OnlineRecoveryResult result;
+
+  Chip chip(array.right(), array.top());
+  inject_fault(chip, faulty_cell);
+
+  const Simulator simulator(sim_options);
+  result.first_run = simulator.run(graph, schedule, placement, chip);
+
+  if (result.first_run.success) {
+    // The fault never disturbed the assay (unused cell, or only routed
+    // around); nothing to recover.
+    result.fault_hit = false;
+    result.completed = true;
+    result.detail = "fault did not affect the assay";
+    return result;
+  }
+
+  result.fault_hit = true;
+  result.reconfiguration =
+      reconfigurator.recover(placement, faulty_cell, array);
+  if (!result.reconfiguration.success) {
+    result.recovered = false;
+    result.detail = "partial reconfiguration failed: " +
+                    result.reconfiguration.failure_reason;
+    return result;
+  }
+  result.recovered = true;
+
+  result.second_run =
+      simulator.run(graph, schedule, result.reconfiguration.placement, chip);
+  result.completed = result.second_run.success;
+  result.detail = result.completed
+                      ? "assay completed after partial reconfiguration"
+                      : "assay still failing after reconfiguration: " +
+                            result.second_run.failure_reason;
+  return result;
+}
+
+FaultCampaignResult exhaustive_fault_campaign(
+    const Placement& placement, const Rect& array,
+    const Reconfigurator& reconfigurator) {
+  FaultCampaignResult result;
+  result.total_cells = array.area();
+
+  for (const Point& cell : enumerate_cells(array)) {
+    // A cell unused by every module is harmless by definition (§5.2).
+    bool used = false;
+    for (int i = 0; i < placement.module_count() && !used; ++i) {
+      used = placement.module(i).footprint().contains(cell);
+    }
+    if (!used) {
+      ++result.survivable_cells;
+      continue;
+    }
+    const RecoveryResult recovery =
+        reconfigurator.recover(placement, cell, array);
+    if (recovery.success) {
+      ++result.survivable_cells;
+    } else {
+      result.unsurvivable.push_back(cell);
+    }
+  }
+  return result;
+}
+
+}  // namespace dmfb

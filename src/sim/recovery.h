@@ -1,0 +1,59 @@
+// recovery.h — the closed loop the paper's fault-tolerance story implies:
+// detect (tester) -> relocate (reconfigurator) -> resume (simulator).
+//
+// Also provides the exhaustive fault campaign used to cross-validate the
+// Fault Tolerance Index: injecting a fault into every cell one at a time
+// and attempting recovery must succeed for exactly the C-covered cells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assay/schedule.h"
+#include "assay/sequencing_graph.h"
+#include "core/fti.h"
+#include "core/placement.h"
+#include "core/reconfig.h"
+#include "sim/simulator.h"
+
+namespace dmfb {
+
+/// Outcome of one detect-reconfigure-resume scenario.
+struct OnlineRecoveryResult {
+  bool fault_hit = false;      ///< the fault actually disturbed the assay
+  bool recovered = false;      ///< reconfiguration succeeded
+  bool completed = false;      ///< the (re-run) assay completed
+  std::string detail;
+  RecoveryResult reconfiguration;
+  SimulationResult first_run;   ///< run that hit (or missed) the fault
+  SimulationResult second_run;  ///< run after reconfiguration (if any)
+};
+
+/// Simulates the assay on a chip with a fault at `faulty_cell`. If the
+/// fault stalls a module, applies partial reconfiguration within `array`
+/// and re-runs. A fault on an unused cell simply completes the first run.
+OnlineRecoveryResult simulate_online_recovery(
+    const SequencingGraph& graph, const Schedule& schedule,
+    const Placement& placement, Point faulty_cell, const Rect& array,
+    const Reconfigurator& reconfigurator, const SimOptions& sim_options = {});
+
+/// Exhaustive single-fault campaign over every cell of `array`.
+struct FaultCampaignResult {
+  long long total_cells = 0;
+  long long survivable_cells = 0;  ///< recovery succeeded (or fault harmless)
+  std::vector<Point> unsurvivable;
+  double survivable_fraction() const {
+    return total_cells == 0
+               ? 0.0
+               : static_cast<double>(survivable_cells) / total_cells;
+  }
+};
+
+/// For every cell: can the placement survive that cell failing, using
+/// partial reconfiguration only? This is the *empirical* FTI; it must
+/// equal evaluate_fti()'s prediction (tests assert this).
+FaultCampaignResult exhaustive_fault_campaign(
+    const Placement& placement, const Rect& array,
+    const Reconfigurator& reconfigurator);
+
+}  // namespace dmfb

@@ -1,0 +1,62 @@
+#include "sim/reliability.h"
+
+#include <cmath>
+
+#include "sim/fault.h"
+
+namespace dmfb {
+
+SingleFaultReliability single_fault_reliability(const Placement& placement,
+                                                const Rect& array,
+                                                double cell_failure_prob,
+                                                const FtiOptions& options) {
+  SingleFaultReliability result;
+  const long long n = array.area();
+  if (n <= 0) return result;
+  const double p = cell_failure_prob;
+  result.p_no_fault = std::pow(1.0 - p, static_cast<double>(n));
+
+  const FtiResult fti = evaluate_fti(placement, options, array);
+  // Each covered cell contributes the probability that it alone fails.
+  result.p_one_fault_survived =
+      static_cast<double>(fti.covered_cells) * p *
+      std::pow(1.0 - p, static_cast<double>(n - 1));
+  return result;
+}
+
+MonteCarloReliability monte_carlo_reliability(
+    const Placement& placement, const Rect& array, double cell_failure_prob,
+    int trials, Rng& rng, const Reconfigurator& reconfigurator) {
+  MonteCarloReliability result;
+  result.trials = trials;
+  long long total_faults = 0;
+
+  const std::vector<Point> cells = enumerate_cells(array);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<Point> faults;
+    for (const Point& cell : cells) {
+      if (rng.next_bool(cell_failure_prob)) faults.push_back(cell);
+    }
+    total_faults += static_cast<long long>(faults.size());
+
+    if (faults.empty()) {
+      ++result.survived;
+      continue;
+    }
+    const RecoveryResult recovery =
+        recover_from_defect_map(placement, faults, array, reconfigurator);
+    if (recovery.success) ++result.survived;
+  }
+  result.mean_faults_per_trial =
+      trials == 0 ? 0.0 : static_cast<double>(total_faults) / trials;
+  return result;
+}
+
+RecoveryResult recover_from_defect_map(const Placement& placement,
+                                       const std::vector<Point>& faults,
+                                       const Rect& array,
+                                       const Reconfigurator& reconfigurator) {
+  return reconfigurator.recover(placement, faults, array);
+}
+
+}  // namespace dmfb

@@ -1,0 +1,66 @@
+// reliability.h — from fault-tolerance index to reliability numbers.
+//
+// The paper's FTI assumes exactly one faulty cell with uniform location
+// probability (§5.2) and notes "the failure model can be easily updated
+// when statistical failure data becomes available". This module does that
+// update: given a per-cell failure probability, it computes the
+// probability the assay survives — analytically for the at-most-one-fault
+// regime, and by Monte Carlo over multi-fault defect maps with the real
+// reconfiguration engine in the loop.
+#pragma once
+
+#include <vector>
+
+#include "core/fti.h"
+#include "core/placement.h"
+#include "core/reconfig.h"
+#include "util/rng.h"
+
+namespace dmfb {
+
+/// Analytic single-fault survival: conditioned on exactly one fault,
+/// uniformly located, the survival probability IS the FTI. Unconditioned,
+/// with independent per-cell failure probability p (small), the first-order
+/// survival probability is
+///   P(0 faults) + sum over covered cells of p * (1-p)^(n-1).
+struct SingleFaultReliability {
+  double p_no_fault = 0.0;
+  double p_one_fault_survived = 0.0;
+  double survival_probability() const {
+    return p_no_fault + p_one_fault_survived;
+  }
+};
+
+SingleFaultReliability single_fault_reliability(const Placement& placement,
+                                                const Rect& array,
+                                                double cell_failure_prob,
+                                                const FtiOptions& options = {});
+
+/// Monte Carlo estimate of survival under independent per-cell failures
+/// with no fault-count cap. A defect map survives when sequentially
+/// recovering from every faulty cell (in detection order: row-major)
+/// succeeds — each recovery must avoid *all* faulty cells.
+struct MonteCarloReliability {
+  int trials = 0;
+  int survived = 0;
+  double mean_faults_per_trial = 0.0;
+  double survival_probability() const {
+    return trials == 0 ? 0.0 : static_cast<double>(survived) / trials;
+  }
+};
+
+MonteCarloReliability monte_carlo_reliability(
+    const Placement& placement, const Rect& array, double cell_failure_prob,
+    int trials, Rng& rng,
+    const Reconfigurator& reconfigurator = Reconfigurator{});
+
+/// Attempts to recover `placement` from a specific defect map (several
+/// faulty cells at once). Relocations are applied fault by fault; every
+/// relocation grid marks all faults occupied. Returns success and the
+/// final placement.
+RecoveryResult recover_from_defect_map(const Placement& placement,
+                                       const std::vector<Point>& faults,
+                                       const Rect& array,
+                                       const Reconfigurator& reconfigurator);
+
+}  // namespace dmfb

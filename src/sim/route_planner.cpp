@@ -1,0 +1,378 @@
+#include "sim/route_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "biochip/module_spec.h"
+
+namespace dmfb {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+Point footprint_center(const Rect& fp) {
+  return Point{fp.x + fp.width / 2, fp.y + fp.height / 2};
+}
+
+/// Functional regions of modules strictly spanning time t (the changeover
+/// rule shared with the simulator: modules starting or ending exactly at t
+/// do not block).
+Matrix<std::uint8_t> blocked_at(const Placement& placement, double t,
+                                int width, int height) {
+  Matrix<std::uint8_t> blocked(width, height, 0);
+  for (int i = 0; i < placement.module_count(); ++i) {
+    const auto& m = placement.module(i);
+    if (m.start_s + kEps < t && t + kEps < m.end_s) {
+      blocked.fill_rect(m.footprint().inflated(-kSegregationRingCells), 1);
+    }
+  }
+  return blocked;
+}
+
+/// Position of route `r` at `step` (parked at the target after arrival).
+Point route_position(const TimedRoute& r, int step) {
+  if (r.positions.empty()) return r.request.to;
+  const int clamped = std::clamp(
+      step, 0, static_cast<int>(r.positions.size()) - 1);
+  return r.positions[static_cast<std::size_t>(clamped)];
+}
+
+/// Space-time A* for one transfer against earlier routes' reservations.
+std::optional<std::vector<Point>> route_one(
+    const TransferRequest& request, const Matrix<std::uint8_t>& blocked,
+    const std::vector<TimedRoute>& earlier, int horizon, int separation) {
+  const int width = blocked.width();
+  const int height = blocked.height();
+  if (!blocked.in_bounds(request.from) || !blocked.in_bounds(request.to)) {
+    return std::nullopt;
+  }
+  if (blocked.at(request.from) != 0 || blocked.at(request.to) != 0) {
+    return std::nullopt;
+  }
+
+  auto conflicts = [&](Point p, int step) {
+    for (const TimedRoute& other : earlier) {
+      if (other.request.to == request.to) continue;  // merging pair
+      if (chebyshev_distance(p, route_position(other, step)) < separation) {
+        return true;
+      }
+      // Dynamic constraint, both directions: distance to the other
+      // droplet's previous position (no head-on swaps) and to its next
+      // position (the other must not be steered into my neighbourhood).
+      if (step > 0 && chebyshev_distance(
+                          p, route_position(other, step - 1)) < separation) {
+        return true;
+      }
+      if (chebyshev_distance(p, route_position(other, step + 1)) <
+          separation) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  struct Node {
+    int f;
+    int step;
+    Point p;
+    bool operator>(const Node& o) const {
+      if (f != o.f) return f > o.f;
+      if (step != o.step) return step > o.step;
+      return std::pair(p.x, p.y) > std::pair(o.p.x, o.p.y);
+    }
+  };
+
+  // visited[(x, y, step)] — steps bounded by horizon.
+  const auto key = [&](Point p, int step) {
+    return (static_cast<std::size_t>(step) * height + p.y) * width + p.x;
+  };
+  std::vector<bool> visited(
+      static_cast<std::size_t>(horizon + 1) * width * height, false);
+  std::vector<int> parent(
+      static_cast<std::size_t>(horizon + 1) * width * height, -1);
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> open;
+  if (conflicts(request.from, 0)) return std::nullopt;
+  open.push(Node{manhattan_distance(request.from, request.to), 0,
+                 request.from});
+  visited[key(request.from, 0)] = true;
+
+  const Point steps[5] = {{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  while (!open.empty()) {
+    const Node node = open.top();
+    open.pop();
+    if (node.p == request.to) {
+      // Reconstruct by walking parents backwards.
+      std::vector<Point> positions(static_cast<std::size_t>(node.step) + 1);
+      Point p = node.p;
+      for (int s = node.step; s >= 0; --s) {
+        positions[static_cast<std::size_t>(s)] = p;
+        const int parent_index = parent[key(p, s)];
+        if (s > 0) {
+          p = Point{parent_index % width,
+                    (parent_index / width) % height};
+        }
+      }
+      return positions;
+    }
+    if (node.step >= horizon) continue;
+    for (const Point& delta : steps) {
+      const Point next{node.p.x + delta.x, node.p.y + delta.y};
+      const int next_step = node.step + 1;
+      if (!blocked.in_bounds(next) || blocked.at(next) != 0) continue;
+      if (visited[key(next, next_step)]) continue;
+      if (conflicts(next, next_step)) continue;
+      visited[key(next, next_step)] = true;
+      parent[key(next, next_step)] =
+          static_cast<int>(key(node.p, 0) % (static_cast<std::size_t>(width) * height));
+      open.push(Node{next_step + manhattan_distance(next, request.to),
+                     next_step, next});
+    }
+  }
+  return std::nullopt;
+}
+
+/// All free perimeter cells, nearest to `target` first (dispense entry
+/// candidates — the reservoir sits off-chip next to the chosen cell).
+std::vector<Point> perimeter_entries(const Matrix<std::uint8_t>& blocked,
+                                     Point target) {
+  std::vector<Point> entries;
+  auto consider = [&](Point p) {
+    if (blocked.at(p) == 0) entries.push_back(p);
+  };
+  for (int x = 0; x < blocked.width(); ++x) {
+    consider(Point{x, 0});
+    consider(Point{x, blocked.height() - 1});
+  }
+  for (int y = 1; y + 1 < blocked.height(); ++y) {
+    consider(Point{0, y});
+    consider(Point{blocked.width() - 1, y});
+  }
+  std::sort(entries.begin(), entries.end(), [&](Point a, Point b) {
+    const int da = manhattan_distance(a, target);
+    const int db = manhattan_distance(b, target);
+    if (da != db) return da < db;
+    return std::pair(a.x, a.y) < std::pair(b.x, b.y);
+  });
+  return entries;
+}
+
+}  // namespace
+
+double RoutePlan::total_transport_seconds(double cells_per_second) const {
+  if (cells_per_second <= 0.0) return 0.0;
+  double seconds = 0.0;
+  for (const auto& changeover : changeovers) {
+    seconds += changeover.makespan_steps / cells_per_second;
+  }
+  return seconds;
+}
+
+RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
+                      const Placement& placement, int chip_width,
+                      int chip_height, const RoutePlannerOptions& options) {
+  if (schedule.module_count() != placement.module_count()) {
+    throw std::invalid_argument(
+        "plan_routes: schedule and placement disagree on module count");
+  }
+  const Rect chip{0, 0, chip_width, chip_height};
+  if (!chip.contains(placement.bounding_box())) {
+    throw std::invalid_argument(
+        "plan_routes: chip smaller than the placement bounding box");
+  }
+
+  RoutePlan plan;
+  const int horizon = options.step_horizon > 0
+                          ? options.step_horizon
+                          : 4 * (chip_width + chip_height);
+
+  // Group schedule entries by start time.
+  std::map<double, std::vector<int>> groups;
+  for (int i = 0; i < schedule.module_count(); ++i) {
+    groups[schedule.module(i).start_s].push_back(i);
+  }
+
+  std::map<OperationId, Point> droplet_at;
+  for (const auto& [time, members] : groups) {
+    const Matrix<std::uint8_t> blocked =
+        blocked_at(placement, time, chip_width, chip_height);
+
+    // Gather transfer requests for this changeover.
+    std::vector<TransferRequest> requests;
+    std::vector<OperationId> arrivals;  // op whose droplet lands per request
+    for (const int index : members) {
+      const ScheduledModule& sm = schedule.module(index);
+      const Point site = footprint_center(placement.module(index).footprint());
+      if (sm.op_id < 0) {
+        if (sm.producer_op < 0) continue;
+        const auto it = droplet_at.find(sm.producer_op);
+        const Point from = it != droplet_at.end() ? it->second : site;
+        if (!(from == site)) {
+          requests.push_back(
+              TransferRequest{"S:" + sm.label, from, site, index});
+          arrivals.push_back(sm.producer_op);
+        } else {
+          droplet_at[sm.producer_op] = site;
+        }
+        continue;
+      }
+      for (const OperationId pred : graph.predecessors(sm.op_id)) {
+        // Dispense droplets have no on-chip position yet; a sentinel makes
+        // the routing loop pick a conflict-free perimeter entry.
+        Point from{-1, -1};
+        const auto it = droplet_at.find(pred);
+        if (it != droplet_at.end()) from = it->second;
+        if (from == site) {
+          droplet_at[sm.op_id] = site;
+          continue;
+        }
+        requests.push_back(TransferRequest{graph.operation(pred).label, from,
+                                           site, index});
+        arrivals.push_back(sm.op_id < 0 ? pred : sm.op_id);
+      }
+    }
+
+    if (requests.empty()) {
+      // Still update landing positions for zero-distance handoffs above.
+      continue;
+    }
+
+    // On-chip transfers first (their start cells are fixed), longest
+    // first; dispenses last so their entry choice can dodge everything.
+    const Point sentinel{-1, -1};
+    std::vector<std::size_t> order(requests.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const bool dispense_a = requests[a].from == sentinel;
+      const bool dispense_b = requests[b].from == sentinel;
+      if (dispense_a != dispense_b) return !dispense_a;
+      const int da = manhattan_distance(requests[a].from, requests[a].to);
+      const int db = manhattan_distance(requests[b].from, requests[b].to);
+      if (da != db) return da > db;
+      return a < b;
+    });
+
+    ChangeoverPlan changeover;
+    changeover.time_s = time;
+    for (const std::size_t r : order) {
+      TransferRequest request = requests[r];
+      std::optional<std::vector<Point>> positions;
+      if (request.from == sentinel) {
+        // Try perimeter entries nearest the target until one routes.
+        for (const Point& entry : perimeter_entries(blocked, request.to)) {
+          request.from = entry;
+          positions = route_one(request, blocked, changeover.routes,
+                                horizon, options.separation_cells);
+          if (positions) break;
+        }
+      } else {
+        positions = route_one(request, blocked, changeover.routes, horizon,
+                              options.separation_cells);
+      }
+      if (!positions) {
+        std::ostringstream os;
+        os << "droplet '" << requests[r].label << "' cannot be routed to ("
+           << requests[r].to.x << "," << requests[r].to.y << ") at t="
+           << time;
+        plan.success = false;
+        plan.failure_reason = os.str();
+        return plan;
+      }
+      TimedRoute route;
+      route.request = request;
+      route.positions = *positions;
+      changeover.makespan_steps =
+          std::max(changeover.makespan_steps, route.arrival_step());
+      plan.total_steps += route.arrival_step();
+      changeover.routes.push_back(std::move(route));
+    }
+
+    // Record where droplets ended up.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      droplet_at[arrivals[i]] = requests[i].to;
+      // A consumed droplet's position becomes the consumer's output site;
+      // storage transfers keep the producer op as the key.
+    }
+    plan.changeovers.push_back(std::move(changeover));
+  }
+
+  plan.success = true;
+  return plan;
+}
+
+std::vector<std::string> validate_changeover(
+    const ChangeoverPlan& plan, const Matrix<std::uint8_t>& blocked,
+    const RoutePlannerOptions& options) {
+  std::vector<std::string> violations;
+  auto complain = [&](const std::string& what) { violations.push_back(what); };
+
+  for (const TimedRoute& route : plan.routes) {
+    if (route.positions.empty()) {
+      complain("route '" + route.request.label + "' is empty");
+      continue;
+    }
+    if (!(route.positions.front() == route.request.from)) {
+      complain("route '" + route.request.label + "' does not start at from");
+    }
+    if (!(route.positions.back() == route.request.to)) {
+      complain("route '" + route.request.label + "' does not end at to");
+    }
+    for (std::size_t s = 0; s < route.positions.size(); ++s) {
+      const Point p = route.positions[s];
+      if (!blocked.in_bounds(p)) {
+        complain("route '" + route.request.label + "' leaves the chip");
+        break;
+      }
+      if (blocked.at(p) != 0) {
+        complain("route '" + route.request.label +
+                 "' crosses a functional region");
+        break;
+      }
+      if (s > 0) {
+        const int d = manhattan_distance(route.positions[s - 1], p);
+        if (d > 1) {
+          complain("route '" + route.request.label + "' teleports");
+          break;
+        }
+      }
+    }
+  }
+
+  const int horizon = plan.makespan_steps;
+  for (std::size_t i = 0; i < plan.routes.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.routes.size(); ++j) {
+      const TimedRoute& a = plan.routes[i];
+      const TimedRoute& b = plan.routes[j];
+      if (a.request.to == b.request.to) continue;  // merging pair
+      for (int step = 0; step <= horizon; ++step) {
+        const Point pa = route_position(a, step);
+        const Point pb = route_position(b, step);
+        if (chebyshev_distance(pa, pb) < options.separation_cells) {
+          std::ostringstream os;
+          os << "droplets '" << a.request.label << "' and '"
+             << b.request.label << "' too close at step " << step;
+          complain(os.str());
+          break;
+        }
+        if (step > 0 &&
+            (chebyshev_distance(pa, route_position(b, step - 1)) <
+                 options.separation_cells ||
+             chebyshev_distance(pb, route_position(a, step - 1)) <
+                 options.separation_cells)) {
+          std::ostringstream os;
+          os << "droplets '" << a.request.label << "' and '"
+             << b.request.label << "' violate the dynamic constraint at step "
+             << step;
+          complain(os.str());
+          break;
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace dmfb

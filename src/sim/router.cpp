@@ -1,0 +1,79 @@
+#include "sim/router.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dmfb {
+namespace {
+
+struct Node {
+  int f;  // g + heuristic
+  int g;
+  Point p;
+
+  bool operator>(const Node& other) const {
+    if (f != other.f) return f > other.f;
+    if (g != other.g) return g > other.g;
+    return std::pair(p.x, p.y) > std::pair(other.p.x, other.p.y);
+  }
+};
+
+}  // namespace
+
+std::optional<DropletPath> find_path(const Matrix<std::uint8_t>& blocked,
+                                     Point from, Point to) {
+  if (!blocked.in_bounds(from) || !blocked.in_bounds(to)) return std::nullopt;
+  if (blocked.at(from) != 0 || blocked.at(to) != 0) return std::nullopt;
+  if (from == to) return DropletPath{from};
+
+  const int width = blocked.width();
+  const int height = blocked.height();
+  Matrix<int> best_g(width, height, -1);
+  Matrix<Point> parent(width, height, Point{-1, -1});
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> open;
+  open.push(Node{manhattan_distance(from, to), 0, from});
+  best_g.at(from) = 0;
+
+  const Point steps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  while (!open.empty()) {
+    const Node node = open.top();
+    open.pop();
+    if (node.g > best_g.at(node.p)) continue;  // stale entry
+    if (node.p == to) break;
+    for (const Point& step : steps) {
+      const Point next{node.p.x + step.x, node.p.y + step.y};
+      if (!blocked.in_bounds(next) || blocked.at(next) != 0) continue;
+      const int g = node.g + 1;
+      if (best_g.at(next) == -1 || g < best_g.at(next)) {
+        best_g.at(next) = g;
+        parent.at(next) = node.p;
+        open.push(Node{g + manhattan_distance(next, to), g, next});
+      }
+    }
+  }
+
+  if (best_g.at(to) == -1) return std::nullopt;
+  DropletPath path;
+  for (Point p = to; !(p == from); p = parent.at(p)) path.push_back(p);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double path_duration_s(const DropletPath& path, double cells_per_second) {
+  if (path.size() <= 1 || cells_per_second <= 0.0) return 0.0;
+  return static_cast<double>(path.size() - 1) / cells_per_second;
+}
+
+bool is_valid_path(const Matrix<std::uint8_t>& blocked,
+                   const DropletPath& path) {
+  if (path.empty()) return false;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!blocked.in_bounds(path[i]) || blocked.at(path[i]) != 0) return false;
+    if (i > 0 && manhattan_distance(path[i - 1], path[i]) != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,35 @@
+// router.h — droplet transport on the array.
+//
+// Droplets move one cell per actuation step in the four cardinal
+// directions, steered by sequentially energizing adjacent electrodes.
+// The router plans shortest collision-free paths with A* (Manhattan
+// heuristic, which is exact for 4-connected grids without obstacles).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/matrix.h"
+
+namespace dmfb {
+
+/// A droplet path, as the sequence of cells visited (including endpoints).
+using DropletPath = std::vector<Point>;
+
+/// Plans a shortest 4-connected path from `from` to `to` avoiding cells
+/// where `blocked` is nonzero. Endpoints must be in bounds and unblocked.
+/// Returns nullopt when no path exists.
+std::optional<DropletPath> find_path(const Matrix<std::uint8_t>& blocked,
+                                     Point from, Point to);
+
+/// Seconds the path takes at the given transport speed (cells per second).
+double path_duration_s(const DropletPath& path, double cells_per_second);
+
+/// Validates a path: consecutive cells 4-adjacent, all unblocked and in
+/// bounds. Used by tests and the simulator's internal assertions.
+bool is_valid_path(const Matrix<std::uint8_t>& blocked,
+                   const DropletPath& path);
+
+}  // namespace dmfb

@@ -1,0 +1,82 @@
+// simulator.h — droplet-level execution of a synthesized, placed assay.
+//
+// This substrate substitutes for the fabricated chips the paper's group
+// used: it executes the schedule on the placement, dispensing droplets at
+// boundary ports, routing them to module sites with the A* router, merging
+// and splitting their contents, and stalling whenever a module footprint
+// or a route touches a faulty electrode. The behaviour the CAD results
+// depend on — "a fault inside a module makes the assay fail until the
+// module is relocated" — is preserved exactly.
+//
+// Routing model: only the functional regions of active modules block a
+// droplet; segregation rings are passable, since per §6 of the paper the
+// ring "provides a communication path for droplet movement".
+//
+// Simplifications (documented in DESIGN.md): transport happens at slice
+// boundaries and is not added to the schedule's makespan (the paper's
+// schedule also excludes routing time); droplet-droplet collision is
+// avoided structurally by routing one droplet at a time against the
+// module occupancy.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assay/schedule.h"
+#include "assay/sequencing_graph.h"
+#include "biochip/chip.h"
+#include "biochip/droplet.h"
+#include "core/placement.h"
+#include "sim/router.h"
+
+namespace dmfb {
+
+/// Simulator tuning.
+struct SimOptions {
+  /// Droplet transport speed. 20 cm/s at a 1.5 mm pitch is ~13 cells/s.
+  double droplet_speed_cells_per_s = 13.0;
+  /// Plan real droplet routes (and fail when none exists). When false,
+  /// droplets teleport; useful for placement-only experiments.
+  bool verify_routing = true;
+};
+
+/// One timestamped thing that happened during simulation.
+struct SimEvent {
+  double time_s = 0.0;
+  std::string what;
+};
+
+/// Result of one assay execution.
+struct SimulationResult {
+  bool success = false;
+  std::string failure_reason;
+  /// Index (into schedule.modules()) of the module that failed, -1 if none.
+  int failed_module = -1;
+  /// The faulty cell responsible for the failure (valid iff failed).
+  Point fault_cell{};
+  double makespan_s = 0.0;
+  std::vector<SimEvent> events;
+  /// Output droplet of every completed reconfigurable operation.
+  std::map<OperationId, Droplet> op_outputs;
+  int routes_planned = 0;
+  long long route_cells = 0;
+  double transport_seconds = 0.0;
+};
+
+/// Executes assays on a chip.
+class Simulator {
+ public:
+  explicit Simulator(SimOptions options = {}) : options_(options) {}
+
+  /// Runs `graph`'s operations per `schedule` at the locations in
+  /// `placement` on `chip`. The chip must be at least as large as the
+  /// placement's canvas requirement (bounding box).
+  SimulationResult run(const SequencingGraph& graph, const Schedule& schedule,
+                       const Placement& placement, const Chip& chip) const;
+
+ private:
+  SimOptions options_;
+};
+
+}  // namespace dmfb

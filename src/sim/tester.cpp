@@ -1,0 +1,91 @@
+#include "sim/tester.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace dmfb {
+
+TestResult OnlineTester::run_test(const Chip& chip,
+                                  const Matrix<std::uint8_t>& occupied,
+                                  Point start) const {
+  if (occupied.width() != chip.width() || occupied.height() != chip.height()) {
+    throw std::invalid_argument(
+        "OnlineTester: occupancy grid does not match the chip");
+  }
+  TestResult result;
+  if (!chip.in_bounds(start) || occupied.at(start) != 0) return result;
+
+  // Cells the droplet should be able to cover: free cells 4-connected to
+  // the start (faults are unknown a priori, so they count as coverable).
+  {
+    Matrix<std::uint8_t> seen(chip.width(), chip.height(), 0);
+    std::vector<Point> queue{start};
+    seen.at(start) = 1;
+    while (!queue.empty()) {
+      const Point p = queue.back();
+      queue.pop_back();
+      ++result.cells_reachable;
+      const Point steps[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+      for (const Point& s : steps) {
+        const Point next{p.x + s.x, p.y + s.y};
+        if (chip.in_bounds(next) && occupied.at(next) == 0 &&
+            seen.at(next) == 0) {
+          seen.at(next) = 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+
+  if (chip.is_faulty(start)) {
+    // The droplet cannot even be pulled onto its entry cell.
+    result.fault_detected = true;
+    result.faulty_cell = start;
+    return result;
+  }
+
+  // Depth-first physical walk with backtracking. Each move is one
+  // actuation step; attempting to move onto a faulty electrode leaves the
+  // droplet in place, which is observed (e.g. capacitively) and localizes
+  // the fault to the cell that failed to actuate.
+  Matrix<std::uint8_t> visited(chip.width(), chip.height(), 0);
+  std::vector<Point> trail{start};
+  visited.at(start) = 1;
+  result.cells_visited = 1;
+
+  while (!trail.empty()) {
+    const Point here = trail.back();
+    const Point steps[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    bool advanced = false;
+    for (const Point& s : steps) {
+      const Point next{here.x + s.x, here.y + s.y};
+      if (!chip.in_bounds(next) || occupied.at(next) != 0 ||
+          visited.at(next) != 0) {
+        continue;
+      }
+      ++result.steps_taken;
+      if (chip.is_faulty(next)) {
+        result.fault_detected = true;
+        result.faulty_cell = next;
+        return result;
+      }
+      visited.at(next) = 1;
+      ++result.cells_visited;
+      trail.push_back(next);
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      trail.pop_back();
+      if (!trail.empty()) ++result.steps_taken;  // backtrack move
+    }
+  }
+  return result;
+}
+
+TestResult OnlineTester::run_test(const Chip& chip) const {
+  const Matrix<std::uint8_t> occupied(chip.width(), chip.height(), 0);
+  return run_test(chip, occupied, Point{0, 0});
+}
+
+}  // namespace dmfb

@@ -1,0 +1,47 @@
+// tester.h — on-line testing of the array (after Su et al., ITC 2003 [13]).
+//
+// A test droplet is dispensed and walked over every currently-free cell of
+// the array while assays run on the occupied part. A droplet that fails to
+// arrive where it was steered localizes the faulty electrode: the cell it
+// was asked to enter did not actuate. This is the detection mechanism the
+// paper assumes ("detected using the technique described in [13]") before
+// partial reconfiguration kicks in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "biochip/chip.h"
+#include "util/geometry.h"
+#include "util/matrix.h"
+
+namespace dmfb {
+
+/// Result of one test-droplet pass.
+struct TestResult {
+  bool fault_detected = false;
+  Point faulty_cell{};       ///< valid iff fault_detected
+  int cells_visited = 0;     ///< distinct free cells reached
+  int cells_reachable = 0;   ///< free cells connected to the start
+  int steps_taken = 0;       ///< droplet moves performed
+  bool complete_coverage() const {
+    return cells_visited == cells_reachable;
+  }
+};
+
+/// Walks a test droplet over the free cells of the chip.
+class OnlineTester {
+ public:
+  /// `occupied` marks cells reserved by running modules (the test droplet
+  /// must not disturb them); its dimensions must match the chip.
+  /// `start` is where the test droplet enters (must be free and fault-free,
+  /// else detection is reported immediately at the start cell).
+  TestResult run_test(const Chip& chip, const Matrix<std::uint8_t>& occupied,
+                      Point start) const;
+
+  /// Convenience: tests an idle chip (nothing occupied) from cell (0, 0).
+  TestResult run_test(const Chip& chip) const;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,26 @@
+#include "util/csv.h"
+
+namespace dmfb {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os << ',';
+    os << csv_escape(fields[i]);
+  }
+  os << '\n';
+}
+
+}  // namespace dmfb

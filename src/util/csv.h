@@ -1,0 +1,17 @@
+// csv.h — minimal CSV emission for benchmark series (figures are emitted
+// both as ASCII tables and as CSV rows so they can be re-plotted).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmfb {
+
+/// Escapes a field per RFC 4180 (quotes fields containing comma/quote/NL).
+std::string csv_escape(const std::string& field);
+
+/// Writes one CSV row.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& fields);
+
+}  // namespace dmfb

@@ -1,0 +1,28 @@
+#include "util/geometry.h"
+
+#include <sstream>
+
+namespace dmfb {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x << ", " << r.y << "; " << r.width << 'x' << r.height
+            << ']';
+}
+
+std::string to_string(const Point& p) {
+  std::ostringstream os;
+  os << p;
+  return os.str();
+}
+
+std::string to_string(const Rect& r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+}  // namespace dmfb

@@ -1,0 +1,130 @@
+// geometry.h — integer cell geometry for microfluidic arrays.
+//
+// The paper addresses cells of an m-by-n electrode array with 1-based
+// coordinates ((1,1) = bottom-left). Internally this library uses 0-based
+// coordinates throughout; presentation code adds 1 when mirroring the
+// paper's notation.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+namespace dmfb {
+
+/// A cell location on the electrode array. `x` is the column (grows right),
+/// `y` is the row (grows up). Coordinates may be negative while a candidate
+/// placement is being constructed; validation rejects out-of-bounds results.
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// Manhattan (L1) distance between two cells — droplet transport on a DMFB
+/// moves one cell per actuation step in the four cardinal directions.
+constexpr int manhattan_distance(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (L∞) distance. Fluidic constraints forbid *any* adjacency,
+/// including diagonal, so droplet-separation rules are expressed with L∞.
+constexpr int chebyshev_distance(Point a, Point b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+/// Axis-aligned rectangle of cells, half-open is *not* used: the rectangle
+/// covers columns [x, x+width-1] and rows [y, y+height-1], matching how the
+/// paper counts module areas in cells (a 4x4-cell module has width=height=4).
+struct Rect {
+  int x = 0;       ///< left column of the rectangle (anchor, bottom-left)
+  int y = 0;       ///< bottom row of the rectangle (anchor, bottom-left)
+  int width = 0;   ///< number of columns covered (>= 0)
+  int height = 0;  ///< number of rows covered (>= 0)
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  /// Number of cells covered.
+  constexpr long long area() const {
+    return static_cast<long long>(width) * height;
+  }
+
+  constexpr bool empty() const { return width <= 0 || height <= 0; }
+
+  /// One past the rightmost covered column.
+  constexpr int right() const { return x + width; }
+  /// One past the topmost covered row.
+  constexpr int top() const { return y + height; }
+
+  constexpr bool contains(Point p) const {
+    return p.x >= x && p.x < right() && p.y >= y && p.y < top();
+  }
+
+  constexpr bool contains(const Rect& other) const {
+    return !other.empty() && other.x >= x && other.y >= y &&
+           other.right() <= right() && other.top() <= top();
+  }
+
+  constexpr bool intersects(const Rect& other) const {
+    if (empty() || other.empty()) return false;
+    return x < other.right() && other.x < right() && y < other.top() &&
+           other.y < top();
+  }
+
+  /// The overlapping region (empty rect if none).
+  constexpr Rect intersection(const Rect& other) const {
+    const int lx = std::max(x, other.x);
+    const int ly = std::max(y, other.y);
+    const int rx = std::min(right(), other.right());
+    const int ry = std::min(top(), other.top());
+    if (rx <= lx || ry <= ly) return Rect{};
+    return Rect{lx, ly, rx - lx, ry - ly};
+  }
+
+  /// Number of cells shared with `other`.
+  constexpr long long overlap_area(const Rect& other) const {
+    return intersection(other).area();
+  }
+
+  /// Smallest rectangle containing both (treats empty rects as identity).
+  constexpr Rect united(const Rect& other) const {
+    if (empty()) return other;
+    if (other.empty()) return *this;
+    const int lx = std::min(x, other.x);
+    const int ly = std::min(y, other.y);
+    const int rx = std::max(right(), other.right());
+    const int ry = std::max(top(), other.top());
+    return Rect{lx, ly, rx - lx, ry - ly};
+  }
+
+  /// Rectangle grown by `margin` cells on every side. Used for segregation
+  /// rings and droplet-separation checks.
+  constexpr Rect inflated(int margin) const {
+    return Rect{x - margin, y - margin, width + 2 * margin,
+                height + 2 * margin};
+  }
+
+  /// The same footprint rotated 90 degrees (width/height exchanged); the
+  /// anchor is preserved. Module orientation changes in the annealer use
+  /// this.
+  constexpr Rect rotated() const { return Rect{x, y, height, width}; }
+
+  /// True when this rectangle lies fully inside a w-by-h array anchored at
+  /// the origin.
+  constexpr bool within_bounds(int bound_width, int bound_height) const {
+    return x >= 0 && y >= 0 && right() <= bound_width && top() <= bound_height;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+std::string to_string(const Point& p);
+std::string to_string(const Rect& r);
+
+}  // namespace dmfb

@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace dmfb {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << "[dmfb:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace dmfb

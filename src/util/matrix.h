@@ -1,0 +1,99 @@
+// matrix.h — dense row-major 2-D array used for occupancy grids, staircase
+// tables and prefix sums. Kept header-only: it is instantiated with small
+// trivially-copyable types on hot paths of the annealer.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace dmfb {
+
+/// Dense width-by-height matrix addressed by (x, y) cell coordinates,
+/// y-up to match the paper's array convention. Row-major with y as the
+/// slow index, so scanning x within y is cache-friendly.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(int width, int height, T fill = T{})
+      : width_(width), height_(height) {
+    if (width < 0 || height < 0) {
+      throw std::invalid_argument("Matrix: negative dimension");
+    }
+    data_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+  long long size() const { return static_cast<long long>(width_) * height_; }
+
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  bool in_bounds(Point p) const { return in_bounds(p.x, p.y); }
+
+  T& at(int x, int y) {
+    assert(in_bounds(x, y));
+    return data_[index(x, y)];
+  }
+  const T& at(int x, int y) const {
+    assert(in_bounds(x, y));
+    return data_[index(x, y)];
+  }
+  T& at(Point p) { return at(p.x, p.y); }
+  const T& at(Point p) const { return at(p.x, p.y); }
+
+  /// Bounds-checked accessor; throws on out-of-range. Use in non-hot paths.
+  const T& checked_at(int x, int y) const {
+    if (!in_bounds(x, y)) throw std::out_of_range("Matrix::checked_at");
+    return data_[index(x, y)];
+  }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  /// Assigns `value` to every cell of `r` clipped to the matrix bounds.
+  void fill_rect(const Rect& r, const T& value) {
+    const Rect clipped = r.intersection(Rect{0, 0, width_, height_});
+    for (int y = clipped.y; y < clipped.top(); ++y) {
+      for (int x = clipped.x; x < clipped.right(); ++x) {
+        data_[index(x, y)] = value;
+      }
+    }
+  }
+
+  /// Counts cells in `r` (clipped) equal to `value`.
+  long long count_in_rect(const Rect& r, const T& value) const {
+    const Rect clipped = r.intersection(Rect{0, 0, width_, height_});
+    long long count = 0;
+    for (int y = clipped.y; y < clipped.top(); ++y) {
+      for (int x = clipped.x; x < clipped.right(); ++x) {
+        if (data_[index(x, y)] == value) ++count;
+      }
+    }
+    return count;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace dmfb

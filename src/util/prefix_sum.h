@@ -1,0 +1,74 @@
+// prefix_sum.h — 2-D summed-area table over an occupancy grid.
+//
+// The fault-tolerance evaluator needs many "does a w-by-h all-empty
+// rectangle exist in this configuration?" queries inside the annealer's
+// inner loop. A summed-area table answers "how many occupied cells are in
+// this rectangle" in O(1), so the existence query is O(m*n) per footprint
+// instead of enumerating maximal empty rectangles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/geometry.h"
+#include "util/matrix.h"
+
+namespace dmfb {
+
+/// Summed-area table of a boolean occupancy grid (true/nonzero = occupied).
+class PrefixSum2D {
+ public:
+  PrefixSum2D() = default;
+
+  /// Builds the table from an occupancy grid; `occupied` maps any nonzero
+  /// value to 1.
+  explicit PrefixSum2D(const Matrix<std::uint8_t>& occupied)
+      : width_(occupied.width()),
+        height_(occupied.height()),
+        sums_(occupied.width() + 1, occupied.height() + 1, 0) {
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        sums_.at(x + 1, y + 1) = sums_.at(x, y + 1) + sums_.at(x + 1, y) -
+                                 sums_.at(x, y) +
+                                 (occupied.at(x, y) != 0 ? 1 : 0);
+      }
+    }
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Number of occupied cells inside `r` (must be within bounds).
+  long long occupied_in(const Rect& r) const {
+    if (r.empty()) return 0;
+    return static_cast<long long>(sums_.at(r.right(), r.top())) -
+           sums_.at(r.x, r.top()) - sums_.at(r.right(), r.y) +
+           sums_.at(r.x, r.y);
+  }
+
+  bool is_rect_empty(const Rect& r) const { return occupied_in(r) == 0; }
+
+  /// Finds the bottom-left-most position where an all-empty w-by-h rectangle
+  /// fits, or nullopt. Scans bottom-to-top, left-to-right so results are
+  /// deterministic.
+  std::optional<Rect> find_empty_rect(int w, int h) const {
+    if (w <= 0 || h <= 0 || w > width_ || h > height_) return std::nullopt;
+    for (int y = 0; y + h <= height_; ++y) {
+      for (int x = 0; x + w <= width_; ++x) {
+        const Rect candidate{x, y, w, h};
+        if (is_rect_empty(candidate)) return candidate;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// True when some all-empty w-by-h rectangle exists.
+  bool fits_empty(int w, int h) const { return find_empty_rect(w, h).has_value(); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  Matrix<long long> sums_;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,105 @@
+// rng.h — deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (the annealer, random assay
+// generation, fault injection) takes an explicit Rng so runs are exactly
+// reproducible from a printed seed. The generator is xoshiro256** seeded
+// via SplitMix64, the standard pairing recommended by the xoshiro authors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dmfb {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state. Also a
+/// perfectly fine generator for non-critical uses.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, 256-bit state. Satisfies enough of
+/// std::uniform_random_bit_generator to be used with <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedf00dULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  /// The seed this generator was (re)constructed from; benches print it.
+  std::uint64_t seed() const { return seed_; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection loop; expected iterations < 2 for any bound.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int next_int(int lo, int hi) {
+    return lo + static_cast<int>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1). 53 random mantissa bits.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Derives an independent child generator; used to give subsystems their
+  /// own streams without sharing state.
+  Rng split() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace dmfb

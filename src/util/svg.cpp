@@ -1,0 +1,131 @@
+#include "util/svg.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace dmfb {
+namespace {
+
+void open_svg(std::ostringstream& os, int width_px, int height_px) {
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+     << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << width_px << ' '
+     << height_px << "\">\n";
+}
+
+std::string escape_text(const std::string& text) {
+  std::string out;
+  for (const char ch : text) {
+    switch (ch) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& palette_color(std::size_t index) {
+  static const std::array<std::string, 10> kPalette = {
+      "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+      "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+  return kPalette[index % kPalette.size()];
+}
+
+std::string render_svg_grid(int grid_width, int grid_height,
+                            const std::vector<SvgRect>& rects, int cell_px,
+                            const std::vector<Point>& fault_marks) {
+  std::ostringstream os;
+  const int width_px = grid_width * cell_px;
+  const int height_px = grid_height * cell_px;
+  open_svg(os, width_px, height_px);
+
+  // Background + cell grid lines.
+  os << "<rect width=\"" << width_px << "\" height=\"" << height_px
+     << "\" fill=\"#ffffff\" stroke=\"#333333\"/>\n";
+  for (int x = 1; x < grid_width; ++x) {
+    os << "<line x1=\"" << x * cell_px << "\" y1=\"0\" x2=\"" << x * cell_px
+       << "\" y2=\"" << height_px << "\" stroke=\"#dddddd\"/>\n";
+  }
+  for (int y = 1; y < grid_height; ++y) {
+    os << "<line x1=\"0\" y1=\"" << y * cell_px << "\" x2=\"" << width_px
+       << "\" y2=\"" << y * cell_px << "\" stroke=\"#dddddd\"/>\n";
+  }
+
+  // Rectangles (y flipped: cell (0,0) is bottom-left).
+  for (const SvgRect& r : rects) {
+    if (r.rect.empty()) continue;
+    const int x = r.rect.x * cell_px;
+    const int y = (grid_height - r.rect.top()) * cell_px;
+    os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+       << r.rect.width * cell_px << "\" height=\"" << r.rect.height * cell_px
+       << "\" fill=\"" << r.fill
+       << "\" fill-opacity=\"0.75\" stroke=\"#222222\"/>\n";
+    if (!r.label.empty()) {
+      os << "<text x=\"" << x + r.rect.width * cell_px / 2 << "\" y=\""
+         << y + r.rect.height * cell_px / 2
+         << "\" text-anchor=\"middle\" dominant-baseline=\"central\" "
+            "font-family=\"sans-serif\" font-size=\""
+         << cell_px * 2 / 3 << "\">" << escape_text(r.label) << "</text>\n";
+    }
+  }
+
+  // Fault marks: a red X over the cell.
+  for (const Point& f : fault_marks) {
+    const int x = f.x * cell_px;
+    const int y = (grid_height - 1 - f.y) * cell_px;
+    os << "<line x1=\"" << x << "\" y1=\"" << y << "\" x2=\"" << x + cell_px
+       << "\" y2=\"" << y + cell_px
+       << "\" stroke=\"#cc0000\" stroke-width=\"3\"/>\n"
+       << "<line x1=\"" << x + cell_px << "\" y1=\"" << y << "\" x2=\"" << x
+       << "\" y2=\"" << y + cell_px
+       << "\" stroke=\"#cc0000\" stroke-width=\"3\"/>\n";
+  }
+
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string render_svg_gantt(const std::vector<SvgGanttBar>& bars,
+                             double seconds_per_px) {
+  std::ostringstream os;
+  constexpr int kRowPx = 28;
+  constexpr int kLabelPx = 80;
+  double makespan = 0.0;
+  for (const auto& bar : bars) makespan = std::max(makespan, bar.end_s);
+  const int width_px =
+      kLabelPx + static_cast<int>(makespan / seconds_per_px) + 10;
+  const int height_px = static_cast<int>(bars.size()) * kRowPx + 10;
+  open_svg(os, width_px, height_px);
+  os << "<rect width=\"" << width_px << "\" height=\"" << height_px
+     << "\" fill=\"#ffffff\"/>\n";
+
+  int row = 0;
+  for (const auto& bar : bars) {
+    const int y = 5 + row * kRowPx;
+    os << "<text x=\"4\" y=\"" << y + kRowPx / 2
+       << "\" dominant-baseline=\"central\" font-family=\"sans-serif\" "
+          "font-size=\"13\">"
+       << escape_text(bar.label) << "</text>\n";
+    const int x0 = kLabelPx + static_cast<int>(bar.start_s / seconds_per_px);
+    const int x1 = kLabelPx + static_cast<int>(bar.end_s / seconds_per_px);
+    os << "<rect x=\"" << x0 << "\" y=\"" << y << "\" width=\""
+       << std::max(1, x1 - x0) << "\" height=\"" << kRowPx - 6
+       << "\" fill=\"" << bar.fill << "\" stroke=\"#222222\"/>\n";
+    ++row;
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace dmfb

@@ -1,0 +1,41 @@
+// svg.h — minimal SVG emission for placements and schedules, so the
+// figure benches can write real images next to their ASCII output.
+// No external dependencies: plain string building.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace dmfb {
+
+/// A labelled, colored rectangle in cell coordinates.
+struct SvgRect {
+  Rect rect;
+  std::string label;
+  std::string fill;  ///< CSS color, e.g. "#4e79a7"
+};
+
+/// Renders a cell grid with rectangles on it (y flipped so the paper's
+/// bottom-left origin renders naturally). `grid_width`/`grid_height` are
+/// in cells; `cell_px` scales to pixels.
+std::string render_svg_grid(int grid_width, int grid_height,
+                            const std::vector<SvgRect>& rects,
+                            int cell_px = 24,
+                            const std::vector<Point>& fault_marks = {});
+
+/// Renders a Gantt chart: one row per bar; bars in seconds.
+struct SvgGanttBar {
+  std::string label;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::string fill;
+};
+std::string render_svg_gantt(const std::vector<SvgGanttBar>& bars,
+                             double seconds_per_px = 0.1);
+
+/// A stable qualitative palette (Tableau10); index wraps.
+const std::string& palette_color(std::size_t index);
+
+}  // namespace dmfb

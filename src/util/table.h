@@ -1,0 +1,47 @@
+// table.h — ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures and
+// prints it in a fixed-width layout so EXPERIMENTS.md can quote output
+// verbatim.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmfb {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const;
+
+  /// Renders with `|` separators and a rule under the header.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style double formatting helpers used across benches.
+std::string format_double(double value, int decimals);
+std::string format_mm2(double mm2);
+
+}  // namespace dmfb

@@ -1,0 +1,148 @@
+// Tests for the text interchange format (io/assay_format.h): round trips
+// and error reporting.
+#include "io/assay_format.h"
+
+#include <gtest/gtest.h>
+
+#include "assay/synthesis.h"
+#include "core/greedy_placer.h"
+
+namespace dmfb {
+namespace {
+
+TEST(AssayFormatTest, PcrRoundTrip) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  const AssayCase original = pcr_mixing_assay();
+  const std::string text = assay_to_string(original);
+  const AssayCase parsed = assay_from_string(text, library);
+
+  EXPECT_EQ(parsed.name, original.graph.name());
+  ASSERT_EQ(parsed.graph.operation_count(),
+            original.graph.operation_count());
+  for (const auto& op : original.graph.operations()) {
+    const auto& p = parsed.graph.operation(op.id);
+    EXPECT_EQ(p.type, op.type);
+    EXPECT_EQ(p.label, op.label);
+    EXPECT_EQ(p.reagent, op.reagent);
+    EXPECT_EQ(parsed.graph.successors(op.id),
+              original.graph.successors(op.id));
+  }
+  ASSERT_EQ(parsed.binding.size(), original.binding.size());
+  for (const auto& [id, spec] : original.binding) {
+    EXPECT_EQ(parsed.binding.at(id).name, spec.name);
+  }
+  EXPECT_EQ(parsed.scheduler_options.constraints.max_concurrent_modules,
+            original.scheduler_options.constraints.max_concurrent_modules);
+  EXPECT_EQ(parsed.scheduler_options.insert_storage,
+            original.scheduler_options.insert_storage);
+
+  // The parsed assay synthesizes identically.
+  const auto a = synthesize_with_binding(original.graph, original.binding,
+                                         original.scheduler_options);
+  const auto b = synthesize_with_binding(parsed.graph, parsed.binding,
+                                         parsed.scheduler_options);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.peak_concurrent_cells, b.peak_concurrent_cells);
+}
+
+TEST(AssayFormatTest, CommentsAndBlankLinesIgnored) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  const std::string text = R"(
+# a tiny assay
+assay demo
+
+op 0 dispense D1 water   # the input
+op 1 mix M1
+op 2 output Out
+dep 0 1
+dep 1 2
+bind 1 mixer-2x2
+end
+)";
+  const AssayCase assay = assay_from_string(text, library);
+  EXPECT_EQ(assay.graph.operation_count(), 3);
+  EXPECT_EQ(assay.binding.at(1).name, "mixer-2x2");
+}
+
+TEST(AssayFormatTest, ErrorsCarryLineNumbers) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  try {
+    assay_from_string("assay x\nop 0 warp D1\nend\n", library);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("unknown operation type"),
+              std::string::npos);
+  }
+}
+
+TEST(AssayFormatTest, RejectsBadInputs) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  // Missing header.
+  EXPECT_THROW(assay_from_string("op 0 mix M\nend\n", lib), ParseError);
+  // Missing end.
+  EXPECT_THROW(assay_from_string("assay x\nop 0 mix M\n", lib), ParseError);
+  // Sparse ids.
+  EXPECT_THROW(assay_from_string("assay x\nop 1 mix M\nend\n", lib),
+               ParseError);
+  // Duplicate ids.
+  EXPECT_THROW(
+      assay_from_string("assay x\nop 0 mix M\nop 0 mix N\nend\n", lib),
+      ParseError);
+  // Unknown module.
+  EXPECT_THROW(assay_from_string(
+                   "assay x\nop 0 mix M\nbind 0 warp-drive\nend\n", lib),
+               ParseError);
+  // Dangling dependency.
+  EXPECT_THROW(
+      assay_from_string("assay x\nop 0 mix M\ndep 0 7\nend\n", lib),
+      ParseError);
+  // Cycle.
+  EXPECT_THROW(
+      assay_from_string(
+          "assay x\nop 0 mix A\nop 1 mix B\ndep 0 1\ndep 1 0\nend\n", lib),
+      ParseError);
+  // Bad integer.
+  EXPECT_THROW(assay_from_string("assay x\nop zero mix M\nend\n", lib),
+               ParseError);
+}
+
+TEST(AssayFormatTest, PlacementRoundTrip) {
+  const AssayCase assay = pcr_mixing_assay();
+  const auto synth = synthesize_with_binding(assay.graph, assay.binding,
+                                             assay.scheduler_options);
+  const Placement original = place_greedy(synth.schedule, 20, 20);
+  const std::string text = placement_to_string(original);
+
+  Placement restored(synth.schedule, 20, 20);
+  apply_placement_from_string(text, restored);
+  for (int i = 0; i < original.module_count(); ++i) {
+    EXPECT_EQ(restored.module(i).anchor, original.module(i).anchor);
+    EXPECT_EQ(restored.module(i).rotated, original.module(i).rotated);
+  }
+  EXPECT_EQ(restored.bounding_box(), original.bounding_box());
+}
+
+TEST(AssayFormatTest, PlacementRejectsMismatchedCanvas) {
+  const AssayCase assay = pcr_mixing_assay();
+  const auto synth = synthesize_with_binding(assay.graph, assay.binding,
+                                             assay.scheduler_options);
+  const Placement original = place_greedy(synth.schedule, 20, 20);
+  Placement other(synth.schedule, 24, 24);
+  EXPECT_THROW(
+      apply_placement_from_string(placement_to_string(original), other),
+      ParseError);
+}
+
+TEST(AssayFormatTest, PlacementRejectsBadIndex) {
+  const AssayCase assay = pcr_mixing_assay();
+  const auto synth = synthesize_with_binding(assay.graph, assay.binding,
+                                             assay.scheduler_options);
+  Placement placement(synth.schedule, 20, 20);
+  EXPECT_THROW(apply_placement_from_string(
+                   "placement 20 20\nplace 99 0 0 0\nend\n", placement),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,113 @@
+// Tests for resource binding (assay/binder.h).
+#include "assay/binder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "assay/assay_library.h"
+
+namespace dmfb {
+namespace {
+
+TEST(BinderTest, FastestPolicyPicksLowestLatency) {
+  const auto graph = pcr_mixing_graph();
+  const auto lib = ModuleLibrary::standard();
+  const Binding binding =
+      bind_operations(graph, lib, BindingPolicy::kFastest);
+  for (const auto& [id, spec] : binding) {
+    EXPECT_EQ(spec.name, "mixer-2x4");  // 3 s mixer is the fastest
+  }
+  EXPECT_EQ(binding.size(), 7u);
+}
+
+TEST(BinderTest, SmallestPolicyPicksSmallestFootprint) {
+  const auto graph = pcr_mixing_graph();
+  const auto lib = ModuleLibrary::standard();
+  const Binding binding =
+      bind_operations(graph, lib, BindingPolicy::kSmallest);
+  for (const auto& [id, spec] : binding) {
+    EXPECT_EQ(spec.footprint_cells(), 16);  // 4x4 (2x2-array) is smallest
+  }
+}
+
+TEST(BinderTest, RoundRobinUsesDiverseSpecs) {
+  const auto graph = pcr_mixing_graph();
+  const auto lib = ModuleLibrary::standard();
+  const Binding binding =
+      bind_operations(graph, lib, BindingPolicy::kRoundRobin);
+  std::set<std::string> names;
+  for (const auto& [id, spec] : binding) names.insert(spec.name);
+  EXPECT_EQ(names.size(), 4u);  // all four mixer shapes used
+}
+
+TEST(BinderTest, MissingKindThrows) {
+  SequencingGraph g;
+  const auto d = g.add_operation(OperationType::kDispense);
+  const auto det = g.add_operation(OperationType::kDetect);
+  g.add_dependency(d, det);
+  ModuleLibrary lib;  // no detector registered
+  lib.add(ModuleSpec{"mixer", ModuleKind::kMixer, 2, 2, 5.0});
+  EXPECT_THROW(bind_operations(g, lib, BindingPolicy::kFastest),
+               std::runtime_error);
+}
+
+TEST(BinderValidationTest, AcceptsTable1Binding) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  EXPECT_TRUE(validate_binding(graph, binding).empty());
+}
+
+TEST(BinderValidationTest, ReportsUnboundOperation) {
+  const auto graph = pcr_mixing_graph();
+  auto binding = pcr_table1_binding(graph);
+  binding.erase(binding.begin());
+  const auto problems = validate_binding(graph, binding);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems.front().find("unbound"), std::string::npos);
+}
+
+TEST(BinderValidationTest, ReportsKindMismatch) {
+  SequencingGraph g;
+  const auto det = g.add_operation(OperationType::kDetect, "det");
+  Binding binding;
+  binding.emplace(det, ModuleSpec{"mixer", ModuleKind::kMixer, 2, 2, 5.0});
+  const auto problems = validate_binding(g, binding);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("needs a detector"), std::string::npos);
+}
+
+TEST(BinderValidationTest, ReportsNonPositiveDuration) {
+  SequencingGraph g;
+  const auto mix = g.add_operation(OperationType::kMix, "m");
+  Binding binding;
+  binding.emplace(mix, ModuleSpec{"mixer", ModuleKind::kMixer, 2, 2, 0.0});
+  const auto problems = validate_binding(g, binding);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("duration"), std::string::npos);
+}
+
+TEST(BinderValidationTest, ReportsBindingOfNonReconfigurableOp) {
+  SequencingGraph g;
+  const auto d = g.add_operation(OperationType::kDispense, "d");
+  Binding binding;
+  binding.emplace(d, ModuleSpec{"mixer", ModuleKind::kMixer, 2, 2, 5.0});
+  const auto problems = validate_binding(g, binding);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("not reconfigurable"), std::string::npos);
+}
+
+TEST(BinderValidationTest, ReportsUnknownOperationId) {
+  SequencingGraph g;
+  g.add_operation(OperationType::kMix, "m");
+  Binding binding;
+  binding.emplace(0, ModuleSpec{"mixer", ModuleKind::kMixer, 2, 2, 5.0});
+  binding.emplace(42, ModuleSpec{"mixer", ModuleKind::kMixer, 2, 2, 5.0});
+  const auto problems = validate_binding(g, binding);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("unknown operation id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,84 @@
+// Unit tests for the electrode-array chip model (biochip/chip.h).
+#include "biochip/chip.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmfb {
+namespace {
+
+TEST(ChipGeometryTest, AreaComputations) {
+  const ChipGeometry g{7, 9, 1.5, 600.0};
+  EXPECT_DOUBLE_EQ(g.cell_area_mm2(), 2.25);
+  EXPECT_DOUBLE_EQ(g.total_area_mm2(), 2.25 * 63);
+}
+
+TEST(ChipTest, DefaultGeometryMatchesPaper) {
+  const Chip chip(7, 9);
+  EXPECT_EQ(chip.width(), 7);
+  EXPECT_EQ(chip.height(), 9);
+  EXPECT_DOUBLE_EQ(chip.geometry().pitch_mm, 1.5);
+  EXPECT_DOUBLE_EQ(chip.geometry().gap_height_um, 600.0);
+}
+
+TEST(ChipTest, InvalidGeometryThrows) {
+  EXPECT_THROW(Chip(0, 5), std::invalid_argument);
+  EXPECT_THROW(Chip(5, -1), std::invalid_argument);
+  EXPECT_THROW(Chip(ChipGeometry{3, 3, 0.0, 600.0}), std::invalid_argument);
+}
+
+TEST(ChipTest, FaultInjectionAndQuery) {
+  Chip chip(5, 5);
+  EXPECT_EQ(chip.faulty_count(), 0);
+  chip.set_faulty(Point{2, 3});
+  EXPECT_TRUE(chip.is_faulty(Point{2, 3}));
+  EXPECT_FALSE(chip.is_faulty(Point{3, 2}));
+  EXPECT_EQ(chip.faulty_count(), 1);
+  EXPECT_EQ(chip.faulty_cells().front(), (Point{2, 3}));
+  chip.set_faulty(Point{2, 3}, false);
+  EXPECT_EQ(chip.faulty_count(), 0);
+}
+
+TEST(ChipTest, ActuateRectSetsVoltages) {
+  Chip chip(6, 6);
+  chip.actuate_rect(Rect{1, 1, 2, 3}, 80.0);
+  EXPECT_EQ(chip.actuated_count(), 6);
+  EXPECT_TRUE(chip.electrode(Point{1, 1}).actuated());
+  EXPECT_TRUE(chip.electrode(Point{2, 3}).actuated());
+  EXPECT_FALSE(chip.electrode(Point{0, 0}).actuated());
+}
+
+TEST(ChipTest, ActuateRectClipsToBounds) {
+  Chip chip(4, 4);
+  chip.actuate_rect(Rect{2, 2, 10, 10}, 80.0);
+  EXPECT_EQ(chip.actuated_count(), 4);  // only the in-bounds 2x2 corner
+}
+
+TEST(ChipTest, FaultyCellDoesNotCountAsActuated) {
+  Chip chip(3, 3);
+  chip.set_faulty(Point{1, 1});
+  chip.actuate_rect(Rect{0, 0, 3, 3}, 80.0);
+  EXPECT_EQ(chip.actuated_count(), 8);
+}
+
+TEST(ChipTest, DeactivateAll) {
+  Chip chip(3, 3);
+  chip.actuate_rect(Rect{0, 0, 3, 3}, 80.0);
+  EXPECT_EQ(chip.actuated_count(), 9);
+  chip.deactivate_all();
+  EXPECT_EQ(chip.actuated_count(), 0);
+}
+
+TEST(CellTest, RoleAndHealthNames) {
+  EXPECT_STREQ(to_string(CellRole::kFree), "free");
+  EXPECT_STREQ(to_string(CellRole::kFunctional), "functional");
+  EXPECT_STREQ(to_string(CellRole::kSegregation), "segregation");
+  EXPECT_STREQ(to_string(CellRole::kTransport), "transport");
+  EXPECT_STREQ(to_string(CellRole::kReservoir), "reservoir");
+  EXPECT_STREQ(to_string(CellHealth::kGood), "good");
+  EXPECT_STREQ(to_string(CellHealth::kFaulty), "faulty");
+}
+
+}  // namespace
+}  // namespace dmfb

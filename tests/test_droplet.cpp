@@ -1,0 +1,88 @@
+// Unit tests for droplet mixing/splitting semantics (biochip/droplet.h).
+#include "biochip/droplet.h"
+
+#include <gtest/gtest.h>
+
+namespace dmfb {
+namespace {
+
+TEST(DropletTest, ConstructionTracksSingleReagent) {
+  const Droplet d(1, Point{2, 3}, "KCl", 100.0);
+  EXPECT_EQ(d.id(), 1);
+  EXPECT_EQ(d.position(), (Point{2, 3}));
+  EXPECT_DOUBLE_EQ(d.volume_nl(), 100.0);
+  EXPECT_DOUBLE_EQ(d.fraction_of("KCl"), 1.0);
+  EXPECT_DOUBLE_EQ(d.fraction_of("water"), 0.0);
+}
+
+TEST(DropletTest, MergeEqualVolumes) {
+  Droplet a(1, Point{0, 0}, "A", 100.0);
+  const Droplet b(2, Point{1, 0}, "B", 100.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.volume_nl(), 200.0);
+  EXPECT_DOUBLE_EQ(a.fraction_of("A"), 0.5);
+  EXPECT_DOUBLE_EQ(a.fraction_of("B"), 0.5);
+}
+
+TEST(DropletTest, MergeUnequalVolumes) {
+  Droplet a(1, Point{0, 0}, "A", 300.0);
+  const Droplet b(2, Point{1, 0}, "B", 100.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.volume_nl(), 400.0);
+  EXPECT_DOUBLE_EQ(a.fraction_of("A"), 0.75);
+  EXPECT_DOUBLE_EQ(a.fraction_of("B"), 0.25);
+}
+
+TEST(DropletTest, FractionsSumToOneAfterChainOfMerges) {
+  Droplet mix(0, Point{}, "r0", 100.0);
+  for (int i = 1; i < 8; ++i) {
+    mix.merge(Droplet(i, Point{}, "r" + std::to_string(i), 100.0));
+  }
+  double sum = 0.0;
+  for (const auto& [reagent, fraction] : mix.contents()) sum += fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(mix.contents().size(), 8u);
+  for (const auto& [reagent, fraction] : mix.contents()) {
+    EXPECT_NEAR(fraction, 1.0 / 8.0, 1e-12) << reagent;
+  }
+}
+
+TEST(DropletTest, SplitHalvesVolumePreservesContents) {
+  Droplet a(1, Point{0, 0}, "A", 200.0);
+  a.merge(Droplet(2, Point{0, 0}, "B", 200.0));
+  Droplet half = a.split(3, Point{5, 5});
+  EXPECT_DOUBLE_EQ(a.volume_nl(), 200.0);
+  EXPECT_DOUBLE_EQ(half.volume_nl(), 200.0);
+  EXPECT_EQ(half.id(), 3);
+  EXPECT_EQ(half.position(), (Point{5, 5}));
+  EXPECT_DOUBLE_EQ(half.fraction_of("A"), 0.5);
+  EXPECT_DOUBLE_EQ(half.fraction_of("B"), 0.5);
+  EXPECT_DOUBLE_EQ(a.fraction_of("A"), 0.5);
+}
+
+TEST(DropletTest, SerialDilutionHalvesConcentration) {
+  // Dilute protein 1:1 with buffer three times: 1/2, 1/4, 1/8.
+  Droplet sample(0, Point{}, "protein", 100.0);
+  for (int step = 1; step <= 3; ++step) {
+    sample.merge(Droplet(step, Point{}, "buffer", sample.volume_nl()));
+    sample.split(100 + step, Point{});  // discard one half
+    EXPECT_NEAR(sample.fraction_of("protein"), 1.0 / (1 << step), 1e-12);
+  }
+}
+
+TEST(DropletTest, MergeWithEmptyDropletIsNoop) {
+  Droplet a(1, Point{0, 0}, "A", 100.0);
+  const Droplet empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.volume_nl(), 100.0);
+  EXPECT_DOUBLE_EQ(a.fraction_of("A"), 1.0);
+}
+
+TEST(DropletTest, MoveToUpdatesPosition) {
+  Droplet d(1, Point{0, 0}, "X");
+  d.move_to(Point{4, 7});
+  EXPECT_EQ(d.position(), (Point{4, 7}));
+}
+
+}  // namespace
+}  // namespace dmfb

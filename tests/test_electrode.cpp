@@ -1,0 +1,72 @@
+// Unit tests for the electrowetting actuation model (biochip/electrode.h).
+#include "biochip/electrode.h"
+
+#include <gtest/gtest.h>
+
+namespace dmfb {
+namespace {
+
+TEST(ElectrodeTest, DefaultIsOffAndHealthy) {
+  const Electrode e;
+  EXPECT_EQ(e.voltage(), 0.0);
+  EXPECT_FALSE(e.faulty());
+  EXPECT_FALSE(e.actuated());
+  EXPECT_EQ(e.droplet_velocity_cm_per_s(), 0.0);
+}
+
+TEST(ElectrodeTest, VoltageClampedToDriverRange) {
+  Electrode e;
+  e.set_voltage(120.0);
+  EXPECT_EQ(e.voltage(), kMaxControlVoltage);
+  e.set_voltage(-10.0);
+  EXPECT_EQ(e.voltage(), kMinControlVoltage);
+  e.set_voltage(45.0);
+  EXPECT_EQ(e.voltage(), 45.0);
+}
+
+TEST(ElectrodeTest, ActuationRequiresThreshold) {
+  Electrode e;
+  e.set_voltage(kActuationThresholdVoltage - 1.0);
+  EXPECT_FALSE(e.actuated());
+  e.set_voltage(kActuationThresholdVoltage);
+  EXPECT_TRUE(e.actuated());
+}
+
+TEST(ElectrodeTest, FaultyElectrodeNeverActuates) {
+  Electrode e;
+  e.set_voltage(kMaxControlVoltage);
+  EXPECT_TRUE(e.actuated());
+  e.set_faulty(true);
+  EXPECT_FALSE(e.actuated());
+  EXPECT_EQ(e.droplet_velocity_cm_per_s(), 0.0);
+  e.set_faulty(false);
+  EXPECT_TRUE(e.actuated());
+}
+
+TEST(ElectrodeTest, VelocityPeaksAtMaxVoltage) {
+  Electrode e;
+  e.set_voltage(kMaxControlVoltage);
+  EXPECT_DOUBLE_EQ(e.droplet_velocity_cm_per_s(), kMaxDropletVelocityCmPerS);
+}
+
+TEST(ElectrodeTest, VelocityIsMonotoneInVoltage) {
+  Electrode e;
+  double last = 0.0;
+  for (double v = kActuationThresholdVoltage; v <= kMaxControlVoltage;
+       v += 5.0) {
+    e.set_voltage(v);
+    const double velocity = e.droplet_velocity_cm_per_s();
+    EXPECT_GT(velocity, last);
+    last = velocity;
+  }
+  EXPECT_LE(last, kMaxDropletVelocityCmPerS + 1e-12);
+}
+
+TEST(ElectrodeTest, VelocityZeroBelowThreshold) {
+  Electrode e;
+  e.set_voltage(kActuationThresholdVoltage / 2.0);
+  EXPECT_EQ(e.droplet_velocity_cm_per_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,141 @@
+// Unit tests for util/geometry.h: Rect algebra underpins every placement
+// invariant, so it is tested exhaustively here.
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace dmfb {
+namespace {
+
+TEST(PointTest, DistanceFunctions) {
+  EXPECT_EQ(manhattan_distance({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan_distance({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan_distance({-2, 5}, {2, 5}), 4);
+  EXPECT_EQ(chebyshev_distance({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(chebyshev_distance({1, 1}, {2, 2}), 1);
+  EXPECT_EQ(chebyshev_distance({1, 1}, {1, 1}), 0);
+}
+
+TEST(RectTest, AreaAndEmptiness) {
+  EXPECT_EQ((Rect{0, 0, 4, 4}.area()), 16);
+  EXPECT_EQ((Rect{2, 3, 3, 6}.area()), 18);
+  EXPECT_TRUE((Rect{}.empty()));
+  EXPECT_TRUE((Rect{1, 1, 0, 5}.empty()));
+  EXPECT_FALSE((Rect{1, 1, 1, 1}.empty()));
+}
+
+TEST(RectTest, ContainsPoint) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_TRUE(r.contains(Point{2, 3}));
+  EXPECT_TRUE(r.contains(Point{5, 7}));
+  EXPECT_FALSE(r.contains(Point{6, 7}));
+  EXPECT_FALSE(r.contains(Point{5, 8}));
+  EXPECT_FALSE(r.contains(Point{1, 3}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(outer.contains(Rect{3, 3, 2, 2}));
+  EXPECT_FALSE(outer.contains(Rect{8, 8, 3, 3}));
+  EXPECT_FALSE(outer.contains(Rect{}));  // empty rect is not contained
+}
+
+TEST(RectTest, IntersectionBasics) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{2, 2, 4, 4};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection(b), (Rect{2, 2, 2, 2}));
+  EXPECT_EQ(a.overlap_area(b), 4);
+  EXPECT_EQ(b.overlap_area(a), 4);
+}
+
+TEST(RectTest, TouchingRectsDoNotIntersect) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{4, 0, 4, 4};  // shares the edge x = 4
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.overlap_area(b), 0);
+  const Rect c{0, 4, 4, 4};  // shares the edge y = 4
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(RectTest, IntersectionIsCommutativeOnExamples) {
+  const Rect a{1, 2, 5, 3};
+  const Rect b{3, 1, 4, 6};
+  EXPECT_EQ(a.intersection(b), b.intersection(a));
+}
+
+TEST(RectTest, UnitedCoversBoth) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{5, 5, 2, 2};
+  const Rect u = a.united(b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_EQ(u, (Rect{0, 0, 7, 7}));
+}
+
+TEST(RectTest, UnitedWithEmptyIsIdentity) {
+  const Rect a{2, 3, 4, 5};
+  EXPECT_EQ(a.united(Rect{}), a);
+  EXPECT_EQ(Rect{}.united(a), a);
+}
+
+TEST(RectTest, InflatedGrowsEverySide) {
+  const Rect a{3, 3, 2, 2};
+  EXPECT_EQ(a.inflated(1), (Rect{2, 2, 4, 4}));
+  EXPECT_EQ(a.inflated(0), a);
+}
+
+TEST(RectTest, RotatedSwapsDimensions) {
+  const Rect a{1, 2, 3, 6};
+  const Rect r = a.rotated();
+  EXPECT_EQ(r.width, 6);
+  EXPECT_EQ(r.height, 3);
+  EXPECT_EQ(r.x, a.x);
+  EXPECT_EQ(r.y, a.y);
+  EXPECT_EQ(r.area(), a.area());
+}
+
+TEST(RectTest, WithinBounds) {
+  EXPECT_TRUE((Rect{0, 0, 4, 4}.within_bounds(4, 4)));
+  EXPECT_FALSE((Rect{1, 0, 4, 4}.within_bounds(4, 4)));
+  EXPECT_FALSE((Rect{-1, 0, 2, 2}.within_bounds(4, 4)));
+  EXPECT_TRUE((Rect{2, 2, 2, 2}.within_bounds(4, 4)));
+}
+
+TEST(RectTest, Streaming) {
+  EXPECT_EQ(to_string(Rect{1, 2, 3, 4}), "[1, 2; 3x4]");
+  EXPECT_EQ(to_string(Point{7, 9}), "(7, 9)");
+}
+
+// Property-style sweep: intersection area is symmetric, bounded by both
+// areas, and consistent with intersects().
+class RectPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectPropertyTest, IntersectionInvariants) {
+  const int seed = GetParam();
+  // Tiny deterministic LCG; no <random> needed.
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 12345u;
+  auto next = [&](int bound) {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<int>((state >> 16) % static_cast<unsigned>(bound));
+  };
+  for (int i = 0; i < 100; ++i) {
+    const Rect a{next(10), next(10), 1 + next(8), 1 + next(8)};
+    const Rect b{next(10), next(10), 1 + next(8), 1 + next(8)};
+    const long long area = a.overlap_area(b);
+    EXPECT_EQ(area, b.overlap_area(a));
+    EXPECT_LE(area, a.area());
+    EXPECT_LE(area, b.area());
+    EXPECT_EQ(area > 0, a.intersects(b));
+    const Rect u = a.united(b);
+    EXPECT_TRUE(u.contains(a));
+    EXPECT_TRUE(u.contains(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,69 @@
+// Unit tests for occupancy grids and ASCII rendering (biochip/grid.h).
+#include "biochip/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace dmfb {
+namespace {
+
+TEST(GridTest, BuildOccupancyAssignsIndices) {
+  const auto grid = build_occupancy(6, 4, {Rect{0, 0, 2, 2}, Rect{3, 1, 2, 2}});
+  EXPECT_EQ(grid.at(0, 0), 1);
+  EXPECT_EQ(grid.at(1, 1), 1);
+  EXPECT_EQ(grid.at(3, 1), 2);
+  EXPECT_EQ(grid.at(4, 2), 2);
+  EXPECT_EQ(grid.at(5, 3), 0);
+}
+
+TEST(GridTest, LaterRectsOverwrite) {
+  const auto grid = build_occupancy(4, 4, {Rect{0, 0, 3, 3}, Rect{1, 1, 3, 3}});
+  EXPECT_EQ(grid.at(0, 0), 1);
+  EXPECT_EQ(grid.at(1, 1), 2);
+  EXPECT_EQ(grid.at(2, 2), 2);
+}
+
+TEST(GridTest, ToBinary) {
+  const auto grid = build_occupancy(3, 3, {Rect{0, 0, 2, 1}});
+  const auto binary = to_binary(grid);
+  EXPECT_EQ(binary.at(0, 0), 1);
+  EXPECT_EQ(binary.at(1, 0), 1);
+  EXPECT_EQ(binary.at(2, 0), 0);
+  EXPECT_EQ(binary.at(0, 1), 0);
+}
+
+TEST(GridTest, MarkCellsIgnoresOutOfBounds) {
+  Matrix<std::uint8_t> grid(3, 3, 0);
+  mark_cells(grid, {Point{1, 1}, Point{5, 5}, Point{-1, 0}});
+  EXPECT_EQ(grid.at(1, 1), 1);
+  long long marked = 0;
+  for (const auto v : grid) marked += v;
+  EXPECT_EQ(marked, 1);
+}
+
+TEST(GridTest, RenderTopRowFirst) {
+  // Module 1 occupies the bottom-left cell; rendering is y-down on screen,
+  // so the 'A' must be on the LAST line.
+  const auto grid = build_occupancy(2, 2, {Rect{0, 0, 1, 1}});
+  EXPECT_EQ(render_grid(grid), "..\nA.\n");
+}
+
+TEST(GridTest, RenderModulesAndFault) {
+  const auto grid = build_occupancy(3, 2, {Rect{0, 0, 1, 2}, Rect{2, 0, 1, 1}});
+  const std::string out = render_grid(grid, {Point{1, 1}});
+  EXPECT_EQ(out, "AX.\nA.B\n");
+}
+
+TEST(GridTest, RenderManyModulesUsesLowercaseThenHash) {
+  std::vector<Rect> rects;
+  for (int i = 0; i < 53; ++i) rects.push_back(Rect{i, 0, 1, 1});
+  const auto grid = build_occupancy(53, 1, rects);
+  const std::string out = render_grid(grid);
+  EXPECT_EQ(out[0], 'A');
+  EXPECT_EQ(out[25], 'Z');
+  EXPECT_EQ(out[26], 'a');
+  EXPECT_EQ(out[51], 'z');
+  EXPECT_EQ(out[52], '#');
+}
+
+}  // namespace
+}  // namespace dmfb

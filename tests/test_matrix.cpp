@@ -1,0 +1,115 @@
+// Unit tests for util/matrix.h.
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dmfb {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  const Matrix<int> m;
+  EXPECT_EQ(m.width(), 0);
+  EXPECT_EQ(m.height(), 0);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(MatrixTest, ConstructionAndFillValue) {
+  const Matrix<int> m(4, 3, 7);
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_EQ(m.height(), 3);
+  EXPECT_EQ(m.size(), 12);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(m.at(x, y), 7);
+    }
+  }
+}
+
+TEST(MatrixTest, NegativeDimensionThrows) {
+  EXPECT_THROW(Matrix<int>(-1, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix<int>(3, -1), std::invalid_argument);
+}
+
+TEST(MatrixTest, InBounds) {
+  const Matrix<int> m(4, 3);
+  EXPECT_TRUE(m.in_bounds(0, 0));
+  EXPECT_TRUE(m.in_bounds(3, 2));
+  EXPECT_FALSE(m.in_bounds(4, 2));
+  EXPECT_FALSE(m.in_bounds(3, 3));
+  EXPECT_FALSE(m.in_bounds(-1, 0));
+  EXPECT_TRUE(m.in_bounds(Point{1, 1}));
+}
+
+TEST(MatrixTest, ReadWrite) {
+  Matrix<int> m(3, 3, 0);
+  m.at(1, 2) = 42;
+  EXPECT_EQ(m.at(1, 2), 42);
+  EXPECT_EQ(m.at(Point{1, 2}), 42);
+  m.at(Point{0, 0}) = -5;
+  EXPECT_EQ(m.at(0, 0), -5);
+}
+
+TEST(MatrixTest, CheckedAtThrows) {
+  const Matrix<int> m(2, 2);
+  EXPECT_NO_THROW(m.checked_at(1, 1));
+  EXPECT_THROW(m.checked_at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.checked_at(0, -1), std::out_of_range);
+}
+
+TEST(MatrixTest, FillRectClipsToBounds) {
+  Matrix<int> m(4, 4, 0);
+  m.fill_rect(Rect{2, 2, 10, 10}, 9);  // sticks out; must clip
+  EXPECT_EQ(m.count_in_rect(Rect{0, 0, 4, 4}, 9), 4);
+  EXPECT_EQ(m.at(2, 2), 9);
+  EXPECT_EQ(m.at(3, 3), 9);
+  EXPECT_EQ(m.at(1, 1), 0);
+}
+
+TEST(MatrixTest, FillRectNegativeOrigin) {
+  Matrix<int> m(4, 4, 0);
+  m.fill_rect(Rect{-2, -2, 4, 4}, 1);
+  EXPECT_EQ(m.count_in_rect(Rect{0, 0, 4, 4}, 1), 4);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 1), 1);
+  EXPECT_EQ(m.at(2, 2), 0);
+}
+
+TEST(MatrixTest, CountInRect) {
+  Matrix<int> m(5, 5, 0);
+  m.fill_rect(Rect{1, 1, 2, 3}, 4);
+  EXPECT_EQ(m.count_in_rect(Rect{0, 0, 5, 5}, 4), 6);
+  EXPECT_EQ(m.count_in_rect(Rect{1, 1, 1, 1}, 4), 1);
+  EXPECT_EQ(m.count_in_rect(Rect{3, 0, 2, 5}, 4), 0);
+}
+
+TEST(MatrixTest, FillResetsEverything) {
+  Matrix<int> m(3, 2, 1);
+  m.fill(8);
+  for (const int v : m) EXPECT_EQ(v, 8);
+}
+
+TEST(MatrixTest, EqualityComparesContents) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 2;
+  EXPECT_NE(a, b);
+  const Matrix<int> c(2, 3, 1);
+  EXPECT_NE(a, c);
+}
+
+TEST(MatrixTest, IterationIsRowMajor) {
+  Matrix<int> m(2, 2, 0);
+  m.at(0, 0) = 1;
+  m.at(1, 0) = 2;
+  m.at(0, 1) = 3;
+  m.at(1, 1) = 4;
+  std::vector<int> values(m.begin(), m.end());
+  EXPECT_EQ(values, (std::vector<int>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,106 @@
+// Tests for ASAP/ALAP mobility analysis (assay/scheduler.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assay/assay_library.h"
+#include "assay/scheduler.h"
+
+namespace dmfb {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+OperationId by_label(const SequencingGraph& g, const std::string& label) {
+  for (const auto& op : g.operations()) {
+    if (op.label == label) return op.id;
+  }
+  return -1;
+}
+
+TEST(MobilityTest, PcrCriticalPathIsTheSlowChain) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  // ASAP makespan 19 s; the critical chain is M3(6) -> M6(10) -> M7(3).
+  const auto critical = critical_path(graph, binding);
+  auto contains = [&](const std::string& label) {
+    return std::find(critical.begin(), critical.end(),
+                     by_label(graph, label)) != critical.end();
+  };
+  EXPECT_TRUE(contains("M3"));
+  EXPECT_TRUE(contains("M6"));
+  EXPECT_TRUE(contains("M7"));
+  EXPECT_FALSE(contains("M2"));  // 5 s leaf feeding M5: has slack
+}
+
+TEST(MobilityTest, ValuesMatchHandComputation) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  const auto mobility = compute_mobility(graph, binding);
+
+  auto of = [&](const std::string& label) {
+    const OperationId id = by_label(graph, label);
+    for (const auto& m : mobility) {
+      if (m.op == id) return m;
+    }
+    return OperationMobility{};
+  };
+
+  // M3 (6 s) -> M6 (10 s) -> M7 (3 s) = 19 s: zero mobility.
+  EXPECT_NEAR(of("M3").asap_start_s, 0.0, kTol);
+  EXPECT_NEAR(of("M3").mobility_s, 0.0, kTol);
+  EXPECT_NEAR(of("M6").asap_start_s, 6.0, kTol);
+  EXPECT_NEAR(of("M7").asap_start_s, 16.0, kTol);
+  // M1 (10 s) feeds M5 (5 s) which must end by 16: ALAP(M5) = 11,
+  // ALAP(M1) = 1 -> mobility 1.
+  EXPECT_NEAR(of("M1").mobility_s, 1.0, kTol);
+  EXPECT_NEAR(of("M5").asap_start_s, 10.0, kTol);
+  EXPECT_NEAR(of("M5").alap_start_s, 11.0, kTol);
+  // M2 (5 s) also feeds M5: ALAP start 6, ASAP 0 -> mobility 6.
+  EXPECT_NEAR(of("M2").mobility_s, 6.0, kTol);
+  // M4 (5 s) feeds M6 which must start at 6: mobility 1.
+  EXPECT_NEAR(of("M4").mobility_s, 1.0, kTol);
+}
+
+TEST(MobilityTest, MobilityNonNegativeAndAlapGeAsap) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  for (const auto& m : compute_mobility(graph, binding)) {
+    EXPECT_GE(m.mobility_s, -kTol);
+    EXPECT_GE(m.alap_start_s, m.asap_start_s - kTol);
+  }
+}
+
+TEST(MobilityTest, RelaxedDeadlineAddsUniformSlack) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  const auto tight = compute_mobility(graph, binding);
+  const auto relaxed = compute_mobility(graph, binding, 19.0 + 5.0);
+  ASSERT_EQ(tight.size(), relaxed.size());
+  for (std::size_t i = 0; i < tight.size(); ++i) {
+    EXPECT_NEAR(relaxed[i].mobility_s, tight[i].mobility_s + 5.0, kTol);
+    EXPECT_NEAR(relaxed[i].asap_start_s, tight[i].asap_start_s, kTol);
+  }
+}
+
+TEST(MobilityTest, DeadlineBelowMakespanThrows) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  EXPECT_THROW(compute_mobility(graph, binding, 10.0),
+               std::invalid_argument);
+}
+
+TEST(MobilityTest, InvalidBindingThrows) {
+  const auto graph = pcr_mixing_graph();
+  EXPECT_THROW(compute_mobility(graph, Binding{}), std::invalid_argument);
+}
+
+TEST(MobilityTest, EveryGraphHasACriticalOperation) {
+  const auto lib = ModuleLibrary::standard();
+  const auto assay = multiplexed_diagnostics_assay(2, 2, lib);
+  const auto critical = critical_path(assay.graph, assay.binding);
+  EXPECT_FALSE(critical.empty());
+}
+
+}  // namespace
+}  // namespace dmfb

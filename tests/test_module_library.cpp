@@ -1,0 +1,102 @@
+// Unit tests for module specs and the standard library, which must match
+// Table 1 of the paper (footprints include the segregation ring).
+#include "biochip/module_library.h"
+
+#include <gtest/gtest.h>
+
+namespace dmfb {
+namespace {
+
+TEST(ModuleSpecTest, FootprintIncludesSegregationRing) {
+  const ModuleSpec spec{"mixer-2x2", ModuleKind::kMixer, 2, 2, 10.0};
+  EXPECT_EQ(spec.footprint_width(), 4);
+  EXPECT_EQ(spec.footprint_height(), 4);
+  EXPECT_EQ(spec.footprint_cells(), 16);
+  EXPECT_TRUE(spec.square());
+}
+
+TEST(ModuleSpecTest, LinearMixerFootprint) {
+  const ModuleSpec spec{"mixer-1x4", ModuleKind::kMixer, 1, 4, 5.0};
+  EXPECT_EQ(spec.footprint_width(), 3);
+  EXPECT_EQ(spec.footprint_height(), 6);
+  EXPECT_FALSE(spec.square());
+}
+
+TEST(ModuleSpecTest, FootprintRectWithRotation) {
+  const ModuleSpec spec{"mixer-2x4", ModuleKind::kMixer, 2, 4, 3.0};
+  const Rect plain = footprint_rect(spec, Point{2, 3}, false);
+  EXPECT_EQ(plain, (Rect{2, 3, 4, 6}));
+  const Rect rotated = footprint_rect(spec, Point{2, 3}, true);
+  EXPECT_EQ(rotated, (Rect{2, 3, 6, 4}));
+}
+
+TEST(ModuleLibraryTest, StandardLibraryMatchesTable1) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+
+  // Table 1, with footprints = functional size + segregation ring.
+  struct Expected {
+    const char* name;
+    int fw, fh;     // footprint cells
+    double duration;
+  };
+  const Expected rows[] = {
+      {"mixer-2x2", 4, 4, 10.0},
+      {"mixer-1x4", 3, 6, 5.0},
+      {"mixer-2x3", 4, 5, 6.0},
+      {"mixer-2x4", 4, 6, 3.0},
+  };
+  for (const auto& row : rows) {
+    const auto spec = lib.find(row.name);
+    ASSERT_TRUE(spec.has_value()) << row.name;
+    EXPECT_EQ(spec->footprint_width(), row.fw) << row.name;
+    EXPECT_EQ(spec->footprint_height(), row.fh) << row.name;
+    EXPECT_DOUBLE_EQ(spec->duration_s, row.duration) << row.name;
+    EXPECT_EQ(spec->kind, ModuleKind::kMixer);
+  }
+}
+
+TEST(ModuleLibraryTest, StandardHasStorageAndDetector) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  const auto storage = lib.find("storage-1x1");
+  ASSERT_TRUE(storage.has_value());
+  EXPECT_EQ(storage->kind, ModuleKind::kStorage);
+  EXPECT_EQ(storage->footprint_cells(), 9);  // 1x1 + ring = 3x3
+
+  const auto detector = lib.find("detector-1x1");
+  ASSERT_TRUE(detector.has_value());
+  EXPECT_EQ(detector->kind, ModuleKind::kDetector);
+}
+
+TEST(ModuleLibraryTest, DuplicateNamesRejected) {
+  ModuleLibrary lib;
+  EXPECT_TRUE(lib.add(ModuleSpec{"m", ModuleKind::kMixer, 2, 2, 1.0}));
+  EXPECT_FALSE(lib.add(ModuleSpec{"m", ModuleKind::kMixer, 3, 3, 2.0}));
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_EQ(lib.find("m")->functional_width, 2);
+}
+
+TEST(ModuleLibraryTest, FindMissingReturnsNullopt) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  EXPECT_FALSE(lib.find("warp-drive").has_value());
+  EXPECT_FALSE(lib.contains("warp-drive"));
+}
+
+TEST(ModuleLibraryTest, ByKindSortedFastestFirst) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  const auto mixers = lib.by_kind(ModuleKind::kMixer);
+  ASSERT_EQ(mixers.size(), 4u);
+  for (std::size_t i = 1; i < mixers.size(); ++i) {
+    EXPECT_LE(mixers[i - 1].duration_s, mixers[i].duration_s);
+  }
+  EXPECT_EQ(mixers.front().name, "mixer-2x4");  // 3 s is the fastest
+}
+
+TEST(ModuleKindTest, Names) {
+  EXPECT_STREQ(to_string(ModuleKind::kMixer), "mixer");
+  EXPECT_STREQ(to_string(ModuleKind::kDilutor), "dilutor");
+  EXPECT_STREQ(to_string(ModuleKind::kStorage), "storage");
+  EXPECT_STREQ(to_string(ModuleKind::kDetector), "detector");
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,162 @@
+// Tests for the annealer's generation function (core/moves.h).
+#include "core/moves.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace dmfb {
+namespace {
+
+Schedule schedule_with(int modules) {
+  Schedule s;
+  const ModuleSpec square{"sq", ModuleKind::kMixer, 2, 2, 10.0};   // 4x4
+  const ModuleSpec slim{"sl", ModuleKind::kMixer, 1, 4, 5.0};      // 3x6
+  for (int i = 0; i < modules; ++i) {
+    s.add(ScheduledModule{i, "M" + std::to_string(i),
+                          i % 2 == 0 ? square : slim, 0.0, 10.0, -1, -1});
+  }
+  return s;
+}
+
+TEST(MovesTest, AnchorsAlwaysStayInCanvas) {
+  Placement p(schedule_with(4), 12, 12);
+  Rng rng(1);
+  MoveOptions options;
+  for (int i = 0; i < 2000; ++i) {
+    const double fraction = rng.next_double();
+    apply_random_move(p, fraction, options, rng);
+    EXPECT_TRUE(p.within_canvas()) << "after move " << i;
+  }
+}
+
+TEST(MovesTest, MaxAnchorAccountsForRotation) {
+  Placement p(schedule_with(2), 12, 12);
+  // Module 1 is 3x6; rotated it is 6x3.
+  EXPECT_EQ(max_anchor(p, 1), (Point{9, 6}));
+  p.set_rotated(1, true);
+  EXPECT_EQ(max_anchor(p, 1), (Point{6, 9}));
+}
+
+TEST(MovesTest, ControllingWindowShrinksWithTemperature) {
+  Placement p(schedule_with(2), 20, 10);
+  MoveOptions options;
+  const int full = controlling_window_span(p, 1.0, options);
+  const int mid = controlling_window_span(p, 0.5, options);
+  const int cold = controlling_window_span(p, 0.0, options);
+  EXPECT_EQ(full, 20);
+  EXPECT_EQ(mid, 10);
+  EXPECT_EQ(cold, options.min_window);
+  EXPECT_GT(full, mid);
+  EXPECT_GT(mid, cold);
+}
+
+TEST(MovesTest, WindowDisabledIsAlwaysFull) {
+  Placement p(schedule_with(2), 20, 10);
+  MoveOptions options;
+  options.use_controlling_window = false;
+  EXPECT_EQ(controlling_window_span(p, 0.0, options), 20);
+  EXPECT_EQ(controlling_window_span(p, 1.0, options), 20);
+}
+
+TEST(MovesTest, ColdDisplacementIsLocal) {
+  Placement p(schedule_with(1), 20, 20);
+  p.set_anchor(0, {8, 8});
+  MoveOptions options;
+  options.single_move_probability = 1.0;
+  options.rotate_probability = 0.0;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    p.set_anchor(0, {8, 8});
+    apply_random_move(p, 0.0, options, rng);  // coldest temperature
+    const Point a = p.module(0).anchor;
+    EXPECT_LE(std::abs(a.x - 8), options.min_window);
+    EXPECT_LE(std::abs(a.y - 8), options.min_window);
+  }
+}
+
+TEST(MovesTest, SingleProbabilityOneNeverSwaps) {
+  Placement p(schedule_with(3), 16, 16);
+  p.set_anchor(0, {0, 0});
+  p.set_anchor(1, {5, 5});
+  p.set_anchor(2, {10, 10});
+  MoveOptions options;
+  options.single_move_probability = 1.0;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const MoveKind kind = apply_random_move(p, 0.5, options, rng);
+    EXPECT_TRUE(kind == MoveKind::kDisplace ||
+                kind == MoveKind::kDisplaceRotate);
+  }
+}
+
+TEST(MovesTest, PairProbabilityOneAlwaysSwaps) {
+  Placement p(schedule_with(3), 16, 16);
+  MoveOptions options;
+  options.single_move_probability = 0.0;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const MoveKind kind = apply_random_move(p, 0.5, options, rng);
+    EXPECT_TRUE(kind == MoveKind::kSwap || kind == MoveKind::kSwapRotate);
+  }
+}
+
+TEST(MovesTest, SingleModulePlacementNeverSwaps) {
+  Placement p(schedule_with(1), 16, 16);
+  MoveOptions options;
+  options.single_move_probability = 0.0;  // would swap, but cannot
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const MoveKind kind = apply_random_move(p, 0.5, options, rng);
+    EXPECT_TRUE(kind == MoveKind::kDisplace ||
+                kind == MoveKind::kDisplaceRotate);
+  }
+}
+
+TEST(MovesTest, RotationOnlyAffectsNonSquareModules) {
+  Placement p(schedule_with(2), 16, 16);
+  MoveOptions options;
+  options.single_move_probability = 1.0;
+  options.rotate_probability = 1.0;
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    apply_random_move(p, 0.5, options, rng);
+    EXPECT_FALSE(p.module(0).rotated);  // 4x4 is rotation-invariant
+  }
+}
+
+TEST(MovesTest, SwapExchangesNeighborhoods) {
+  Placement p(schedule_with(2), 16, 16);
+  p.set_anchor(0, {0, 0});
+  p.set_anchor(1, {10, 8});
+  MoveOptions options;
+  options.single_move_probability = 0.0;
+  options.rotate_probability = 0.0;
+  Rng rng(15);
+  apply_random_move(p, 0.5, options, rng);
+  // Anchors swapped (clamping may adjust, but both fit here).
+  EXPECT_EQ(p.module(0).anchor, (Point{10, 8}));
+  EXPECT_EQ(p.module(1).anchor, (Point{0, 0}));
+}
+
+TEST(MovesTest, MoveMixMatchesProbability) {
+  Placement p(schedule_with(4), 16, 16);
+  MoveOptions options;
+  options.single_move_probability = 0.8;  // the paper's p
+  Rng rng(17);
+  std::map<MoveKind, int> histogram;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    ++histogram[apply_random_move(p, 0.5, options, rng)];
+  }
+  const double single_fraction =
+      static_cast<double>(histogram[MoveKind::kDisplace] +
+                          histogram[MoveKind::kDisplaceRotate]) /
+      trials;
+  EXPECT_NEAR(single_fraction, 0.8, 0.02);
+}
+
+}  // namespace
+}  // namespace dmfb

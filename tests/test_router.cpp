@@ -1,0 +1,118 @@
+// Tests for the droplet router (sim/router.h).
+#include "sim/router.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dmfb {
+namespace {
+
+Matrix<std::uint8_t> open_grid(int w, int h) {
+  return Matrix<std::uint8_t>(w, h, 0);
+}
+
+TEST(RouterTest, TrivialSameCell) {
+  const auto grid = open_grid(5, 5);
+  const auto path = find_path(grid, {2, 2}, {2, 2});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(RouterTest, StraightLineIsShortest) {
+  const auto grid = open_grid(10, 3);
+  const auto path = find_path(grid, {0, 1}, {9, 1});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(static_cast<int>(path->size()) - 1, 9);
+  EXPECT_TRUE(is_valid_path(grid, *path));
+}
+
+TEST(RouterTest, PathLengthEqualsManhattanWhenUnobstructed) {
+  const auto grid = open_grid(8, 8);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Point from{static_cast<int>(rng.next_below(8)),
+                     static_cast<int>(rng.next_below(8))};
+    const Point to{static_cast<int>(rng.next_below(8)),
+                   static_cast<int>(rng.next_below(8))};
+    const auto path = find_path(grid, from, to);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(static_cast<int>(path->size()) - 1,
+              manhattan_distance(from, to));
+  }
+}
+
+TEST(RouterTest, RoutesAroundWall) {
+  auto grid = open_grid(7, 7);
+  for (int y = 0; y < 6; ++y) grid.at(3, y) = 1;  // wall with gap at top
+  const auto path = find_path(grid, {0, 0}, {6, 0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(is_valid_path(grid, *path));
+  // Must detour through y = 6: length > Manhattan distance.
+  EXPECT_GT(static_cast<int>(path->size()) - 1, 6);
+}
+
+TEST(RouterTest, NoPathThroughClosedWall) {
+  auto grid = open_grid(7, 7);
+  for (int y = 0; y < 7; ++y) grid.at(3, y) = 1;
+  EXPECT_FALSE(find_path(grid, {0, 0}, {6, 0}).has_value());
+}
+
+TEST(RouterTest, BlockedEndpointsFail) {
+  auto grid = open_grid(5, 5);
+  grid.at(0, 0) = 1;
+  EXPECT_FALSE(find_path(grid, {0, 0}, {4, 4}).has_value());
+  EXPECT_FALSE(find_path(grid, {4, 4}, {0, 0}).has_value());
+}
+
+TEST(RouterTest, OutOfBoundsEndpointsFail) {
+  const auto grid = open_grid(5, 5);
+  EXPECT_FALSE(find_path(grid, {-1, 0}, {4, 4}).has_value());
+  EXPECT_FALSE(find_path(grid, {0, 0}, {5, 0}).has_value());
+}
+
+TEST(RouterTest, PathDuration) {
+  DropletPath path{{0, 0}, {1, 0}, {2, 0}, {2, 1}};
+  EXPECT_DOUBLE_EQ(path_duration_s(path, 10.0), 0.3);
+  EXPECT_DOUBLE_EQ(path_duration_s({{0, 0}}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(path_duration_s(path, 0.0), 0.0);
+}
+
+TEST(RouterTest, IsValidPathRejectsJumpsAndBlockedCells) {
+  auto grid = open_grid(5, 5);
+  EXPECT_TRUE(is_valid_path(grid, {{0, 0}, {1, 0}, {1, 1}}));
+  EXPECT_FALSE(is_valid_path(grid, {{0, 0}, {2, 0}}));   // jump
+  EXPECT_FALSE(is_valid_path(grid, {{0, 0}, {1, 1}}));   // diagonal
+  EXPECT_FALSE(is_valid_path(grid, {}));                 // empty
+  grid.at(1, 0) = 1;
+  EXPECT_FALSE(is_valid_path(grid, {{0, 0}, {1, 0}}));   // blocked
+}
+
+TEST(RouterTest, MazeProperty) {
+  // Random mazes: whenever a path is found it must be valid; when the
+  // straight-line corridor is fully open the path must be optimal.
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int w = 4 + static_cast<int>(rng.next_below(10));
+    const int h = 4 + static_cast<int>(rng.next_below(10));
+    auto grid = open_grid(w, h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        grid.at(x, y) = rng.next_bool(0.25) ? 1 : 0;
+      }
+    }
+    grid.at(0, 0) = 0;
+    grid.at(w - 1, h - 1) = 0;
+    const auto path = find_path(grid, {0, 0}, {w - 1, h - 1});
+    if (path) {
+      EXPECT_TRUE(is_valid_path(grid, *path));
+      EXPECT_GE(static_cast<int>(path->size()) - 1,
+                manhattan_distance({0, 0}, {w - 1, h - 1}));
+      EXPECT_EQ(path->front(), (Point{0, 0}));
+      EXPECT_EQ(path->back(), (Point{w - 1, h - 1}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,231 @@
+// Tests for list scheduling, resource constraints and storage insertion
+// (assay/scheduler.h, assay/schedule.h).
+#include "assay/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assay/assay_library.h"
+#include "biochip/module_library.h"
+
+namespace dmfb {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Finds a scheduled module by label; fails the test when absent.
+const ScheduledModule& find_module(const Schedule& schedule,
+                                   const std::string& label) {
+  for (const auto& m : schedule.modules()) {
+    if (m.label == label) return m;
+  }
+  ADD_FAILURE() << "module '" << label << "' not scheduled";
+  static const ScheduledModule missing{};
+  return missing;
+}
+
+TEST(ScheduleTest, MakespanAndAdd) {
+  Schedule s;
+  EXPECT_DOUBLE_EQ(s.makespan_s(), 0.0);
+  const ModuleSpec spec{"m", ModuleKind::kMixer, 2, 2, 5.0};
+  s.add(ScheduledModule{0, "a", spec, 0.0, 5.0, -1, -1});
+  s.add(ScheduledModule{1, "b", spec, 3.0, 9.0, -1, -1});
+  EXPECT_DOUBLE_EQ(s.makespan_s(), 9.0);
+  EXPECT_EQ(s.module_count(), 2);
+}
+
+TEST(ScheduleTest, NegativeDurationThrows) {
+  Schedule s;
+  const ModuleSpec spec{"m", ModuleKind::kMixer, 2, 2, 5.0};
+  EXPECT_THROW(s.add(ScheduledModule{0, "a", spec, 5.0, 4.0, -1, -1}),
+               std::invalid_argument);
+}
+
+TEST(ScheduleTest, TimeSlicesPartitionActivity) {
+  Schedule s;
+  const ModuleSpec spec{"m", ModuleKind::kMixer, 2, 2, 5.0};
+  s.add(ScheduledModule{0, "a", spec, 0.0, 10.0, -1, -1});
+  s.add(ScheduledModule{1, "b", spec, 5.0, 15.0, -1, -1});
+  const auto slices = s.time_slices();
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_DOUBLE_EQ(slices[0].begin_s, 0.0);
+  EXPECT_DOUBLE_EQ(slices[0].end_s, 5.0);
+  EXPECT_EQ(slices[0].active, std::vector<int>{0});
+  EXPECT_EQ(slices[1].active, (std::vector<int>{0, 1}));
+  EXPECT_EQ(slices[2].active, std::vector<int>{1});
+}
+
+TEST(ScheduleTest, ActiveAtBoundaryIsHalfOpen) {
+  Schedule s;
+  const ModuleSpec spec{"m", ModuleKind::kMixer, 2, 2, 5.0};
+  s.add(ScheduledModule{0, "a", spec, 0.0, 5.0, -1, -1});
+  s.add(ScheduledModule{1, "b", spec, 5.0, 10.0, -1, -1});
+  EXPECT_EQ(s.active_at(4.999), std::vector<int>{0});
+  EXPECT_EQ(s.active_at(5.0), std::vector<int>{1});  // a ended, b started
+}
+
+TEST(ScheduleTest, PeakConcurrentCells) {
+  Schedule s;
+  const ModuleSpec small{"s", ModuleKind::kMixer, 1, 1, 5.0};   // 3x3 = 9
+  const ModuleSpec large{"l", ModuleKind::kMixer, 2, 2, 5.0};   // 4x4 = 16
+  s.add(ScheduledModule{0, "a", small, 0.0, 10.0, -1, -1});
+  s.add(ScheduledModule{1, "b", large, 5.0, 15.0, -1, -1});
+  s.add(ScheduledModule{2, "c", small, 20.0, 25.0, -1, -1});
+  EXPECT_EQ(s.peak_concurrent_cells(), 25);  // a+b in [5,10)
+}
+
+TEST(ListSchedulerTest, UnconstrainedPcrIsAsap) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  const Schedule s = asap_schedule(graph, binding, /*insert_storage=*/false);
+
+  // Leaves all start at 0 (dispense duration is 0 by default).
+  EXPECT_NEAR(find_module(s, "M1").start_s, 0.0, kTol);
+  EXPECT_NEAR(find_module(s, "M2").start_s, 0.0, kTol);
+  EXPECT_NEAR(find_module(s, "M3").start_s, 0.0, kTol);
+  EXPECT_NEAR(find_module(s, "M4").start_s, 0.0, kTol);
+  // M5 waits for M1 (10 s) and M2 (5 s).
+  EXPECT_NEAR(find_module(s, "M5").start_s, 10.0, kTol);
+  // M6 waits for M3 (6 s) and M4 (5 s).
+  EXPECT_NEAR(find_module(s, "M6").start_s, 6.0, kTol);
+  // M7 waits for M5 (ends 15) and M6 (ends 16).
+  EXPECT_NEAR(find_module(s, "M7").start_s, 16.0, kTol);
+  EXPECT_NEAR(s.makespan_s(), 19.0, kTol);
+}
+
+TEST(ListSchedulerTest, PrecedenceAlwaysHolds) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  for (int limit : {1, 2, 3, 100}) {
+    SchedulerOptions options;
+    options.constraints.max_concurrent_modules = limit;
+    const Schedule s = list_schedule(graph, binding, options);
+    EXPECT_TRUE(s.validate_against(graph).empty()) << "limit=" << limit;
+  }
+}
+
+TEST(ListSchedulerTest, ConcurrencyLimitIsRespected) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  for (int limit : {1, 2, 3}) {
+    SchedulerOptions options;
+    options.constraints.max_concurrent_modules = limit;
+    options.insert_storage = false;
+    const Schedule s = list_schedule(graph, binding, options);
+    for (const auto& slice : s.time_slices()) {
+      EXPECT_LE(static_cast<int>(slice.active.size()), limit)
+          << "limit=" << limit << " at t=" << slice.begin_s;
+    }
+  }
+}
+
+TEST(ListSchedulerTest, TighterLimitNeverShortensMakespan) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  double previous = 0.0;
+  for (int limit : {4, 3, 2, 1}) {
+    SchedulerOptions options;
+    options.constraints.max_concurrent_modules = limit;
+    const double makespan =
+        list_schedule(graph, binding, options).makespan_s();
+    EXPECT_GE(makespan, previous - kTol) << "limit=" << limit;
+    previous = makespan;
+  }
+}
+
+TEST(ListSchedulerTest, SerialLimitSumsDurations) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  SchedulerOptions options;
+  options.constraints.max_concurrent_modules = 1;
+  const Schedule s = list_schedule(graph, binding, options);
+  // With one module at a time, the makespan is the sum of all durations.
+  EXPECT_NEAR(s.makespan_s(), 10 + 5 + 6 + 5 + 5 + 10 + 3, kTol);
+}
+
+TEST(ListSchedulerTest, StorageInsertedForWaitingDroplets) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  const Schedule s = asap_schedule(graph, binding, /*insert_storage=*/true);
+
+  // M3 ends at 6 but M6 starts at 6 (no storage); M2 ends at 5 and M5
+  // starts at 10, so M2's droplet needs 5 s of storage.
+  const auto& storage = find_module(s, "S(M2)");
+  EXPECT_NEAR(storage.start_s, 5.0, kTol);
+  EXPECT_NEAR(storage.end_s, 10.0, kTol);
+  EXPECT_EQ(storage.spec.kind, ModuleKind::kStorage);
+  EXPECT_EQ(storage.op_id, -1);
+  EXPECT_GE(storage.producer_op, 0);
+  EXPECT_GE(storage.consumer_op, 0);
+}
+
+TEST(ListSchedulerTest, NoStorageWhenDisabled) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  const Schedule s = asap_schedule(graph, binding, /*insert_storage=*/false);
+  for (const auto& m : s.modules()) {
+    EXPECT_NE(m.spec.kind, ModuleKind::kStorage);
+  }
+}
+
+TEST(ListSchedulerTest, PerKindLimit) {
+  const ModuleLibrary lib = ModuleLibrary::standard();
+  const auto assay = multiplexed_diagnostics_assay(2, 2, lib);
+  SchedulerOptions options = assay.scheduler_options;
+  options.constraints.max_concurrent_by_kind[ModuleKind::kDetector] = 1;
+  const Schedule s = list_schedule(assay.graph, assay.binding, options);
+  for (const auto& slice : s.time_slices()) {
+    int detectors = 0;
+    for (int index : slice.active) {
+      if (s.module(index).spec.kind == ModuleKind::kDetector) ++detectors;
+    }
+    EXPECT_LE(detectors, 1);
+  }
+  EXPECT_TRUE(s.validate_against(assay.graph).empty());
+}
+
+TEST(ListSchedulerTest, InvalidBindingThrows) {
+  const auto graph = pcr_mixing_graph();
+  Binding empty;
+  EXPECT_THROW(list_schedule(graph, empty, {}), std::invalid_argument);
+}
+
+TEST(ListSchedulerTest, DispenseDurationDelaysLeaves) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  SchedulerOptions options;
+  options.constraints.dispense_duration_s = 2.0;
+  const Schedule s = list_schedule(graph, binding, options);
+  EXPECT_NEAR(find_module(s, "M1").start_s, 2.0, kTol);
+}
+
+TEST(ListSchedulerTest, DispensePortLimitSerializesDispenses) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  SchedulerOptions options;
+  options.constraints.dispense_duration_s = 1.0;
+  options.constraints.max_concurrent_dispenses = 1;
+  const Schedule s = list_schedule(graph, binding, options);
+  // Eight dispenses through one port take 8 s; the last mix waits on the
+  // slowest chain. Makespan must exceed the unconstrained 19 + 2.
+  EXPECT_GT(s.makespan_s(), 19.0 + kTol);
+  EXPECT_TRUE(s.validate_against(graph).empty());
+}
+
+TEST(ScheduleValidationTest, DetectsPrecedenceViolation) {
+  const auto graph = pcr_mixing_graph();
+  const auto binding = pcr_table1_binding(graph);
+  Schedule bad;
+  for (const auto& op : graph.operations()) {
+    if (op.type != OperationType::kMix) continue;
+    // Everything starts at 0: children overlap their parents.
+    const ModuleSpec spec = binding.at(op.id);
+    bad.add(ScheduledModule{op.id, op.label, spec, 0.0, spec.duration_s, -1,
+                            -1});
+  }
+  EXPECT_FALSE(bad.validate_against(graph).empty());
+}
+
+}  // namespace
+}  // namespace dmfb

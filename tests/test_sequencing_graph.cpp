@@ -1,0 +1,130 @@
+// Unit tests for the bioassay DAG (assay/sequencing_graph.h).
+#include "assay/sequencing_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmfb {
+namespace {
+
+SequencingGraph diamond() {
+  // d -> m1 -> m3, d -> m2 -> m3
+  SequencingGraph g("diamond");
+  const auto d = g.add_operation(OperationType::kDispense, "d", "water");
+  const auto m1 = g.add_operation(OperationType::kMix, "m1");
+  const auto m2 = g.add_operation(OperationType::kMix, "m2");
+  const auto m3 = g.add_operation(OperationType::kMix, "m3");
+  g.add_dependency(d, m1);
+  g.add_dependency(d, m2);
+  g.add_dependency(m1, m3);
+  g.add_dependency(m2, m3);
+  return g;
+}
+
+TEST(SequencingGraphTest, AddOperationAssignsSequentialIds) {
+  SequencingGraph g;
+  EXPECT_EQ(g.add_operation(OperationType::kDispense), 0);
+  EXPECT_EQ(g.add_operation(OperationType::kMix), 1);
+  EXPECT_EQ(g.operation_count(), 2);
+}
+
+TEST(SequencingGraphTest, DefaultLabelsFromType) {
+  SequencingGraph g;
+  const auto id = g.add_operation(OperationType::kMix);
+  EXPECT_EQ(g.operation(id).label, "mix0");
+}
+
+TEST(SequencingGraphTest, EdgesAndNeighbors) {
+  const auto g = diamond();
+  EXPECT_EQ(g.successors(0).size(), 2u);
+  EXPECT_EQ(g.predecessors(3).size(), 2u);
+  EXPECT_TRUE(g.predecessors(0).empty());
+  EXPECT_TRUE(g.successors(3).empty());
+}
+
+TEST(SequencingGraphTest, DuplicateEdgeIgnored) {
+  SequencingGraph g;
+  const auto a = g.add_operation(OperationType::kDispense);
+  const auto b = g.add_operation(OperationType::kMix);
+  g.add_dependency(a, b);
+  g.add_dependency(a, b);
+  EXPECT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.predecessors(b).size(), 1u);
+}
+
+TEST(SequencingGraphTest, SelfEdgeThrows) {
+  SequencingGraph g;
+  const auto a = g.add_operation(OperationType::kMix);
+  EXPECT_THROW(g.add_dependency(a, a), std::invalid_argument);
+}
+
+TEST(SequencingGraphTest, BadIdsThrow) {
+  SequencingGraph g;
+  g.add_operation(OperationType::kMix);
+  EXPECT_THROW(g.add_dependency(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_dependency(-1, 0), std::out_of_range);
+  EXPECT_THROW(g.operation(7), std::out_of_range);
+}
+
+TEST(SequencingGraphTest, SourcesAndSinks) {
+  const auto g = diamond();
+  EXPECT_EQ(g.sources(), std::vector<OperationId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<OperationId>{3});
+}
+
+TEST(SequencingGraphTest, TopologicalOrderRespectsEdges) {
+  const auto g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto position = [&](OperationId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(position(0), position(1));
+  EXPECT_LT(position(0), position(2));
+  EXPECT_LT(position(1), position(3));
+  EXPECT_LT(position(2), position(3));
+}
+
+TEST(SequencingGraphTest, AcyclicDetection) {
+  EXPECT_TRUE(diamond().is_acyclic());
+}
+
+TEST(SequencingGraphTest, LongestPath) {
+  const auto g = diamond();
+  EXPECT_EQ(g.longest_path_length(), 3);  // d -> m1 -> m3
+  SequencingGraph empty;
+  EXPECT_EQ(empty.longest_path_length(), 0);
+  SequencingGraph single;
+  single.add_operation(OperationType::kMix);
+  EXPECT_EQ(single.longest_path_length(), 1);
+}
+
+TEST(SequencingGraphTest, ReconfigurableOperations) {
+  const auto g = diamond();
+  const auto ops = g.reconfigurable_operations();
+  EXPECT_EQ(ops, (std::vector<OperationId>{1, 2, 3}));  // dispense excluded
+}
+
+TEST(OperationTypeTest, ReconfigurabilityClassification) {
+  EXPECT_FALSE(is_reconfigurable(OperationType::kDispense));
+  EXPECT_FALSE(is_reconfigurable(OperationType::kOutput));
+  EXPECT_TRUE(is_reconfigurable(OperationType::kMix));
+  EXPECT_TRUE(is_reconfigurable(OperationType::kDilute));
+  EXPECT_TRUE(is_reconfigurable(OperationType::kStore));
+  EXPECT_TRUE(is_reconfigurable(OperationType::kDetect));
+}
+
+TEST(OperationTypeTest, ModuleKindMapping) {
+  EXPECT_EQ(module_kind_for(OperationType::kMix), ModuleKind::kMixer);
+  EXPECT_EQ(module_kind_for(OperationType::kDilute), ModuleKind::kDilutor);
+  EXPECT_EQ(module_kind_for(OperationType::kStore), ModuleKind::kStorage);
+  EXPECT_EQ(module_kind_for(OperationType::kDetect), ModuleKind::kDetector);
+  EXPECT_THROW(module_kind_for(OperationType::kDispense),
+               std::invalid_argument);
+  EXPECT_THROW(module_kind_for(OperationType::kOutput), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,71 @@
+// Tests for SVG rendering (util/svg.h).
+#include "util/svg.h"
+
+#include <gtest/gtest.h>
+
+namespace dmfb {
+namespace {
+
+TEST(SvgTest, GridDocumentIsWellFormed) {
+  const std::string svg = render_svg_grid(
+      8, 6, {SvgRect{Rect{0, 0, 4, 4}, "M1", palette_color(0)}});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("M1"), std::string::npos);
+  EXPECT_NE(svg.find(palette_color(0)), std::string::npos);
+}
+
+TEST(SvgTest, GridFlipsYAxis) {
+  // A 1x1 rect at cell (0,0) with cell_px=10 on a 2x2 grid must render at
+  // pixel y = 10 (bottom row), not 0.
+  const std::string svg =
+      render_svg_grid(2, 2, {SvgRect{Rect{0, 0, 1, 1}, "", "#000000"}}, 10);
+  EXPECT_NE(svg.find("<rect x=\"0\" y=\"10\" width=\"10\" height=\"10\""),
+            std::string::npos);
+}
+
+TEST(SvgTest, FaultMarksRendered) {
+  const std::string svg = render_svg_grid(4, 4, {}, 10, {Point{1, 1}});
+  // Two stroke lines per X mark.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("#cc0000", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SvgTest, LabelsAreEscaped) {
+  const std::string svg = render_svg_grid(
+      4, 4, {SvgRect{Rect{0, 0, 2, 2}, "a<b&c>", "#123456"}});
+  EXPECT_NE(svg.find("a&lt;b&amp;c&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+}
+
+TEST(SvgTest, GanttBarsScaleWithTime) {
+  const std::string svg = render_svg_gantt(
+      {SvgGanttBar{"M1", 0.0, 10.0, "#4e79a7"},
+       SvgGanttBar{"M2", 10.0, 15.0, "#f28e2b"}},
+      /*seconds_per_px=*/1.0);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("M1"), std::string::npos);
+  EXPECT_NE(svg.find("M2"), std::string::npos);
+  // M1 spans 10 px starting at the label gutter (x=80).
+  EXPECT_NE(svg.find("<rect x=\"80\" y=\"5\" width=\"10\""),
+            std::string::npos);
+}
+
+TEST(SvgTest, PaletteWraps) {
+  EXPECT_EQ(palette_color(0), palette_color(10));
+  EXPECT_NE(palette_color(0), palette_color(1));
+}
+
+TEST(SvgTest, EmptyRectSkipped) {
+  const std::string svg =
+      render_svg_grid(4, 4, {SvgRect{Rect{}, "ghost", "#000000"}});
+  EXPECT_EQ(svg.find("ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,77 @@
+// Unit tests for the bench output helpers (util/table.h, util/csv.h).
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace dmfb {
+namespace {
+
+TEST(TextTableTest, EmptyTablePrintsNothing) {
+  const TextTable table;
+  EXPECT_EQ(table.to_string(), "");
+}
+
+TEST(TextTableTest, HeaderAndRows) {
+  TextTable table("Title");
+  table.set_header({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(out.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table;
+  table.set_header({"x", "y", "z"});
+  table.add_row({"only"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+  // Three columns rendered on every row.
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), '|'), 4) << line;
+  }
+}
+
+TEST(TextTableTest, LongRowExtendsColumnCount) {
+  TextTable table;
+  table.set_header({"x"});
+  table.add_row({"1", "2", "3"});
+  EXPECT_EQ(table.column_count(), 3u);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+  EXPECT_EQ(format_mm2(141.75), "141.75");
+}
+
+TEST(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvTest, EscapeQuotesAndCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WriteRow) {
+  std::ostringstream os;
+  write_csv_row(os, {"a", "b,c", "3"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",3\n");
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,134 @@
+// Tests for the on-line test-droplet walker (sim/tester.h).
+#include "sim/tester.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/fault.h"
+#include "util/rng.h"
+
+namespace dmfb {
+namespace {
+
+TEST(TesterTest, HealthyIdleChipFullCoverage) {
+  const Chip chip(6, 5);
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip);
+  EXPECT_FALSE(result.fault_detected);
+  EXPECT_EQ(result.cells_reachable, 30);
+  EXPECT_EQ(result.cells_visited, 30);
+  EXPECT_TRUE(result.complete_coverage());
+  EXPECT_GE(result.steps_taken, 29);  // at least one move per new cell
+}
+
+TEST(TesterTest, DetectsAndLocalizesSingleFault) {
+  Chip chip(8, 8);
+  const Point fault{5, 3};
+  inject_fault(chip, fault);
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip);
+  EXPECT_TRUE(result.fault_detected);
+  EXPECT_EQ(result.faulty_cell, fault);
+  EXPECT_LT(result.cells_visited, 64);
+}
+
+TEST(TesterTest, DetectsFaultAtStartCell) {
+  Chip chip(4, 4);
+  inject_fault(chip, Point{0, 0});
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip);
+  EXPECT_TRUE(result.fault_detected);
+  EXPECT_EQ(result.faulty_cell, (Point{0, 0}));
+}
+
+TEST(TesterTest, EveryFaultLocationIsDetected) {
+  const OnlineTester tester;
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      Chip chip(5, 5);
+      inject_fault(chip, Point{x, y});
+      const auto result = tester.run_test(chip);
+      EXPECT_TRUE(result.fault_detected) << x << "," << y;
+      EXPECT_EQ(result.faulty_cell, (Point{x, y}));
+    }
+  }
+}
+
+TEST(TesterTest, OccupiedCellsAreSkipped) {
+  const Chip chip(6, 6);
+  Matrix<std::uint8_t> occupied(6, 6, 0);
+  // A 3x3 module in the middle; the ring around it stays walkable.
+  for (int y = 1; y <= 3; ++y) {
+    for (int x = 1; x <= 3; ++x) occupied.at(x, y) = 1;
+  }
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip, occupied, Point{0, 0});
+  EXPECT_FALSE(result.fault_detected);
+  EXPECT_EQ(result.cells_reachable, 36 - 9);
+  EXPECT_TRUE(result.complete_coverage());
+}
+
+TEST(TesterTest, FaultUnderModuleNotDetectedByPerimeterWalk) {
+  // A fault hidden under an occupied module is invisible to the test
+  // droplet — exactly why testing runs continuously as modules move.
+  Chip chip(6, 6);
+  inject_fault(chip, Point{2, 2});
+  Matrix<std::uint8_t> occupied(6, 6, 0);
+  for (int y = 1; y <= 3; ++y) {
+    for (int x = 1; x <= 3; ++x) occupied.at(x, y) = 1;
+  }
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip, occupied, Point{0, 0});
+  EXPECT_FALSE(result.fault_detected);
+  EXPECT_TRUE(result.complete_coverage());
+}
+
+TEST(TesterTest, DisconnectedRegionNotReached) {
+  const Chip chip(5, 5);
+  Matrix<std::uint8_t> occupied(5, 5, 0);
+  for (int y = 0; y < 5; ++y) occupied.at(2, y) = 1;  // full wall
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip, occupied, Point{0, 0});
+  EXPECT_EQ(result.cells_reachable, 10);  // left half only
+  EXPECT_EQ(result.cells_visited, 10);
+}
+
+TEST(TesterTest, OccupiedStartReturnsEmptyResult) {
+  const Chip chip(4, 4);
+  Matrix<std::uint8_t> occupied(4, 4, 0);
+  occupied.at(0, 0) = 1;
+  const OnlineTester tester;
+  const auto result = tester.run_test(chip, occupied, Point{0, 0});
+  EXPECT_FALSE(result.fault_detected);
+  EXPECT_EQ(result.cells_visited, 0);
+}
+
+TEST(TesterTest, MismatchedGridThrows) {
+  const Chip chip(4, 4);
+  const Matrix<std::uint8_t> occupied(5, 4, 0);
+  const OnlineTester tester;
+  EXPECT_THROW(tester.run_test(chip, occupied, Point{0, 0}),
+               std::invalid_argument);
+}
+
+TEST(TesterTest, RandomOccupancyAlwaysCoversReachableCells) {
+  Rng rng(23);
+  const OnlineTester tester;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int w = 4 + static_cast<int>(rng.next_below(6));
+    const int h = 4 + static_cast<int>(rng.next_below(6));
+    Chip chip(w, h);
+    Matrix<std::uint8_t> occupied(w, h, 0);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        occupied.at(x, y) = rng.next_bool(0.3) ? 1 : 0;
+      }
+    }
+    occupied.at(0, 0) = 0;
+    const auto result = tester.run_test(chip, occupied, Point{0, 0});
+    EXPECT_FALSE(result.fault_detected);
+    EXPECT_TRUE(result.complete_coverage());
+  }
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -1,0 +1,87 @@
+// Tests for the two-stage fault-aware placer (core/two_stage_placer.h).
+// SA schedules are shortened for test speed.
+#include "core/two_stage_placer.h"
+
+#include <gtest/gtest.h>
+
+#include "assay/assay_library.h"
+#include "assay/synthesis.h"
+#include "core/fti.h"
+
+namespace dmfb {
+namespace {
+
+Schedule pcr_schedule() {
+  const auto assay = pcr_mixing_assay();
+  return synthesize_with_binding(assay.graph, assay.binding,
+                                 assay.scheduler_options)
+      .schedule;
+}
+
+TwoStageOptions fast_options(double beta) {
+  TwoStageOptions options;
+  options.beta = beta;
+  options.stage1.schedule.initial_temperature = 1000.0;
+  options.stage1.schedule.cooling_rate = 0.8;
+  options.stage1.schedule.iterations_per_module = 60;
+  options.ltsa.initial_temperature = 50.0;
+  options.ltsa.cooling_rate = 0.8;
+  options.ltsa.iterations_per_module = 60;
+  return options;
+}
+
+TEST(TwoStagePlacerTest, BothStagesFeasible) {
+  const auto outcome = place_two_stage(pcr_schedule(), fast_options(30.0));
+  EXPECT_TRUE(outcome.stage1.placement.feasible());
+  EXPECT_TRUE(outcome.stage2.placement.feasible());
+}
+
+TEST(TwoStagePlacerTest, Stage2ImprovesFti) {
+  const auto outcome = place_two_stage(pcr_schedule(), fast_options(30.0));
+  const double fti1 = evaluate_fti(outcome.stage1.placement).fti();
+  const double fti2 = evaluate_fti(outcome.stage2.placement).fti();
+  EXPECT_GE(fti2, fti1);
+  EXPECT_GT(fti2, 0.0);
+}
+
+TEST(TwoStagePlacerTest, Stage2CostIncludesFti) {
+  const auto outcome = place_two_stage(pcr_schedule(), fast_options(30.0));
+  EXPECT_GT(outcome.stage2.cost.fti, 0.0);
+  // Stage-1 cost never evaluates FTI (beta forced to 0).
+  EXPECT_DOUBLE_EQ(outcome.stage1.cost.fti, 0.0);
+}
+
+TEST(TwoStagePlacerTest, WeightedObjectiveNotWorseThanStage1) {
+  const double beta = 30.0;
+  const auto outcome = place_two_stage(pcr_schedule(), fast_options(beta));
+  const double stage1_weighted =
+      static_cast<double>(outcome.stage1.cost.area_cells) -
+      beta * evaluate_fti(outcome.stage1.placement).fti();
+  const double stage2_weighted =
+      static_cast<double>(outcome.stage2.cost.area_cells) -
+      beta * outcome.stage2.cost.fti;
+  EXPECT_LE(stage2_weighted, stage1_weighted + 1e-9);
+}
+
+TEST(TwoStagePlacerTest, HighBetaBuysMoreFtiThanLowBeta) {
+  const auto low = place_two_stage(pcr_schedule(), fast_options(5.0));
+  const auto high = place_two_stage(pcr_schedule(), fast_options(80.0));
+  EXPECT_GE(high.stage2.cost.fti, low.stage2.cost.fti - 1e-9);
+}
+
+TEST(TwoStagePlacerTest, DeterministicForSeeds) {
+  const Schedule schedule = pcr_schedule();
+  const auto a = place_two_stage(schedule, fast_options(30.0));
+  const auto b = place_two_stage(schedule, fast_options(30.0));
+  EXPECT_EQ(a.stage2.cost.area_cells, b.stage2.cost.area_cells);
+  EXPECT_DOUBLE_EQ(a.stage2.cost.fti, b.stage2.cost.fti);
+}
+
+TEST(TwoStagePlacerTest, DefaultLtsaIsLowTemperature) {
+  const TwoStageOptions options;
+  EXPECT_LT(options.ltsa.initial_temperature,
+            options.stage1.schedule.initial_temperature);
+}
+
+}  // namespace
+}  // namespace dmfb
