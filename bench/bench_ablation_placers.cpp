@@ -1,17 +1,16 @@
 // bench_ablation_placers — placer shoot-out. The paper argues annealing
 // over DRFPGA-style online template placement ([11], Bazargan et al.) and
-// a greedy baseline (§6.1); this bench puts all of them side by side:
+// a greedy baseline (§6.1); this bench puts every placer registered in the
+// PlacerRegistry side by side:
 //   * greedy bottom-left (the paper's baseline),
 //   * KAMER-style online best-fit over maximal empty rectangles,
 //   * simulated annealing (the paper's method),
+//   * two-stage fault-aware annealing,
 //   * exact branch-and-bound (ground truth, small instances only).
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/fti.h"
-#include "core/greedy_placer.h"
-#include "core/kamer_placer.h"
-#include "core/optimal_placer.h"
 #include "util/table.h"
 
 using namespace dmfb;
@@ -20,8 +19,7 @@ namespace {
 
 /// A reduced PCR instance (first stage of the mix tree) small enough for
 /// the exact search.
-Schedule small_instance() {
-  const auto full = bench::synthesized_pcr().schedule;
+Schedule small_instance(const Schedule& full) {
   Schedule reduced;
   for (const auto& m : full.modules()) {
     if (m.label == "M1" || m.label == "M2" || m.label == "M3" ||
@@ -35,77 +33,73 @@ Schedule small_instance() {
 }  // namespace
 
 int main() {
-  bench::banner("Ablation A6 — greedy vs KAMER vs SA vs exact optimum");
+  bench::banner("Ablation A6 — every registered placer, side by side");
+
+  const Schedule full = bench::pcr_via_pipeline().schedule;
+  const PlacerContext context = bench::paper_context();
 
   // Full PCR: heuristics only (10 modules is beyond exact search).
   {
-    const auto synth = bench::synthesized_pcr();
     TextTable table("Full PCR mixing stage (10 modules incl. storage)");
     table.set_header({"placer", "cells", "area (mm^2)", "FTI"});
-
-    const Placement greedy = place_greedy(synth.schedule, 24, 24);
-    table.add_row({"greedy bottom-left",
-                   std::to_string(greedy.bounding_box_cells()),
-                   format_mm2(greedy.bounding_box_cells() *
-                              kPaperCellAreaMm2),
-                   format_double(evaluate_fti(greedy).fti(), 4)});
-
-    const auto kamer = smallest_kamer_array(synth.schedule, 24);
-    if (kamer) {
-      table.add_row({"KAMER online best-fit",
-                     std::to_string(kamer->placement.bounding_box_cells()),
-                     format_mm2(kamer->placement.bounding_box_cells() *
-                                kPaperCellAreaMm2),
-                     format_double(evaluate_fti(kamer->placement).fti(), 4)});
+    for (const auto& name : registered_placers()) {
+      if (name == "optimal") continue;  // instance too large for exact search
+      try {
+        const PlacementOutcome outcome =
+            make_placer(name)->place(full, context);
+        table.add_row({name, std::to_string(outcome.cost.area_cells),
+                       format_mm2(outcome.cost.area_mm2()),
+                       format_double(evaluate_fti(outcome.placement).fti(),
+                                     4)});
+        bench::emit_json_line("ablation_placers_full", name,
+                              static_cast<double>(outcome.cost.area_cells),
+                              outcome.wall_seconds);
+      } catch (const std::exception& e) {
+        // An infeasible backend costs its row, not the whole shoot-out.
+        table.add_row({name, "failed", e.what(), "-"});
+      }
     }
-
-    const auto sa = place_simulated_annealing(synth.schedule,
-                                              bench::paper_sa_options());
-    table.add_row({"simulated annealing (paper)",
-                   std::to_string(sa.cost.area_cells),
-                   format_mm2(sa.cost.area_mm2()),
-                   format_double(evaluate_fti(sa.placement).fti(), 4)});
     table.print(std::cout);
   }
 
-  // Reduced instance: the exact optimum is computable, giving the SA
-  // optimality gap.
+  // Reduced instance: the exact optimum is computable, giving each
+  // heuristic's optimality gap.
   {
-    const Schedule schedule = small_instance();
-    TextTable table("\nReduced instance (M1..M4 + storage, exact optimum known)");
+    const Schedule schedule = small_instance(full);
+    TextTable table(
+        "\nReduced instance (M1..M4 + storage, exact optimum known)");
     table.set_header({"placer", "cells", "gap vs optimum"});
 
-    const auto optimal = place_optimal(schedule);
-    const Placement greedy = place_greedy(schedule, 24, 24);
-    SaPlacerOptions sa_options = bench::paper_sa_options();
-    const auto sa = place_simulated_annealing(schedule, sa_options);
-    const auto kamer = smallest_kamer_array(schedule, 24);
-
+    const PlacementOutcome optimal =
+        make_placer("optimal")->place(schedule, context);
     auto gap = [&](long long cells) {
       return format_double(
-                 100.0 * (static_cast<double>(cells) / optimal.area_cells -
+                 100.0 * (static_cast<double>(cells) /
+                              optimal.cost.area_cells -
                           1.0),
                  1) +
              "%";
     };
-    table.add_row({"exact branch-and-bound",
-                   std::to_string(optimal.area_cells), "0.0%"});
-    table.add_row({"simulated annealing (paper)",
-                   std::to_string(sa.cost.area_cells),
-                   gap(sa.cost.area_cells)});
-    table.add_row({"greedy bottom-left",
-                   std::to_string(greedy.bounding_box_cells()),
-                   gap(greedy.bounding_box_cells())});
-    if (kamer) {
-      table.add_row({"KAMER online best-fit",
-                     std::to_string(kamer->placement.bounding_box_cells()),
-                     gap(kamer->placement.bounding_box_cells())});
+
+    long long sa_cells = 0;
+    for (const auto& name : registered_placers()) {
+      try {
+        const PlacementOutcome outcome =
+            name == "optimal" ? optimal
+                              : make_placer(name)->place(schedule, context);
+        if (name == "sa") sa_cells = outcome.cost.area_cells;
+        table.add_row({name, std::to_string(outcome.cost.area_cells),
+                       gap(outcome.cost.area_cells)});
+        bench::emit_json_line("ablation_placers_reduced", name,
+                              static_cast<double>(outcome.cost.area_cells),
+                              outcome.wall_seconds);
+      } catch (const std::exception& e) {
+        table.add_row({name, "failed", e.what()});
+      }
     }
     table.print(std::cout);
-    std::cout << "\nexact search visited " << optimal.nodes_visited
-              << " nodes\n";
 
-    const bool sane = sa.cost.area_cells >= optimal.area_cells;
+    const bool sane = sa_cells >= optimal.cost.area_cells;
     std::cout << "shape check (SA >= optimum): " << (sane ? "OK" : "VIOLATED")
               << '\n';
     if (!sane) return 1;

@@ -8,14 +8,47 @@
 #include <string>
 
 #include "assay/assay_library.h"
+#include "assay/pipeline.h"
 #include "assay/synthesis.h"
+#include "core/placer.h"
 #include "core/sa_placer.h"
 #include "core/two_stage_placer.h"
+#include "util/rng.h"
 
 namespace dmfb::bench {
 
 /// Seed used by all reproduction benches (printed so runs are replayable).
 inline constexpr std::uint64_t kBenchSeed = 0xDA7E2005ULL;
+
+/// One machine-readable result line per bench measurement, so the perf
+/// trajectory can be tracked across PRs by grepping stdout:
+///   {"bench":"fig7","placer":"sa","cost":63,"wall_seconds":1.9,"seed":...}
+inline void emit_json_line(const std::string& name, const std::string& placer,
+                           double cost, double wall_seconds,
+                           std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"" << name << "\",\"placer\":\"" << placer
+            << "\",\"cost\":" << cost << ",\"wall_seconds\":" << wall_seconds
+            << ",\"seed\":" << seed << "}\n";
+}
+
+/// Paper-parameter placement context (§4d): T0 = 10^4, alpha = 0.9,
+/// Na = 400, area-only objective — the new-API counterpart of
+/// paper_sa_options() below.
+inline PlacerContext paper_context(std::uint64_t seed = kBenchSeed) {
+  PlacerContext context;
+  context.seed = seed;
+  return context;  // defaults are the paper's
+}
+
+/// The paper's PCR case study synthesized through the pipeline (Table 1
+/// binding, at most two concurrent mixers, storage inserted), stopping
+/// after scheduling — benches drive the placers themselves.
+inline PipelineResult pcr_via_pipeline(std::uint64_t seed = kBenchSeed) {
+  PipelineOptions options;
+  options.place = false;
+  options.seed = seed;
+  return SynthesisPipeline(options).run(pcr_mixing_assay());
+}
 
 /// The paper's PCR case study, synthesized: Table 1 binding, at most two
 /// concurrent mixers, storage inserted for waiting droplets.
@@ -40,7 +73,9 @@ inline TwoStageOptions paper_two_stage_options(double beta,
   TwoStageOptions options;
   options.beta = beta;
   options.stage1 = paper_sa_options(seed);
-  options.stage2_seed = seed ^ 0x5a5a5a5aULL;
+  // Same stage-2 derivation as the registry's "two-stage" adapter, so the
+  // legacy benches and the pipeline reproduce each other from one seed.
+  options.stage2_seed = SplitMix64(seed ^ 0x5a5a5a5aULL).next();
   return options;
 }
 

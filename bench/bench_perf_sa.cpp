@@ -1,12 +1,12 @@
 // bench_perf_sa — microbenchmarks for the annealing machinery: cost
 // evaluation, move generation, and end-to-end placement runs (the paper's
 // §6 runtime context: 5 min for area-only SA, 20 min for two-stage, on a
-// 1.0 GHz Pentium-III).
+// 1.0 GHz Pentium-III). Placement backends are resolved through the
+// PlacerRegistry; the end-to-end pipeline is benchmarked as one unit too.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
 #include "core/cost.h"
-#include "core/greedy_placer.h"
 #include "core/moves.h"
 #include "util/rng.h"
 
@@ -14,9 +14,19 @@ namespace {
 
 using namespace dmfb;
 
+const Schedule& pcr_schedule() {
+  static const Schedule schedule = bench::pcr_via_pipeline().schedule;
+  return schedule;
+}
+
+Placement greedy_pcr_placement() {
+  return make_placer("greedy")
+      ->place(pcr_schedule(), bench::paper_context())
+      .placement;
+}
+
 void BM_CostEvaluationAreaOnly(benchmark::State& state) {
-  const auto synth = bench::synthesized_pcr();
-  const Placement placement = place_greedy(synth.schedule, 24, 24);
+  const Placement placement = greedy_pcr_placement();
   const CostEvaluator evaluator(CostWeights{});
   for (auto _ : state) {
     benchmark::DoNotOptimize(evaluator.cost(placement));
@@ -25,8 +35,7 @@ void BM_CostEvaluationAreaOnly(benchmark::State& state) {
 BENCHMARK(BM_CostEvaluationAreaOnly);
 
 void BM_CostEvaluationWithFti(benchmark::State& state) {
-  const auto synth = bench::synthesized_pcr();
-  const Placement placement = place_greedy(synth.schedule, 24, 24);
+  const Placement placement = greedy_pcr_placement();
   CostWeights weights;
   weights.beta = 30.0;
   const CostEvaluator evaluator(weights);
@@ -37,8 +46,7 @@ void BM_CostEvaluationWithFti(benchmark::State& state) {
 BENCHMARK(BM_CostEvaluationWithFti);
 
 void BM_MoveGeneration(benchmark::State& state) {
-  const auto synth = bench::synthesized_pcr();
-  Placement placement = place_greedy(synth.schedule, 24, 24);
+  Placement placement = greedy_pcr_placement();
   Rng rng(1);
   const MoveOptions options;
   for (auto _ : state) {
@@ -49,17 +57,16 @@ void BM_MoveGeneration(benchmark::State& state) {
 BENCHMARK(BM_MoveGeneration);
 
 void BM_AreaOnlyPlacementEndToEnd(benchmark::State& state) {
-  const auto synth = bench::synthesized_pcr();
   // Shortened schedule so a single iteration stays ~tens of ms.
-  SaPlacerOptions options = bench::paper_sa_options();
-  options.schedule.initial_temperature = 1000.0;
-  options.schedule.cooling_rate = 0.8;
-  options.schedule.iterations_per_module =
-      static_cast<int>(state.range(0));
+  PlacerContext context = bench::paper_context();
+  context.annealing.initial_temperature = 1000.0;
+  context.annealing.cooling_rate = 0.8;
+  context.annealing.iterations_per_module = static_cast<int>(state.range(0));
+  const auto placer = make_placer("sa");
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    options.seed = seed++;
-    const auto outcome = place_simulated_annealing(synth.schedule, options);
+    context.seed = seed++;
+    const auto outcome = placer->place(pcr_schedule(), context);
     benchmark::DoNotOptimize(outcome.cost.area_cells);
   }
   state.counters["Na"] = static_cast<double>(state.range(0));
@@ -70,16 +77,36 @@ BENCHMARK(BM_AreaOnlyPlacementEndToEnd)->Arg(25)->Arg(100)
 void BM_PaperParameterPlacement(benchmark::State& state) {
   // Full paper parameters (T0=1e4, alpha=0.9, Na=400) — the modern
   // counterpart of the paper's 5-minute figure.
-  const auto synth = bench::synthesized_pcr();
-  SaPlacerOptions options = bench::paper_sa_options();
+  PlacerContext context = bench::paper_context();
+  const auto placer = make_placer("sa");
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    options.seed = seed++;
-    const auto outcome = place_simulated_annealing(synth.schedule, options);
+    context.seed = seed++;
+    const auto outcome = placer->place(pcr_schedule(), context);
     benchmark::DoNotOptimize(outcome.cost.area_cells);
   }
 }
 BENCHMARK(BM_PaperParameterPlacement)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineEndToEnd(benchmark::State& state) {
+  // Whole compile driver — bind, schedule, place, route — as users run it.
+  PipelineOptions options;
+  options.placer_context.annealing.initial_temperature = 1000.0;
+  options.placer_context.annealing.cooling_rate = 0.8;
+  options.placer_context.annealing.iterations_per_module =
+      static_cast<int>(state.range(0));
+  const AssayCase assay = pcr_mixing_assay();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    PipelineOptions per_run = options;
+    per_run.seed = seed++;
+    const auto result = SynthesisPipeline(per_run).run(assay);
+    benchmark::DoNotOptimize(result.cost().area_cells);
+  }
+  state.counters["Na"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PipelineEndToEnd)->Arg(25)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

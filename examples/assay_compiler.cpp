@@ -1,9 +1,11 @@
 // assay_compiler — a file-driven CLI for the whole flow: reads an assay
-// description (io/assay_format.h), synthesizes, places (two-stage),
-// reports area/FTI, writes the placement and SVG figures.
+// description (io/assay_format.h), compiles it with the SynthesisPipeline
+// (placer selectable by registry name), reports area/FTI, writes the
+// placement and SVG figures.
 //
-//   $ ./examples/assay_compiler                 # compiles a built-in demo
-//   $ ./examples/assay_compiler my.assay 30     # file + beta
+//   $ ./examples/assay_compiler                      # built-in demo
+//   $ ./examples/assay_compiler my.assay 30          # file + beta
+//   $ ./examples/assay_compiler my.assay 30 greedy   # + placer name
 //
 // If the input file does not exist, the paper's PCR assay is written to
 // it first, so `assay_compiler pcr.assay` is self-bootstrapping.
@@ -12,9 +14,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "assay/synthesis.h"
-#include "core/fti.h"
-#include "core/two_stage_placer.h"
+#include "assay/pipeline.h"
 #include "io/assay_format.h"
 #include "util/svg.h"
 
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   const std::string path = argc >= 2 ? argv[1] : "pcr.assay";
   const double beta = argc >= 3 ? std::atof(argv[2]) : 30.0;
+  const std::string placer_name = argc >= 4 ? argv[3] : "two-stage";
   const ModuleLibrary library = ModuleLibrary::standard();
 
   // Bootstrap: write the PCR demo if the input is missing.
@@ -47,32 +48,39 @@ int main(int argc, char** argv) {
             << assay.graph.operation_count() << " operations, "
             << assay.binding.size() << " bound modules\n";
 
-  const SynthesisResult synth = synthesize_with_binding(
-      assay.graph, assay.binding, assay.scheduler_options);
-  std::cout << "schedule: makespan " << synth.makespan_s << " s, peak "
-            << synth.peak_concurrent_cells << " concurrent cells\n";
-
-  TwoStageOptions options;
-  options.beta = beta;
-  const TwoStageOutcome placed = place_two_stage(synth.schedule, options);
-  const FtiResult fti = evaluate_fti(placed.stage2.placement);
-  std::cout << "placement (beta=" << beta << "): "
-            << placed.stage2.cost.area_cells << " cells ("
-            << placed.stage2.cost.area_mm2() << " mm^2), FTI " << fti.fti()
-            << '\n';
+  PipelineOptions options;
+  options.placer = placer_name;
+  options.placer_context.two_stage_beta = beta;
+  options.observer = [](PipelineStage stage, double seconds,
+                        const std::string& detail) {
+    std::cout << "  [" << stage << "] " << detail << " (" << seconds
+              << " s)\n";
+  };
+  PipelineResult result;
+  try {
+    result = SynthesisPipeline(options).run(assay);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+  }
+  const Placement& placement = result.placement.placement;
+  std::cout << "placement (placer=" << placer_name << ", beta=" << beta
+            << "): " << result.cost().area_cells << " cells ("
+            << result.cost().area_mm2() << " mm^2), FTI "
+            << result.fti.fti() << '\n';
 
   // Artifacts: placement file + one SVG per slice.
   const std::string placement_path = path + ".placement";
   {
     std::ofstream out(placement_path);
-    write_placement(out, placed.stage2.placement);
+    write_placement(out, placement);
   }
-  const Rect box = placed.stage2.placement.bounding_box();
-  const auto& slices = placed.stage2.placement.slice_members();
+  const Rect box = placement.bounding_box();
+  const auto& slices = placement.slice_members();
   for (std::size_t s = 0; s < slices.size(); ++s) {
     std::vector<SvgRect> rects;
     for (const int index : slices[s]) {
-      const auto& m = placed.stage2.placement.module(index);
+      const auto& m = placement.module(index);
       Rect fp = m.footprint();
       fp.x -= box.x;
       fp.y -= box.y;

@@ -4,17 +4,16 @@
 // each mixed with R reagents and optically detected, all on one chip.
 //
 // Shows how the resource constraint (how many mixers may run at once)
-// trades assay completion time against chip area.
+// trades assay completion time against chip area. Each configuration is
+// compiled by one SynthesisPipeline run; the most parallel one is also
+// executed droplet-by-droplet.
 //
 //   $ ./examples/multiplexed_diagnostics [samples reagents]
 #include <cstdlib>
 #include <iostream>
 
 #include "assay/assay_library.h"
-#include "assay/synthesis.h"
-#include "core/fti.h"
-#include "core/sa_placer.h"
-#include "sim/simulator.h"
+#include "assay/pipeline.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -35,37 +34,31 @@ int main(int argc, char** argv) {
     AssayCase assay = multiplexed_diagnostics_assay(samples, reagents,
                                                     library);
     assay.scheduler_options.constraints.max_concurrent_modules = max_mixers;
-    const SynthesisResult synth = synthesize_with_binding(
-        assay.graph, assay.binding, assay.scheduler_options);
 
-    SaPlacerOptions options;
-    options.canvas_width = 32;
-    options.canvas_height = 32;
-    options.schedule.initial_temperature = 2000.0;
-    options.schedule.cooling_rate = 0.85;
-    options.schedule.iterations_per_module = 150;
-    const PlacementOutcome placed =
-        place_simulated_annealing(synth.schedule, options);
-    const double fti = evaluate_fti(placed.placement).fti();
+    PipelineOptions options;
+    options.placer = "sa";
+    options.placer_context.canvas_width = 32;
+    options.placer_context.canvas_height = 32;
+    options.placer_context.annealing.initial_temperature = 2000.0;
+    options.placer_context.annealing.cooling_rate = 0.85;
+    options.placer_context.annealing.iterations_per_module = 150;
+    options.plan_droplet_routes = false;
+    // Sanity: the most parallel configuration actually executes.
+    options.simulate = max_mixers == 4;
+
+    const PipelineResult result = SynthesisPipeline(options).run(assay);
+    if (options.simulate && !result.simulation.success) {
+      std::cerr << "simulation failed: " << result.simulation.failure_reason
+                << '\n';
+      return 1;
+    }
 
     table.add_row({std::to_string(max_mixers),
-                   format_double(synth.makespan_s, 1),
-                   std::to_string(synth.peak_concurrent_cells),
-                   std::to_string(placed.cost.area_cells),
-                   format_mm2(placed.cost.area_mm2()),
-                   format_double(fti, 4)});
-
-    // Sanity: the most parallel configuration actually executes.
-    if (max_mixers == 4) {
-      const Chip chip(32, 32);
-      const Simulator simulator;
-      const auto run = simulator.run(assay.graph, synth.schedule,
-                                     placed.placement, chip);
-      if (!run.success) {
-        std::cerr << "simulation failed: " << run.failure_reason << '\n';
-        return 1;
-      }
-    }
+                   format_double(result.makespan_s, 1),
+                   std::to_string(result.peak_concurrent_cells),
+                   std::to_string(result.cost().area_cells),
+                   format_mm2(result.cost().area_mm2()),
+                   format_double(result.fti.fti(), 4)});
   }
   table.print(std::cout);
   std::cout << "\nmore concurrency -> shorter assay, bigger array: the"

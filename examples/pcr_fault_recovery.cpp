@@ -8,10 +8,8 @@
 #include <iostream>
 
 #include "assay/assay_library.h"
-#include "assay/synthesis.h"
-#include "core/fti.h"
+#include "assay/pipeline.h"
 #include "core/reconfig.h"
-#include "core/two_stage_placer.h"
 #include "sim/fault.h"
 #include "sim/recovery.h"
 #include "sim/tester.h"
@@ -21,16 +19,15 @@ int main(int argc, char** argv) {
 
   // Synthesize and place the PCR assay with fault tolerance in mind.
   const AssayCase assay = pcr_mixing_assay();
-  const SynthesisResult synth = synthesize_with_binding(
-      assay.graph, assay.binding, assay.scheduler_options);
-  TwoStageOptions options;
-  options.beta = 40.0;
-  const TwoStageOutcome placed = place_two_stage(synth.schedule, options);
-  const Placement& placement = placed.stage2.placement;
+  PipelineOptions options;
+  options.placer = "two-stage";
+  options.placer_context.two_stage_beta = 40.0;
+  options.plan_droplet_routes = false;
+  const PipelineResult compiled = SynthesisPipeline(options).run(assay);
+  const Placement& placement = compiled.placement.placement;
   const Rect array = placement.bounding_box();
-  const FtiResult fti = evaluate_fti(placement, {}, array);
   std::cout << "fault-aware placement: " << array.width << "x" << array.height
-            << " cells, FTI " << fti.fti() << '\n';
+            << " cells, FTI " << compiled.fti.fti() << '\n';
 
   // Choose the failing electrode: argv, or the center of the first mixer.
   Point fault;
@@ -62,7 +59,8 @@ int main(int argc, char** argv) {
   // 2 + 3. Reconfigure and resume, in one call.
   const Reconfigurator reconfigurator;
   const OnlineRecoveryResult recovery = simulate_online_recovery(
-      assay.graph, synth.schedule, placement, fault, array, reconfigurator);
+      assay.graph, compiled.schedule, placement, fault, array,
+      reconfigurator);
 
   if (!recovery.fault_hit) {
     std::cout << "assay unaffected by the fault; completed normally\n";

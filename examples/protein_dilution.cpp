@@ -1,18 +1,16 @@
 // protein_dilution — sample preparation by serial dilution, a classic
 // droplet-based protocol: each dilutor merges the sample with buffer and
-// splits the result, halving the protein concentration per level. The
-// example synthesizes the dilution tree, places it, simulates it, and
-// prints the measured concentration at every detector.
+// splits the result, halving the protein concentration per level. One
+// SynthesisPipeline run synthesizes the dilution tree, places it, and
+// simulates it; the example prints the measured concentration at every
+// dilutor.
 //
 //   $ ./examples/protein_dilution [levels]
 #include <cstdlib>
 #include <iostream>
 
 #include "assay/assay_library.h"
-#include "assay/synthesis.h"
-#include "core/fti.h"
-#include "core/sa_placer.h"
-#include "sim/simulator.h"
+#include "assay/pipeline.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -22,30 +20,26 @@ int main(int argc, char** argv) {
   const ModuleLibrary library = ModuleLibrary::standard();
   const AssayCase assay = protein_dilution_assay(levels, library);
 
-  const SynthesisResult synth = synthesize_with_binding(
-      assay.graph, assay.binding, assay.scheduler_options);
+  PipelineOptions options;
+  options.placer = "sa";
+  options.placer_context.canvas_width = 32;
+  options.placer_context.canvas_height = 32;
+  options.placer_context.annealing.initial_temperature = 2000.0;
+  options.placer_context.annealing.cooling_rate = 0.85;
+  options.placer_context.annealing.iterations_per_module = 150;
+  options.simulate = true;
+
+  const PipelineResult result = SynthesisPipeline(options).run(assay);
   std::cout << "serial dilution, " << levels << " levels: "
             << assay.graph.operation_count() << " operations, makespan "
-            << synth.makespan_s << " s\n";
+            << result.makespan_s << " s\n"
+            << "placed: " << result.cost().area_cells << " cells ("
+            << result.cost().area_mm2() << " mm^2), FTI "
+            << result.fti.fti() << "\n\n";
 
-  SaPlacerOptions options;
-  options.canvas_width = 32;
-  options.canvas_height = 32;
-  options.schedule.initial_temperature = 2000.0;
-  options.schedule.cooling_rate = 0.85;
-  options.schedule.iterations_per_module = 150;
-  const PlacementOutcome placed =
-      place_simulated_annealing(synth.schedule, options);
-  std::cout << "placed: " << placed.cost.area_cells << " cells ("
-            << placed.cost.area_mm2() << " mm^2), FTI "
-            << evaluate_fti(placed.placement).fti() << "\n\n";
-
-  const Chip chip(32, 32);
-  const Simulator simulator;
-  const SimulationResult run =
-      simulator.run(assay.graph, synth.schedule, placed.placement, chip);
-  if (!run.success) {
-    std::cerr << "simulation failed: " << run.failure_reason << '\n';
+  if (!result.simulation.success) {
+    std::cerr << "simulation failed: " << result.simulation.failure_reason
+              << '\n';
     return 1;
   }
 
@@ -53,8 +47,8 @@ int main(int argc, char** argv) {
   table.set_header({"operation", "protein fraction", "expected"});
   for (const auto& op : assay.graph.operations()) {
     if (op.type != OperationType::kDilute) continue;
-    const auto it = run.op_outputs.find(op.id);
-    if (it == run.op_outputs.end()) continue;
+    const auto it = result.simulation.op_outputs.find(op.id);
+    if (it == result.simulation.op_outputs.end()) continue;
     // Depth in the dilution tree = number of dilutors on the path from
     // the root, derivable from the longest-path structure; expected
     // concentration halves per level.
@@ -77,7 +71,7 @@ int main(int argc, char** argv) {
                    format_double(1.0 / (1 << depth), 6)});
   }
   table.print(std::cout);
-  std::cout << "\nassay completed; " << run.routes_planned
+  std::cout << "\nassay completed; " << result.simulation.routes_planned
             << " droplet routes planned\n";
   return 0;
 }

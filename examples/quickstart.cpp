@@ -1,61 +1,62 @@
-// quickstart — the whole flow on one page.
+// quickstart — the whole flow on one page, through the unified API.
 //
-// Builds the paper's PCR mixing-stage assay, runs architectural-level
-// synthesis (binding + scheduling), places the modules with the two-stage
-// fault-aware annealer, evaluates the Fault Tolerance Index, and executes
-// the assay droplet-by-droplet on a simulated chip.
+// Builds the paper's PCR mixing-stage assay and hands it to the
+// SynthesisPipeline, which runs architectural-level synthesis (binding +
+// scheduling), two-stage fault-aware placement, concurrent droplet
+// routing, and droplet-by-droplet execution on a simulated chip. The
+// placement backend is picked by name from the PlacerRegistry.
 //
 //   $ ./examples/quickstart
 #include <iostream>
 
 #include "assay/assay_library.h"
-#include "assay/synthesis.h"
-#include "core/fti.h"
-#include "core/two_stage_placer.h"
-#include "sim/simulator.h"
+#include "assay/pipeline.h"
 
 int main() {
   using namespace dmfb;
 
-  // 1. Behavioural model + architectural-level synthesis.
-  //    pcr_mixing_assay() carries the paper's Table 1 resource binding and
-  //    its scheduling constraint (at most two concurrent mixers).
-  const AssayCase assay = pcr_mixing_assay();
-  const SynthesisResult synth = synthesize_with_binding(
-      assay.graph, assay.binding, assay.scheduler_options);
-  std::cout << "assay '" << assay.graph.name() << "': "
-            << assay.graph.operation_count() << " operations, makespan "
-            << synth.makespan_s << " s\n";
+  // 1. Configure the pipeline: any registered placer works here.
+  std::cout << "available placers:";
+  for (const auto& name : registered_placers()) std::cout << ' ' << name;
+  std::cout << '\n';
 
-  // 2. Physical design: two-stage placement (area-minimizing simulated
-  //    annealing, then low-temperature refinement for fault tolerance).
-  TwoStageOptions options;
-  options.beta = 30.0;  // importance of fault tolerance vs area
-  const TwoStageOutcome placement = place_two_stage(synth.schedule, options);
+  PipelineOptions options;
+  options.placer = "two-stage";                  // fault-aware annealing
+  options.placer_context.two_stage_beta = 30.0;  // fault tolerance vs area
+  options.simulate = true;
+  options.observer = [](PipelineStage stage, double seconds,
+                        const std::string& detail) {
+    std::cout << "  [" << stage << "] " << detail << " (" << seconds
+              << " s)\n";
+  };
 
-  const FtiResult fti = evaluate_fti(placement.stage2.placement);
-  std::cout << "placed on a " << fti.array.width << "x" << fti.array.height
-            << " array: " << placement.stage2.cost.area_mm2()
-            << " mm^2, FTI " << fti.fti() << "\n\n"
-            << placement.stage2.placement.render() << '\n';
+  // 2. Run it end-to-end on the paper's PCR case study (Table 1 binding,
+  //    at most two concurrent mixers).
+  const SynthesisPipeline pipeline(options);
+  const PipelineResult result = pipeline.run(pcr_mixing_assay());
 
-  // 3. Execute the assay on a simulated electrowetting chip.
-  const Chip chip(placement.stage2.placement.canvas_width(),
-                  placement.stage2.placement.canvas_height());
-  const Simulator simulator;
-  const SimulationResult run = simulator.run(
-      assay.graph, synth.schedule, placement.stage2.placement, chip);
+  std::cout << "\nassay '" << result.assay_name << "': "
+            << result.binding.size() << " bound operations, makespan "
+            << result.makespan_s << " s\n"
+            << "placed on a " << result.fti.array.width << "x"
+            << result.fti.array.height << " array: "
+            << result.cost().area_mm2() << " mm^2, FTI " << result.fti.fti()
+            << "\n\n"
+            << result.placement.placement.render() << '\n';
 
-  if (!run.success) {
-    std::cerr << "simulation failed: " << run.failure_reason << '\n';
+  if (!result.simulation.success) {
+    std::cerr << "simulation failed: " << result.simulation.failure_reason
+              << '\n';
     return 1;
   }
-  std::cout << "assay completed in " << run.makespan_s << " s; "
-            << run.routes_planned << " droplet routes, "
-            << run.route_cells << " cells travelled\n";
+  std::cout << "assay completed in " << result.simulation.makespan_s
+            << " s; " << result.simulation.routes_planned
+            << " droplet routes, " << result.simulation.route_cells
+            << " cells travelled\n";
 
   // The final droplet (output of root mixer M7) holds all 8 reagents.
-  for (const auto& [op, droplet] : run.op_outputs) {
+  const AssayCase assay = pcr_mixing_assay();
+  for (const auto& [op, droplet] : result.simulation.op_outputs) {
     if (assay.graph.operation(op).label != "M7") continue;
     std::cout << "final droplet (" << droplet.volume_nl() << " nl):\n";
     for (const auto& [reagent, fraction] : droplet.contents()) {

@@ -1,8 +1,43 @@
 #include "assay/binder.h"
 
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 namespace dmfb {
+
+const char* to_string(BindingPolicy policy) {
+  switch (policy) {
+    case BindingPolicy::kFastest:
+      return "fastest";
+    case BindingPolicy::kSmallest:
+      return "smallest";
+    case BindingPolicy::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+template <>
+BindingPolicy from_string<BindingPolicy>(std::string_view text) {
+  if (text == "fastest") return BindingPolicy::kFastest;
+  if (text == "smallest") return BindingPolicy::kSmallest;
+  if (text == "round-robin") return BindingPolicy::kRoundRobin;
+  throw std::invalid_argument(
+      "unknown BindingPolicy \"" + std::string(text) +
+      "\" (expected one of: fastest, smallest, round-robin)");
+}
+
+std::ostream& operator<<(std::ostream& os, BindingPolicy policy) {
+  return os << to_string(policy);
+}
+
+std::istream& operator>>(std::istream& is, BindingPolicy& policy) {
+  std::string token;
+  is >> token;
+  policy = from_string<BindingPolicy>(token);
+  return is;
+}
 
 Binding bind_operations(const SequencingGraph& graph,
                         const ModuleLibrary& library, BindingPolicy policy) {

@@ -3,12 +3,14 @@
 // architectural-level synthesis; Table 1 of the paper is one binding).
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "assay/sequencing_graph.h"
 #include "biochip/module_library.h"
+#include "util/enum_text.h"
 
 namespace dmfb {
 
@@ -22,6 +24,15 @@ enum class BindingPolicy {
   kRoundRobin,  ///< cycle through specs of the right kind (diversity, as in
                 ///< the paper's PCR binding which mixes four mixer shapes)
 };
+
+/// Textual round-trip ("fastest", "smallest", "round-robin") so configs can
+/// name the policy; `from_string` and `>>` throw std::invalid_argument on
+/// unknown text.
+const char* to_string(BindingPolicy policy);
+template <>
+BindingPolicy from_string<BindingPolicy>(std::string_view text);
+std::ostream& operator<<(std::ostream& os, BindingPolicy policy);
+std::istream& operator>>(std::istream& is, BindingPolicy& policy);
 
 /// Produces a binding for every reconfigurable operation of `graph` using
 /// modules from `library`. Throws std::runtime_error when the library has

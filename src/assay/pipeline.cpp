@@ -1,0 +1,263 @@
+#include "assay/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "biochip/chip.h"
+#include "util/rng.h"
+
+namespace dmfb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kBind:
+      return "bind";
+    case PipelineStage::kSchedule:
+      return "schedule";
+    case PipelineStage::kPlace:
+      return "place";
+    case PipelineStage::kRoute:
+      return "route";
+    case PipelineStage::kSimulate:
+      return "simulate";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, PipelineStage stage) {
+  return os << to_string(stage);
+}
+
+double PipelineResult::total_wall_seconds() const {
+  double total = 0.0;
+  for (const auto& timing : stage_times) total += timing.wall_seconds;
+  return total;
+}
+
+double PipelineResult::stage_seconds(PipelineStage stage) const {
+  for (const auto& timing : stage_times) {
+    if (timing.stage == stage) return timing.wall_seconds;
+  }
+  return 0.0;
+}
+
+SynthesisPipeline::SynthesisPipeline(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+PipelineResult SynthesisPipeline::run(const SequencingGraph& graph,
+                                      const ModuleLibrary& library) const {
+  const auto start = Clock::now();
+  Binding binding = bind_operations(graph, library, options_.binding_policy);
+  return run_bound(graph, std::move(binding), options_.scheduler,
+                   seconds_since(start), options_.seed);
+}
+
+PipelineResult SynthesisPipeline::run(const SequencingGraph& graph,
+                                      const Binding& binding) const {
+  return run_bound(graph, binding, options_.scheduler, 0.0, options_.seed);
+}
+
+PipelineResult SynthesisPipeline::run(const AssayCase& assay) const {
+  PipelineResult result = run_bound(assay.graph, assay.binding,
+                                    assay.scheduler_options, 0.0,
+                                    options_.seed);
+  if (!assay.name.empty()) result.assay_name = assay.name;
+  return result;
+}
+
+PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
+                                            Binding binding,
+                                            const SchedulerOptions& scheduler,
+                                            double bind_seconds,
+                                            std::uint64_t seed) const {
+  PipelineResult result;
+  result.assay_name = graph.name();
+  result.seed = seed;
+  result.binding = std::move(binding);
+
+  const auto record = [&](PipelineStage stage, double wall_seconds,
+                          const std::string& detail) {
+    result.stage_times.push_back(StageTiming{stage, wall_seconds});
+    if (options_.observer) options_.observer(stage, wall_seconds, detail);
+  };
+
+  {
+    std::ostringstream detail;
+    detail << result.binding.size() << " operations bound";
+    record(PipelineStage::kBind, bind_seconds, detail.str());
+  }
+
+  // Schedule: resource-constrained list scheduling.
+  {
+    const auto start = Clock::now();
+    result.schedule = list_schedule(graph, result.binding, scheduler);
+    result.makespan_s = result.schedule.makespan_s();
+    result.peak_concurrent_cells = result.schedule.peak_concurrent_cells();
+    std::ostringstream detail;
+    detail << result.schedule.module_count() << " modules, makespan "
+           << result.makespan_s << " s";
+    record(PipelineStage::kSchedule, seconds_since(start), detail.str());
+  }
+
+  // Synthesis-only runs stop here; the downstream stages all consume the
+  // placement.
+  if (!options_.place) return result;
+
+  // Place: pluggable backend, reproducible from the run's seed.
+  {
+    const auto start = Clock::now();
+    const std::unique_ptr<Placer> placer = make_placer(options_.placer);
+    PlacerContext context = options_.placer_context;
+    context.seed = seed;
+    result.placement = placer->place(result.schedule, context);
+    if (options_.evaluate_fault_tolerance) {
+      result.fti = evaluate_fti(result.placement.placement,
+                                context.fti_options);
+    }
+    std::ostringstream detail;
+    detail << placer->name() << ": " << result.placement.cost.area_cells
+           << " cells";
+    if (options_.evaluate_fault_tolerance) {
+      detail << ", FTI " << result.fti.fti();
+    }
+    record(PipelineStage::kPlace, seconds_since(start), detail.str());
+  }
+
+  const Rect box = result.placement.placement.bounding_box();
+  const int chip_width =
+      options_.chip_width > 0
+          ? options_.chip_width
+          : std::max(result.placement.placement.canvas_width(), box.right());
+  const int chip_height =
+      options_.chip_height > 0
+          ? options_.chip_height
+          : std::max(result.placement.placement.canvas_height(), box.top());
+
+  // Route: concurrent droplet routing at configuration changeovers.
+  if (options_.plan_droplet_routes) {
+    const auto start = Clock::now();
+    result.routes =
+        plan_routes(graph, result.schedule, result.placement.placement,
+                    chip_width, chip_height, options_.routing);
+    std::ostringstream detail;
+    if (result.routes.success) {
+      detail << result.routes.changeovers.size() << " changeovers, "
+             << result.routes.total_steps << " droplet steps";
+    } else {
+      detail << "routing failed: " << result.routes.failure_reason;
+    }
+    record(PipelineStage::kRoute, seconds_since(start), detail.str());
+  }
+
+  // Simulate: droplet-level execution on a virtual chip.
+  if (options_.simulate) {
+    const auto start = Clock::now();
+    const Chip chip(chip_width, chip_height);
+    const Simulator simulator(options_.simulation);
+    result.simulation = simulator.run(graph, result.schedule,
+                                      result.placement.placement, chip);
+    std::ostringstream detail;
+    if (result.simulation.success) {
+      detail << "completed in " << result.simulation.makespan_s << " s, "
+             << result.simulation.routes_planned << " routes";
+    } else {
+      detail << "simulation failed: " << result.simulation.failure_reason;
+    }
+    record(PipelineStage::kSimulate, seconds_since(start), detail.str());
+  }
+
+  return result;
+}
+
+std::vector<PipelineResult> SynthesisPipeline::run_indexed(
+    std::size_t count,
+    const std::function<PipelineResult(std::size_t, std::uint64_t)>& one)
+    const {
+  std::vector<PipelineResult> results(count);
+  if (count == 0) return results;
+
+  // Per-item seeds derived from the master seed, independent of the order
+  // in which workers pick items up.
+  std::vector<std::uint64_t> seeds(count);
+  SplitMix64 splitter(options_.seed);
+  for (auto& seed : seeds) seed = splitter.next();
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t worker_count =
+      std::min(count, static_cast<std::size_t>(
+                          options_.threads > 0
+                              ? static_cast<unsigned>(options_.threads)
+                              : hardware));
+
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= count) return;
+      try {
+        results[index] = one(index, seeds[index]);
+      } catch (...) {
+        errors[index] = std::current_exception();
+      }
+    }
+  };
+
+  if (worker_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+std::vector<PipelineResult> SynthesisPipeline::run_many(
+    std::span<const SequencingGraph> graphs,
+    const ModuleLibrary& library) const {
+  return run_indexed(graphs.size(), [&](std::size_t index,
+                                        std::uint64_t seed) {
+    const auto start = Clock::now();
+    Binding binding =
+        bind_operations(graphs[index], library, options_.binding_policy);
+    return run_bound(graphs[index], std::move(binding), options_.scheduler,
+                     seconds_since(start), seed);
+  });
+}
+
+std::vector<PipelineResult> SynthesisPipeline::run_many(
+    std::span<const AssayCase> assays) const {
+  return run_indexed(assays.size(), [&](std::size_t index,
+                                        std::uint64_t seed) {
+    const AssayCase& assay = assays[index];
+    PipelineResult result = run_bound(assay.graph, assay.binding,
+                                      assay.scheduler_options, 0.0, seed);
+    if (!assay.name.empty()) result.assay_name = assay.name;
+    return result;
+  });
+}
+
+}  // namespace dmfb

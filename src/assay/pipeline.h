@@ -1,0 +1,171 @@
+// pipeline.h — the `SynthesisPipeline` facade: the paper's whole flow
+// (architectural-level synthesis -> placement -> droplet routing ->
+// optional simulation) behind one entry point.
+//
+//   PipelineOptions options;
+//   options.placer = "two-stage";        // any registered placer name
+//   options.seed = 42;                   // reproduces the whole run
+//   SynthesisPipeline pipeline(options);
+//   PipelineResult result = pipeline.run(pcr_mixing_assay());
+//
+// Placement backends are resolved by name through the PlacerRegistry
+// (core/placer.h), so drivers select "sa", "greedy", "kamer", "optimal",
+// "two-stage" — or any custom registration — from configuration text.
+// `run_many` executes independent assays across a thread pool for
+// throughput; every stochastic stage of item i derives its seed from
+// `options.seed` and i, so batches are reproducible from one number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "assay/assay_library.h"
+#include "assay/binder.h"
+#include "assay/schedule.h"
+#include "assay/scheduler.h"
+#include "assay/sequencing_graph.h"
+#include "biochip/module_library.h"
+#include "core/fti.h"
+#include "core/placer.h"
+#include "sim/route_planner.h"
+#include "sim/simulator.h"
+
+namespace dmfb {
+
+/// The pipeline's stages, in execution order.
+enum class PipelineStage {
+  kBind,      ///< operation -> module-type binding
+  kSchedule,  ///< resource-constrained list scheduling
+  kPlace,     ///< module placement (pluggable backend)
+  kRoute,     ///< concurrent droplet routing at changeovers
+  kSimulate,  ///< droplet-level execution (optional)
+};
+
+const char* to_string(PipelineStage stage);
+std::ostream& operator<<(std::ostream& os, PipelineStage stage);
+
+/// Per-stage progress callback: invoked after each stage completes with the
+/// stage, its wall time, and a one-line human-readable summary. run_many
+/// invokes it concurrently from worker threads, so it must be thread-safe.
+using StageObserver = std::function<void(
+    PipelineStage stage, double wall_seconds, const std::string& detail)>;
+
+/// Everything configurable about one pipeline run — the single options
+/// struct superseding the per-stage ones.
+struct PipelineOptions {
+  /// Binding strategy for `run(graph, library)`; ignored by the overloads
+  /// that take an explicit binding (e.g. an AssayCase's Table-1 binding).
+  BindingPolicy binding_policy = BindingPolicy::kRoundRobin;
+  SchedulerOptions scheduler;
+
+  /// Registry name of the placement backend.
+  std::string placer = "sa";
+  PlacerContext placer_context;
+  /// When false the pipeline stops after scheduling (no placement, FTI,
+  /// routing or simulation) — for consumers that only need the schedule.
+  bool place = true;
+
+  /// Plan concurrent droplet routes at every configuration changeover.
+  bool plan_droplet_routes = true;
+  RoutePlannerOptions routing;
+  /// Chip dimensions for routing/simulation; 0 = the placement canvas.
+  int chip_width = 0;
+  int chip_height = 0;
+
+  /// Execute the assay droplet-by-droplet on a simulated chip.
+  bool simulate = false;
+  SimOptions simulation;
+
+  /// Evaluate the Fault Tolerance Index of the final placement over its
+  /// bounding box (the array a designer would fabricate).
+  bool evaluate_fault_tolerance = true;
+
+  /// Master seed: overrides placer_context.seed and derives per-item seeds
+  /// in run_many, so one number reproduces any run or batch.
+  std::uint64_t seed = 0xDA7E2005ULL;
+
+  /// Worker threads for run_many (0 = hardware concurrency).
+  int threads = 0;
+
+  StageObserver observer;  ///< nullable
+};
+
+/// Wall time of one completed stage.
+struct StageTiming {
+  PipelineStage stage = PipelineStage::kBind;
+  double wall_seconds = 0.0;
+};
+
+/// Everything the flow produced, stage by stage.
+struct PipelineResult {
+  std::string assay_name;
+  std::uint64_t seed = 0;  ///< the seed this run is reproducible from
+
+  // Architectural-level synthesis.
+  Binding binding;
+  Schedule schedule;
+  double makespan_s = 0.0;
+  long long peak_concurrent_cells = 0;
+
+  // Physical design. `placement.cost` is the cost breakdown.
+  PlacementOutcome placement;
+  FtiResult fti;  ///< populated iff options.evaluate_fault_tolerance
+
+  // Fluidic-level results.
+  RoutePlan routes;           ///< populated iff options.plan_droplet_routes
+  SimulationResult simulation;  ///< populated iff options.simulate
+
+  std::vector<StageTiming> stage_times;  ///< in execution order
+
+  const CostBreakdown& cost() const { return placement.cost; }
+  double total_wall_seconds() const;
+  /// Wall time of one stage (0 when the stage did not run).
+  double stage_seconds(PipelineStage stage) const;
+};
+
+/// End-to-end compile driver: bind -> schedule -> place -> route
+/// (-> simulate). Reentrant; one instance may serve concurrent runs.
+class SynthesisPipeline {
+ public:
+  explicit SynthesisPipeline(PipelineOptions options = {});
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Full flow with automatic binding per options().binding_policy.
+  PipelineResult run(const SequencingGraph& graph,
+                     const ModuleLibrary& library) const;
+
+  /// Full flow with a caller-provided binding (e.g. the paper's Table 1).
+  PipelineResult run(const SequencingGraph& graph,
+                     const Binding& binding) const;
+
+  /// Full flow on a benchmark case, using the case's binding and scheduler
+  /// constraints (options().scheduler is ignored).
+  PipelineResult run(const AssayCase& assay) const;
+
+  /// Runs independent assays across a thread pool; results are in input
+  /// order. Item i's stochastic stages are seeded from (options().seed, i).
+  /// The first exception thrown by any item is rethrown after all workers
+  /// finish.
+  std::vector<PipelineResult> run_many(
+      std::span<const SequencingGraph> graphs,
+      const ModuleLibrary& library) const;
+  std::vector<PipelineResult> run_many(std::span<const AssayCase> assays) const;
+
+ private:
+  PipelineResult run_bound(const SequencingGraph& graph, Binding binding,
+                           const SchedulerOptions& scheduler,
+                           double bind_seconds, std::uint64_t seed) const;
+  std::vector<PipelineResult> run_indexed(
+      std::size_t count,
+      const std::function<PipelineResult(std::size_t, std::uint64_t)>& one)
+      const;
+
+  PipelineOptions options_;
+};
+
+}  // namespace dmfb

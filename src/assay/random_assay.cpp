@@ -87,4 +87,10 @@ AssayCase random_assay(const RandomAssayParams& params,
   return assay;
 }
 
+AssayCase random_assay(const RandomAssayParams& params,
+                       const ModuleLibrary& library, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_assay(params, library, rng);
+}
+
 }  // namespace dmfb

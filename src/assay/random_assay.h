@@ -4,6 +4,8 @@
 // the top, a reduction tree of mixes, outputs at the bottom).
 #pragma once
 
+#include <cstdint>
+
 #include "assay/assay_library.h"
 #include "biochip/module_library.h"
 #include "util/rng.h"
@@ -22,5 +24,10 @@ struct RandomAssayParams {
 /// All mix operations are bound round-robin over the library's mixers.
 AssayCase random_assay(const RandomAssayParams& params,
                        const ModuleLibrary& library, Rng& rng);
+
+/// Seed-taking convenience so one number reproduces the generated assay —
+/// the same convention PipelineOptions::seed uses for whole runs.
+AssayCase random_assay(const RandomAssayParams& params,
+                       const ModuleLibrary& library, std::uint64_t seed);
 
 }  // namespace dmfb

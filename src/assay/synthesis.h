@@ -2,10 +2,17 @@
 // (binding, schedule) out. This is the step the paper assumes has already
 // run before placement ("placement follows architectural-level synthesis
 // in the proposed synthesis flow", §4).
+//
+// DEPRECATED: these free functions predate the `SynthesisPipeline` facade
+// (assay/pipeline.h), which runs the same synthesis plus placement and
+// routing behind one options struct. They remain as thin wrappers for
+// existing callers.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "util/deprecation.h"
 
 #include "assay/binder.h"
 #include "assay/schedule.h"
@@ -31,11 +38,13 @@ struct SynthesisOptions {
 
 /// Binds and schedules `graph` against `library`. Throws on invalid input
 /// (no module of a required kind, unsatisfiable constraints).
+DMFB_DEPRECATED("use SynthesisPipeline::run(graph, library)")
 SynthesisResult synthesize(const SequencingGraph& graph,
                            const ModuleLibrary& library,
                            const SynthesisOptions& options = {});
 
 /// Variant that uses a caller-provided binding (e.g., the paper's Table 1).
+DMFB_DEPRECATED("use SynthesisPipeline::run(graph, binding)")
 SynthesisResult synthesize_with_binding(const SequencingGraph& graph,
                                         const Binding& binding,
                                         const SchedulerOptions& options = {});

@@ -2,8 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 
 namespace dmfb {
+
+const char* to_string(MoveKind kind) {
+  switch (kind) {
+    case MoveKind::kDisplace:
+      return "displace";
+    case MoveKind::kDisplaceRotate:
+      return "displace-rotate";
+    case MoveKind::kSwap:
+      return "swap";
+    case MoveKind::kSwapRotate:
+      return "swap-rotate";
+  }
+  return "?";
+}
+
+template <>
+MoveKind from_string<MoveKind>(std::string_view text) {
+  if (text == "displace") return MoveKind::kDisplace;
+  if (text == "displace-rotate") return MoveKind::kDisplaceRotate;
+  if (text == "swap") return MoveKind::kSwap;
+  if (text == "swap-rotate") return MoveKind::kSwapRotate;
+  throw std::invalid_argument(
+      "unknown MoveKind \"" + std::string(text) +
+      "\" (expected one of: displace, displace-rotate, swap, swap-rotate)");
+}
+
+std::ostream& operator<<(std::ostream& os, MoveKind kind) {
+  return os << to_string(kind);
+}
+
+std::istream& operator>>(std::istream& is, MoveKind& kind) {
+  std::string token;
+  is >> token;
+  kind = from_string<MoveKind>(token);
+  return is;
+}
+
 namespace {
 
 /// Clamps `anchor` so the module's footprint stays inside the canvas.

@@ -8,7 +8,10 @@
 // controlled window discourages long displacements at low temperatures.
 #pragma once
 
+#include <iosfwd>
+
 #include "core/placement.h"
+#include "util/enum_text.h"
 #include "util/rng.h"
 
 namespace dmfb {
@@ -20,6 +23,15 @@ enum class MoveKind {
   kSwap,              ///< (iii)
   kSwapRotate,        ///< (iv)
 };
+
+/// Textual round-trip ("displace", "displace-rotate", "swap",
+/// "swap-rotate") for logs and ablation configs; `from_string` and `>>`
+/// throw std::invalid_argument on unknown text.
+const char* to_string(MoveKind kind);
+template <>
+MoveKind from_string<MoveKind>(std::string_view text);
+std::ostream& operator<<(std::ostream& os, MoveKind kind);
+std::istream& operator>>(std::istream& is, MoveKind& kind);
 
 /// Move-generation tuning.
 struct MoveOptions {

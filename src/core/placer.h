@@ -1,0 +1,152 @@
+// placer.h — the polymorphic placement interface and its string-keyed
+// registry.
+//
+// The paper's flow treats placement as one pluggable stage: architectural-
+// level synthesis hands a Schedule to *some* placer, which returns module
+// locations. The repo grew five placers (greedy bottom-left, KAMER-style
+// online, simulated annealing, exact branch-and-bound, and the two-stage
+// fault-aware flow), each with its own free function and option struct;
+// this header unifies them behind one abstract `Placer` so drivers,
+// benches and the `SynthesisPipeline` facade (assay/pipeline.h) can select
+// a backend by name:
+//
+//   auto placer = make_placer("two-stage");
+//   PlacementOutcome outcome = placer->place(schedule, context);
+//
+// New placers register themselves with `PlacerRegistry::global()` and are
+// immediately usable everywhere a placer name is accepted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "assay/schedule.h"
+#include "core/annealer.h"
+#include "core/cost.h"
+#include "core/moves.h"
+#include "core/optimal_placer.h"
+#include "core/reconfig.h"
+#include "core/sa_placer.h"
+#include "util/enum_text.h"
+
+namespace dmfb {
+
+/// The built-in placement backends, in registry-name order.
+enum class PlacerKind {
+  kSa,        ///< simulated annealing (the paper's method, §4)
+  kGreedy,    ///< greedy bottom-left baseline (§6.1)
+  kKamer,     ///< KAMER-style online best-fit over maximal empty rectangles
+  kOptimal,   ///< exact branch-and-bound (small instances only)
+  kTwoStage,  ///< fault-aware two-stage annealing (§6.2)
+};
+
+/// Registry name of a built-in placer kind ("sa", "greedy", "kamer",
+/// "optimal", "two-stage").
+const char* to_string(PlacerKind kind);
+template <>
+PlacerKind from_string<PlacerKind>(std::string_view text);
+std::ostream& operator<<(std::ostream& os, PlacerKind kind);
+std::istream& operator>>(std::istream& is, PlacerKind& kind);
+
+/// Everything a placement backend may need, superseding the five per-placer
+/// option structs. Backends read the fields relevant to them and ignore the
+/// rest; `seed` drives every stochastic backend so one number reproduces a
+/// run (see PipelineOptions::seed).
+struct PlacerContext {
+  int canvas_width = 24;   ///< core-area bound (Fig. 4(a))
+  int canvas_height = 24;
+  /// Electrodes known defective before placement; defect-aware backends
+  /// place around them, others refuse (throw) rather than silently ignore.
+  std::vector<Point> defects;
+  std::uint64_t seed = 0xDA7E2005ULL;
+
+  // Annealing backends ("sa", stage 1 of "two-stage").
+  AnnealingSchedule annealing;  ///< paper defaults: T0=1e4, alpha=0.9, Na=400
+  MoveOptions moves;
+  CostWeights weights;  ///< beta = 0 keeps the objective area-only
+  FtiOptions fti_options;
+
+  // "two-stage" refinement (§6.2).
+  double two_stage_beta = 30.0;  ///< fault-tolerance weight of stage 2
+  AnnealingSchedule ltsa{/*initial_temperature=*/100.0,
+                         /*cooling_rate=*/0.9,
+                         /*iterations_per_module=*/400,
+                         /*min_temperature=*/0.05};
+
+  // "optimal" exact search limits (carries its own allow_rotation).
+  OptimalPlacerOptions optimal;
+
+  // "kamer" online placement. `allow_rotation` governs this backend only;
+  // `optimal` and `fti_options` carry their own rotation flags.
+  RelocationPolicy kamer_policy = RelocationPolicy::kBestFit;
+  bool allow_rotation = true;
+};
+
+/// SaPlacerOptions equivalent to `context` (used by the "sa" adapter and by
+/// callers migrating off the legacy struct).
+SaPlacerOptions sa_options_from(const PlacerContext& context);
+
+/// Abstract placement backend: a Schedule in, module locations out.
+///
+/// Implementations are stateless w.r.t. `place` (const, reentrant), so one
+/// instance may serve concurrent pipeline runs. `place` throws
+/// std::runtime_error when no feasible placement is found and
+/// std::invalid_argument when the context asks for something the backend
+/// cannot honour (e.g. a defect map for a defect-oblivious backend).
+class Placer {
+ public:
+  virtual ~Placer() = default;
+
+  /// Registry key of this backend (e.g. "sa").
+  virtual std::string name() const = 0;
+
+  /// Places `schedule`'s modules. The returned outcome is always feasible
+  /// (overlap-free, within canvas).
+  virtual PlacementOutcome place(const Schedule& schedule,
+                                 const PlacerContext& context) const = 0;
+};
+
+/// String-keyed placer factory. The five built-ins are pre-registered;
+/// `register_placer` adds custom backends process-wide. All methods are
+/// thread-safe (run_many workers resolve placers concurrently).
+class PlacerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Placer>()>;
+
+  /// The process-wide registry, with built-ins pre-registered.
+  static PlacerRegistry& global();
+
+  /// Registers a backend under `name`. Throws std::invalid_argument when
+  /// the name is empty or already taken.
+  void register_placer(const std::string& name, Factory factory);
+
+  /// Instantiates the backend registered under `name`. Throws
+  /// std::invalid_argument for unknown names; the message lists every
+  /// registered name.
+  std::unique_ptr<Placer> make(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  PlacerRegistry();
+  std::vector<std::string> names_locked() const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Convenience forwarders to PlacerRegistry::global().
+std::unique_ptr<Placer> make_placer(const std::string& name);
+std::unique_ptr<Placer> make_placer(PlacerKind kind);
+std::vector<std::string> registered_placers();
+
+}  // namespace dmfb

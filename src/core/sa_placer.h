@@ -12,6 +12,7 @@
 #include "core/cost.h"
 #include "core/moves.h"
 #include "core/placement.h"
+#include "util/deprecation.h"
 
 namespace dmfb {
 
@@ -41,6 +42,7 @@ struct PlacementOutcome {
 /// Anneals from a greedy constructive initial placement. The returned
 /// placement is the best feasible (overlap-free, in-canvas) one seen;
 /// since the initial placement is feasible, the result always is.
+DMFB_DEPRECATED("use make_placer(\"sa\")->place(schedule, context)")
 PlacementOutcome place_simulated_annealing(const Schedule& schedule,
                                            const SaPlacerOptions& options = {});
 

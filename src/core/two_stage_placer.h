@@ -9,6 +9,7 @@
 
 #include "assay/schedule.h"
 #include "core/sa_placer.h"
+#include "util/deprecation.h"
 
 namespace dmfb {
 
@@ -34,6 +35,7 @@ struct TwoStageOutcome {
 };
 
 /// Runs the two-stage flow on a synthesized schedule.
+DMFB_DEPRECATED("use make_placer(\"two-stage\")->place(schedule, context)")
 TwoStageOutcome place_two_stage(const Schedule& schedule,
                                 const TwoStageOptions& options = {});
 

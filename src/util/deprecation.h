@@ -1,0 +1,18 @@
+// deprecation.h — marking for the pre-pipeline free-function API.
+//
+// The hand-wired stage entry points (`synthesize`, `place_simulated_-
+// annealing`, `place_greedy`, ...) remain as thin wrappers so existing
+// callers keep compiling, but new code should go through the
+// `SynthesisPipeline` facade (assay/pipeline.h) and the `PlacerRegistry`
+// (core/placer.h).
+//
+// Translation units that implement or deliberately exercise the legacy API
+// (the library itself, the legacy unit tests) define
+// DMFB_SUPPRESS_DEPRECATION to silence the attribute.
+#pragma once
+
+#if defined(DMFB_SUPPRESS_DEPRECATION)
+#define DMFB_DEPRECATED(msg)
+#else
+#define DMFB_DEPRECATED(msg) [[deprecated(msg)]]
+#endif

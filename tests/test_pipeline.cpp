@@ -1,0 +1,224 @@
+// Tests for the SynthesisPipeline facade (assay/pipeline.h): the
+// end-to-end driver matches the hand-wired legacy flow exactly, stages
+// report through the observer in order, run_many is reproducible from one
+// seed, and results carry every stage's artifacts. Compiled without
+// DMFB_SUPPRESS_DEPRECATION except where this file deliberately compares
+// against the legacy path.
+#include "assay/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "assay/assay_library.h"
+#include "assay/random_assay.h"
+#include "assay/synthesis.h"
+#include "core/sa_placer.h"
+
+namespace dmfb {
+namespace {
+
+/// Short annealing runs so the whole suite stays fast.
+PipelineOptions fast_options() {
+  PipelineOptions options;
+  options.placer_context.annealing.initial_temperature = 1000.0;
+  options.placer_context.annealing.cooling_rate = 0.8;
+  options.placer_context.annealing.iterations_per_module = 60;
+  options.placer_context.ltsa.iterations_per_module = 60;
+  return options;
+}
+
+TEST(PipelineTest, QuickstartAssayEndToEnd) {
+  PipelineOptions options = fast_options();
+  options.simulate = true;
+  const SynthesisPipeline pipeline(options);
+  const PipelineResult result = pipeline.run(pcr_mixing_assay());
+
+  EXPECT_EQ(result.assay_name, "pcr-mixing-stage");
+  EXPECT_EQ(result.binding.size(), 7u);  // M1..M7
+  EXPECT_TRUE(result.schedule.validate_against(
+                  pcr_mixing_assay().graph).empty());
+  EXPECT_GT(result.makespan_s, 0.0);
+
+  // Placement: overlap-free, in canvas, FTI evaluated.
+  EXPECT_TRUE(result.placement.placement.feasible());
+  EXPECT_EQ(result.placement.cost.overlap_cells, 0);
+  EXPECT_GT(result.fti.total_cells, 0);
+
+  // Routing + simulation ran and succeeded.
+  EXPECT_TRUE(result.routes.success) << result.routes.failure_reason;
+  EXPECT_TRUE(result.simulation.success) << result.simulation.failure_reason;
+  EXPECT_GT(result.simulation.routes_planned, 0);
+
+  // Every stage accounted for, in execution order.
+  ASSERT_EQ(result.stage_times.size(), 5u);
+  EXPECT_EQ(result.stage_times[0].stage, PipelineStage::kBind);
+  EXPECT_EQ(result.stage_times[1].stage, PipelineStage::kSchedule);
+  EXPECT_EQ(result.stage_times[2].stage, PipelineStage::kPlace);
+  EXPECT_EQ(result.stage_times[3].stage, PipelineStage::kRoute);
+  EXPECT_EQ(result.stage_times[4].stage, PipelineStage::kSimulate);
+  EXPECT_GE(result.total_wall_seconds(),
+            result.stage_seconds(PipelineStage::kPlace));
+}
+
+// This test intentionally drives the deprecated free functions to prove
+// the facade is a faithful wrapper; silence the deprecation for it alone.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(PipelineTest, MatchesHandWiredLegacyFlow) {
+  // The pipeline with the "sa" backend must reproduce the legacy
+  // hand-wired path bit-for-bit given the same seed.
+  const AssayCase assay = pcr_mixing_assay();
+  PipelineOptions options = fast_options();
+  options.seed = 1234;
+  const PipelineResult piped = SynthesisPipeline(options).run(assay);
+
+  const SynthesisResult synth = synthesize_with_binding(
+      assay.graph, assay.binding, assay.scheduler_options);
+  SaPlacerOptions legacy = sa_options_from(options.placer_context);
+  legacy.seed = 1234;
+  const PlacementOutcome hand = place_simulated_annealing(synth.schedule,
+                                                          legacy);
+
+  EXPECT_EQ(piped.makespan_s, synth.makespan_s);
+  EXPECT_EQ(piped.schedule.module_count(), synth.schedule.module_count());
+  EXPECT_EQ(piped.placement.cost.area_cells, hand.cost.area_cells);
+  ASSERT_EQ(piped.placement.placement.module_count(),
+            hand.placement.module_count());
+  for (int i = 0; i < hand.placement.module_count(); ++i) {
+    EXPECT_EQ(piped.placement.placement.module(i).anchor,
+              hand.placement.module(i).anchor);
+    EXPECT_EQ(piped.placement.placement.module(i).rotated,
+              hand.placement.module(i).rotated);
+  }
+}
+#pragma GCC diagnostic pop
+
+TEST(PipelineTest, ReproducibleFromOneSeed) {
+  PipelineOptions options = fast_options();
+  options.seed = 7;
+  options.plan_droplet_routes = false;
+  const SynthesisPipeline pipeline(options);
+  const PipelineResult a = pipeline.run(pcr_mixing_assay());
+  const PipelineResult b = pipeline.run(pcr_mixing_assay());
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_EQ(a.placement.cost.area_cells, b.placement.cost.area_cells);
+  for (int i = 0; i < a.placement.placement.module_count(); ++i) {
+    EXPECT_EQ(a.placement.placement.module(i).anchor,
+              b.placement.placement.module(i).anchor);
+  }
+}
+
+TEST(PipelineTest, ObserverSeesStagesInOrder) {
+  PipelineOptions options = fast_options();
+  options.plan_droplet_routes = true;
+  std::vector<PipelineStage> seen;
+  options.observer = [&](PipelineStage stage, double wall_seconds,
+                         const std::string& detail) {
+    EXPECT_GE(wall_seconds, 0.0);
+    EXPECT_FALSE(detail.empty());
+    seen.push_back(stage);
+  };
+  SynthesisPipeline(options).run(pcr_mixing_assay());
+  ASSERT_EQ(seen.size(), 4u);  // no simulate stage by default
+  EXPECT_EQ(seen[0], PipelineStage::kBind);
+  EXPECT_EQ(seen[1], PipelineStage::kSchedule);
+  EXPECT_EQ(seen[2], PipelineStage::kPlace);
+  EXPECT_EQ(seen[3], PipelineStage::kRoute);
+}
+
+TEST(PipelineTest, SynthesisOnlyRunStopsAfterScheduling) {
+  PipelineOptions options = fast_options();
+  options.place = false;
+  options.simulate = true;  // ignored without a placement
+  const PipelineResult result = SynthesisPipeline(options).run(
+      pcr_mixing_assay());
+  ASSERT_EQ(result.stage_times.size(), 2u);
+  EXPECT_EQ(result.stage_times[1].stage, PipelineStage::kSchedule);
+  EXPECT_GT(result.schedule.module_count(), 0);
+  EXPECT_EQ(result.placement.placement.module_count(), 0);
+  EXPECT_FALSE(result.routes.success);
+  EXPECT_FALSE(result.simulation.success);
+}
+
+TEST(PipelineTest, RunWithAutomaticBinding) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  PipelineOptions options = fast_options();
+  options.binding_policy = BindingPolicy::kSmallest;
+  options.plan_droplet_routes = false;
+  const PipelineResult result =
+      SynthesisPipeline(options).run(pcr_mixing_graph(), library);
+  EXPECT_EQ(result.binding.size(), 7u);
+  EXPECT_TRUE(result.placement.placement.feasible());
+}
+
+TEST(PipelineTest, PlacerSelectableByName) {
+  for (const char* name : {"greedy", "kamer", "two-stage"}) {
+    PipelineOptions options = fast_options();
+    options.placer = name;
+    options.plan_droplet_routes = false;
+    const PipelineResult result =
+        SynthesisPipeline(options).run(pcr_mixing_assay());
+    EXPECT_TRUE(result.placement.placement.feasible()) << name;
+  }
+  PipelineOptions options = fast_options();
+  options.placer = "no-such-placer";
+  EXPECT_THROW(SynthesisPipeline(options).run(pcr_mixing_assay()),
+               std::invalid_argument);
+}
+
+TEST(PipelineTest, RunManyIsReproducibleAndOrdered) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  std::vector<AssayCase> cases;
+  RandomAssayParams params;
+  params.mix_operations = 4;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    cases.push_back(random_assay(params, library, /*seed=*/100 + i));
+  }
+
+  PipelineOptions options = fast_options();
+  options.seed = 99;
+  options.plan_droplet_routes = false;
+  options.threads = 2;
+  const SynthesisPipeline pipeline(options);
+  const auto first = pipeline.run_many(std::span<const AssayCase>(cases));
+  const auto second = pipeline.run_many(std::span<const AssayCase>(cases));
+
+  ASSERT_EQ(first.size(), cases.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].assay_name, cases[i].name);
+    EXPECT_TRUE(first[i].placement.placement.feasible());
+    // Same master seed -> identical batch, independent of thread timing.
+    EXPECT_EQ(first[i].seed, second[i].seed);
+    EXPECT_EQ(first[i].placement.cost.area_cells,
+              second[i].placement.cost.area_cells);
+  }
+  // Items get distinct derived seeds.
+  EXPECT_NE(first[0].seed, first[1].seed);
+  EXPECT_NE(first[1].seed, first[2].seed);
+}
+
+TEST(PipelineTest, RunManyGraphsWithSharedLibrary) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  std::vector<SequencingGraph> graphs;
+  graphs.push_back(pcr_mixing_graph());
+  graphs.push_back(pcr_mixing_graph());
+  PipelineOptions options = fast_options();
+  options.plan_droplet_routes = false;
+  const auto results = SynthesisPipeline(options).run_many(
+      std::span<const SequencingGraph>(graphs), library);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.placement.placement.feasible());
+  }
+}
+
+TEST(PipelineTest, RunManyPropagatesWorkerExceptions) {
+  std::vector<AssayCase> cases(1, pcr_mixing_assay());
+  PipelineOptions options = fast_options();
+  options.placer = "optimal";  // 10 modules > max_modules=8 -> throws
+  const SynthesisPipeline pipeline(options);
+  EXPECT_THROW(pipeline.run_many(std::span<const AssayCase>(cases)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmfb
