@@ -31,6 +31,22 @@ inline void emit_json_line(const std::string& name, const std::string& placer,
             << ",\"seed\":" << seed << "}\n";
 }
 
+/// The routing counterpart: one line per router backend, with the route
+/// success rate over the bench's scenario set, the summed makespan of the
+/// succeeded plans, and the routing wall time.
+inline void emit_router_json_line(const std::string& name,
+                                  const std::string& router,
+                                  double success_rate,
+                                  long long makespan_steps,
+                                  double wall_seconds,
+                                  std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"" << name << "\",\"router\":\"" << router
+            << "\",\"success_rate\":" << success_rate
+            << ",\"makespan_steps\":" << makespan_steps
+            << ",\"wall_seconds\":" << wall_seconds << ",\"seed\":" << seed
+            << "}\n";
+}
+
 /// Paper-parameter placement context (§4d): T0 = 10^4, alpha = 0.9,
 /// Na = 400, area-only objective — the new-API counterpart of
 /// paper_sa_options() below.
@@ -51,12 +67,16 @@ inline PipelineResult pcr_via_pipeline(std::uint64_t seed = kBenchSeed) {
 }
 
 /// The paper's PCR case study, synthesized: Table 1 binding, at most two
-/// concurrent mixers, storage inserted for waiting droplets.
+/// concurrent mixers, storage inserted for waiting droplets. Legacy-API
+/// helper for the unmigrated benches; new benches use pcr_via_pipeline().
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 inline SynthesisResult synthesized_pcr() {
   const AssayCase assay = pcr_mixing_assay();
   return synthesize_with_binding(assay.graph, assay.binding,
                                  assay.scheduler_options);
 }
+#pragma GCC diagnostic pop
 
 /// Paper-parameter annealing options (§4d): T0 = 10^4, alpha = 0.9,
 /// Na = 400, area-only objective.

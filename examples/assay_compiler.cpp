@@ -1,11 +1,12 @@
 // assay_compiler — a file-driven CLI for the whole flow: reads an assay
 // description (io/assay_format.h), compiles it with the SynthesisPipeline
-// (placer selectable by registry name), reports area/FTI, writes the
-// placement and SVG figures.
+// (placer and router selectable by registry name), reports area/FTI,
+// writes the placement and SVG figures.
 //
 //   $ ./examples/assay_compiler                      # built-in demo
 //   $ ./examples/assay_compiler my.assay 30          # file + beta
 //   $ ./examples/assay_compiler my.assay 30 greedy   # + placer name
+//   $ ./examples/assay_compiler my.assay 30 greedy negotiated  # + router
 //
 // If the input file does not exist, the paper's PCR assay is written to
 // it first, so `assay_compiler pcr.assay` is self-bootstrapping.
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   const std::string path = argc >= 2 ? argv[1] : "pcr.assay";
   const double beta = argc >= 3 ? std::atof(argv[2]) : 30.0;
   const std::string placer_name = argc >= 4 ? argv[3] : "two-stage";
+  const std::string router_name = argc >= 5 ? argv[4] : "prioritized";
   const ModuleLibrary library = ModuleLibrary::standard();
 
   // Bootstrap: write the PCR demo if the input is missing.
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
 
   PipelineOptions options;
   options.placer = placer_name;
+  options.router = router_name;
   options.placer_context.two_stage_beta = beta;
   options.observer = [](PipelineStage stage, double seconds,
                         const std::string& detail) {

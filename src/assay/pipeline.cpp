@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "biochip/chip.h"
+#include "sim/router_backend.h"
 #include "util/rng.h"
 
 namespace dmfb {
@@ -148,16 +149,22 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
           ? options_.chip_height
           : std::max(result.placement.placement.canvas_height(), box.top());
 
-  // Route: concurrent droplet routing at configuration changeovers.
+  // Route: concurrent droplet routing at configuration changeovers,
+  // through the pluggable backend resolved from the registry.
   if (options_.plan_droplet_routes) {
     const auto start = Clock::now();
+    const std::unique_ptr<Router> router = make_router(options_.router);
+    RoutePlannerOptions routing = options_.routing;
+    routing.seed = seed;
     result.routes =
-        plan_routes(graph, result.schedule, result.placement.placement,
-                    chip_width, chip_height, options_.routing);
+        router->plan(graph, result.schedule, result.placement.placement,
+                     chip_width, chip_height, routing);
     std::ostringstream detail;
+    detail << router->name() << ": ";
     if (result.routes.success) {
       detail << result.routes.changeovers.size() << " changeovers, "
-             << result.routes.total_steps << " droplet steps";
+             << result.routes.total_steps << " droplet steps ("
+             << result.routes.total_moved_cells << " cells moved)";
     } else {
       detail << "routing failed: " << result.routes.failure_reason;
     }

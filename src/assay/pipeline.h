@@ -11,6 +11,8 @@
 // Placement backends are resolved by name through the PlacerRegistry
 // (core/placer.h), so drivers select "sa", "greedy", "kamer", "optimal",
 // "two-stage" — or any custom registration — from configuration text.
+// Routing backends resolve the same way through the RouterRegistry
+// (sim/router_backend.h): "prioritized", "negotiated", "restart".
 // `run_many` executes independent assays across a thread pool for
 // throughput; every stochastic stage of item i derives its seed from
 // `options.seed` and i, so batches are reproducible from one number.
@@ -71,7 +73,10 @@ struct PipelineOptions {
 
   /// Plan concurrent droplet routes at every configuration changeover.
   bool plan_droplet_routes = true;
-  RoutePlannerOptions routing;
+  /// Registry name of the routing backend ("prioritized", "negotiated",
+  /// "restart", or any custom registration — sim/router_backend.h).
+  std::string router = "prioritized";
+  RoutePlannerOptions routing;  ///< `routing.seed` is overridden by `seed`
   /// Chip dimensions for routing/simulation; 0 = the placement canvas.
   int chip_width = 0;
   int chip_height = 0;
@@ -84,8 +89,9 @@ struct PipelineOptions {
   /// bounding box (the array a designer would fabricate).
   bool evaluate_fault_tolerance = true;
 
-  /// Master seed: overrides placer_context.seed and derives per-item seeds
-  /// in run_many, so one number reproduces any run or batch.
+  /// Master seed: overrides placer_context.seed and routing.seed, and
+  /// derives per-item seeds in run_many, so one number reproduces any run
+  /// or batch.
   std::uint64_t seed = 0xDA7E2005ULL;
 
   /// Worker threads for run_many (0 = hardware concurrency).

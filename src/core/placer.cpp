@@ -197,55 +197,6 @@ PlacerRegistry& PlacerRegistry::global() {
   return registry;
 }
 
-void PlacerRegistry::register_placer(const std::string& name,
-                                     Factory factory) {
-  if (name.empty()) {
-    throw std::invalid_argument("placer name must be non-empty");
-  }
-  if (!factory) {
-    throw std::invalid_argument("placer factory for \"" + name +
-                                "\" must be callable");
-  }
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
-  if (!inserted) {
-    throw std::invalid_argument("placer \"" + name + "\" already registered");
-  }
-}
-
-std::unique_ptr<Placer> PlacerRegistry::make(const std::string& name) const {
-  Factory factory;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = factories_.find(name);
-    if (it != factories_.end()) factory = it->second;
-  }
-  if (!factory) {
-    std::ostringstream message;
-    message << "unknown placer \"" << name << "\"; registered placers:";
-    for (const auto& known : names()) message << " \"" << known << "\"";
-    throw std::invalid_argument(message.str());
-  }
-  return factory();
-}
-
-bool PlacerRegistry::contains(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return factories_.count(name) != 0;
-}
-
-std::vector<std::string> PlacerRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return names_locked();
-}
-
-std::vector<std::string> PlacerRegistry::names_locked() const {
-  std::vector<std::string> result;
-  result.reserve(factories_.size());
-  for (const auto& [name, factory] : factories_) result.push_back(name);
-  return result;  // std::map iteration is already sorted
-}
-
 std::unique_ptr<Placer> make_placer(const std::string& name) {
   return PlacerRegistry::global().make(name);
 }

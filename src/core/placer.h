@@ -20,9 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +32,7 @@
 #include "core/reconfig.h"
 #include "core/sa_placer.h"
 #include "util/enum_text.h"
+#include "util/registry.h"
 
 namespace dmfb {
 
@@ -114,34 +113,39 @@ class Placer {
 
 /// String-keyed placer factory. The five built-ins are pre-registered;
 /// `register_placer` adds custom backends process-wide. All methods are
-/// thread-safe (run_many workers resolve placers concurrently).
+/// thread-safe (run_many workers resolve placers concurrently). The
+/// locking machinery is the shared detail::NamedRegistry (util/registry.h).
 class PlacerRegistry {
  public:
-  using Factory = std::function<std::unique_ptr<Placer>()>;
+  using Factory = detail::NamedRegistry<Placer>::Factory;
 
   /// The process-wide registry, with built-ins pre-registered.
   static PlacerRegistry& global();
 
   /// Registers a backend under `name`. Throws std::invalid_argument when
   /// the name is empty or already taken.
-  void register_placer(const std::string& name, Factory factory);
+  void register_placer(const std::string& name, Factory factory) {
+    registry_.add(name, std::move(factory));
+  }
 
   /// Instantiates the backend registered under `name`. Throws
   /// std::invalid_argument for unknown names; the message lists every
   /// registered name.
-  std::unique_ptr<Placer> make(const std::string& name) const;
+  std::unique_ptr<Placer> make(const std::string& name) const {
+    return registry_.make(name);
+  }
 
-  bool contains(const std::string& name) const;
+  bool contains(const std::string& name) const {
+    return registry_.contains(name);
+  }
 
   /// All registered names, sorted.
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const { return registry_.names(); }
 
  private:
   PlacerRegistry();
-  std::vector<std::string> names_locked() const;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  detail::NamedRegistry<Placer> registry_{"placer"};
 };
 
 /// Convenience forwarders to PlacerRegistry::global().

@@ -32,16 +32,58 @@ Matrix<std::uint8_t> blocked_at(const Placement& placement, double t,
   return blocked;
 }
 
-/// Position of route `r` at `step` (parked at the target after arrival).
-Point route_position(const TimedRoute& r, int step) {
-  if (r.positions.empty()) return r.request.to;
-  const int clamped = std::clamp(
-      step, 0, static_cast<int>(r.positions.size()) - 1);
-  return r.positions[static_cast<std::size_t>(clamped)];
+}  // namespace
+
+double RoutePlan::total_transport_seconds(double cells_per_second) const {
+  if (cells_per_second <= 0.0) return 0.0;
+  double seconds = 0.0;
+  for (const auto& changeover : changeovers) {
+    seconds += changeover.makespan_steps / cells_per_second;
+  }
+  return seconds;
 }
 
-/// Space-time A* for one transfer against earlier routes' reservations.
-std::optional<std::vector<Point>> route_one(
+namespace routing {
+
+Point position_at(const TimedRoute& route, int step) {
+  if (route.positions.empty()) return route.request.to;
+  const int clamped =
+      std::clamp(step, 0, static_cast<int>(route.positions.size()) - 1);
+  return route.positions[static_cast<std::size_t>(clamped)];
+}
+
+int resolve_horizon(const RoutePlannerOptions& options, int chip_width,
+                    int chip_height) {
+  return options.step_horizon > 0 ? options.step_horizon
+                                  : 4 * (chip_width + chip_height);
+}
+
+bool conflicts_with_route(Point p, int step, const TimedRoute& other,
+                          int separation) {
+  if (chebyshev_distance(p, position_at(other, step)) < separation) {
+    return true;
+  }
+  // Dynamic constraint, both directions: distance to the other droplet's
+  // previous position (no head-on swaps) and to its next position (the
+  // other must not be steered into my neighbourhood).
+  if (step > 0 &&
+      chebyshev_distance(p, position_at(other, step - 1)) < separation) {
+    return true;
+  }
+  return chebyshev_distance(p, position_at(other, step + 1)) < separation;
+}
+
+bool pair_violates_at(const TimedRoute& a, const TimedRoute& b, int step,
+                      int separation) {
+  const Point pa = position_at(a, step);
+  const Point pb = position_at(b, step);
+  if (chebyshev_distance(pa, pb) < separation) return true;
+  return step > 0 &&
+         (chebyshev_distance(pa, position_at(b, step - 1)) < separation ||
+          chebyshev_distance(pb, position_at(a, step - 1)) < separation);
+}
+
+std::optional<std::vector<Point>> route_transfer(
     const TransferRequest& request, const Matrix<std::uint8_t>& blocked,
     const std::vector<TimedRoute>& earlier, int horizon, int separation) {
   const int width = blocked.width();
@@ -56,20 +98,7 @@ std::optional<std::vector<Point>> route_one(
   auto conflicts = [&](Point p, int step) {
     for (const TimedRoute& other : earlier) {
       if (other.request.to == request.to) continue;  // merging pair
-      if (chebyshev_distance(p, route_position(other, step)) < separation) {
-        return true;
-      }
-      // Dynamic constraint, both directions: distance to the other
-      // droplet's previous position (no head-on swaps) and to its next
-      // position (the other must not be steered into my neighbourhood).
-      if (step > 0 && chebyshev_distance(
-                          p, route_position(other, step - 1)) < separation) {
-        return true;
-      }
-      if (chebyshev_distance(p, route_position(other, step + 1)) <
-          separation) {
-        return true;
-      }
+      if (conflicts_with_route(p, step, other, separation)) return true;
     }
     return false;
   };
@@ -96,8 +125,8 @@ std::optional<std::vector<Point>> route_one(
 
   std::priority_queue<Node, std::vector<Node>, std::greater<Node>> open;
   if (conflicts(request.from, 0)) return std::nullopt;
-  open.push(Node{manhattan_distance(request.from, request.to), 0,
-                 request.from});
+  open.push(
+      Node{manhattan_distance(request.from, request.to), 0, request.from});
   visited[key(request.from, 0)] = true;
 
   const Point steps[5] = {{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
@@ -112,8 +141,7 @@ std::optional<std::vector<Point>> route_one(
         positions[static_cast<std::size_t>(s)] = p;
         const int parent_index = parent[key(p, s)];
         if (s > 0) {
-          p = Point{parent_index % width,
-                    (parent_index / width) % height};
+          p = Point{parent_index % width, (parent_index / width) % height};
         }
       }
       return positions;
@@ -126,8 +154,8 @@ std::optional<std::vector<Point>> route_one(
       if (visited[key(next, next_step)]) continue;
       if (conflicts(next, next_step)) continue;
       visited[key(next, next_step)] = true;
-      parent[key(next, next_step)] =
-          static_cast<int>(key(node.p, 0) % (static_cast<std::size_t>(width) * height));
+      parent[key(next, next_step)] = static_cast<int>(
+          key(node.p, 0) % (static_cast<std::size_t>(width) * height));
       open.push(Node{next_step + manhattan_distance(next, request.to),
                      next_step, next});
     }
@@ -135,8 +163,6 @@ std::optional<std::vector<Point>> route_one(
   return std::nullopt;
 }
 
-/// All free perimeter cells, nearest to `target` first (dispense entry
-/// candidates — the reservoir sits off-chip next to the chosen cell).
 std::vector<Point> perimeter_entries(const Matrix<std::uint8_t>& blocked,
                                      Point target) {
   std::vector<Point> entries;
@@ -160,34 +186,20 @@ std::vector<Point> perimeter_entries(const Matrix<std::uint8_t>& blocked,
   return entries;
 }
 
-}  // namespace
-
-double RoutePlan::total_transport_seconds(double cells_per_second) const {
-  if (cells_per_second <= 0.0) return 0.0;
-  double seconds = 0.0;
-  for (const auto& changeover : changeovers) {
-    seconds += changeover.makespan_steps / cells_per_second;
-  }
-  return seconds;
-}
-
-RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
-                      const Placement& placement, int chip_width,
-                      int chip_height, const RoutePlannerOptions& options) {
+std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
+                                                const Schedule& schedule,
+                                                const Placement& placement,
+                                                int chip_width,
+                                                int chip_height) {
   if (schedule.module_count() != placement.module_count()) {
     throw std::invalid_argument(
-        "plan_routes: schedule and placement disagree on module count");
+        "extract_problems: schedule and placement disagree on module count");
   }
   const Rect chip{0, 0, chip_width, chip_height};
   if (!chip.contains(placement.bounding_box())) {
     throw std::invalid_argument(
-        "plan_routes: chip smaller than the placement bounding box");
+        "extract_problems: chip smaller than the placement bounding box");
   }
-
-  RoutePlan plan;
-  const int horizon = options.step_horizon > 0
-                          ? options.step_horizon
-                          : 4 * (chip_width + chip_height);
 
   // Group schedule entries by start time.
   std::map<double, std::vector<int>> groups;
@@ -195,13 +207,16 @@ RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
     groups[schedule.module(i).start_s].push_back(i);
   }
 
+  std::vector<ChangeoverProblem> problems;
   std::map<OperationId, Point> droplet_at;
   for (const auto& [time, members] : groups) {
-    const Matrix<std::uint8_t> blocked =
-        blocked_at(placement, time, chip_width, chip_height);
+    ChangeoverProblem problem;
+    problem.time_s = time;
+    problem.blocked = blocked_at(placement, time, chip_width, chip_height);
 
-    // Gather transfer requests for this changeover.
-    std::vector<TransferRequest> requests;
+    // Gather transfer requests for this changeover. A droplet always
+    // lands at its request's `to`, so the position bookkeeping below is
+    // independent of how (or in what order) a backend routes.
     std::vector<OperationId> arrivals;  // op whose droplet lands per request
     for (const int index : members) {
       const ScheduledModule& sm = schedule.module(index);
@@ -211,7 +226,7 @@ RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
         const auto it = droplet_at.find(sm.producer_op);
         const Point from = it != droplet_at.end() ? it->second : site;
         if (!(from == site)) {
-          requests.push_back(
+          problem.requests.push_back(
               TransferRequest{"S:" + sm.label, from, site, index});
           arrivals.push_back(sm.producer_op);
         } else {
@@ -220,87 +235,124 @@ RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
         continue;
       }
       for (const OperationId pred : graph.predecessors(sm.op_id)) {
-        // Dispense droplets have no on-chip position yet; a sentinel makes
-        // the routing loop pick a conflict-free perimeter entry.
-        Point from{-1, -1};
+        // Dispense droplets have no on-chip position yet; the sentinel
+        // makes the solver pick a conflict-free perimeter entry.
+        Point from = kDispensePending;
         const auto it = droplet_at.find(pred);
         if (it != droplet_at.end()) from = it->second;
         if (from == site) {
           droplet_at[sm.op_id] = site;
           continue;
         }
-        requests.push_back(TransferRequest{graph.operation(pred).label, from,
-                                           site, index});
+        problem.requests.push_back(
+            TransferRequest{graph.operation(pred).label, from, site, index});
         arrivals.push_back(sm.op_id < 0 ? pred : sm.op_id);
       }
     }
 
-    if (requests.empty()) {
-      // Still update landing positions for zero-distance handoffs above.
-      continue;
+    // Record where droplets end up (a consumed droplet's position becomes
+    // the consumer's output site; storage keeps the producer op as key).
+    for (std::size_t i = 0; i < problem.requests.size(); ++i) {
+      droplet_at[arrivals[i]] = problem.requests[i].to;
     }
-
-    // On-chip transfers first (their start cells are fixed), longest
-    // first; dispenses last so their entry choice can dodge everything.
-    const Point sentinel{-1, -1};
-    std::vector<std::size_t> order(requests.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const bool dispense_a = requests[a].from == sentinel;
-      const bool dispense_b = requests[b].from == sentinel;
-      if (dispense_a != dispense_b) return !dispense_a;
-      const int da = manhattan_distance(requests[a].from, requests[a].to);
-      const int db = manhattan_distance(requests[b].from, requests[b].to);
-      if (da != db) return da > db;
-      return a < b;
-    });
-
-    ChangeoverPlan changeover;
-    changeover.time_s = time;
-    for (const std::size_t r : order) {
-      TransferRequest request = requests[r];
-      std::optional<std::vector<Point>> positions;
-      if (request.from == sentinel) {
-        // Try perimeter entries nearest the target until one routes.
-        for (const Point& entry : perimeter_entries(blocked, request.to)) {
-          request.from = entry;
-          positions = route_one(request, blocked, changeover.routes,
-                                horizon, options.separation_cells);
-          if (positions) break;
-        }
-      } else {
-        positions = route_one(request, blocked, changeover.routes, horizon,
-                              options.separation_cells);
-      }
-      if (!positions) {
-        std::ostringstream os;
-        os << "droplet '" << requests[r].label << "' cannot be routed to ("
-           << requests[r].to.x << "," << requests[r].to.y << ") at t="
-           << time;
-        plan.success = false;
-        plan.failure_reason = os.str();
-        return plan;
-      }
-      TimedRoute route;
-      route.request = request;
-      route.positions = *positions;
-      changeover.makespan_steps =
-          std::max(changeover.makespan_steps, route.arrival_step());
-      plan.total_steps += route.arrival_step();
-      changeover.routes.push_back(std::move(route));
-    }
-
-    // Record where droplets ended up.
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      droplet_at[arrivals[i]] = requests[i].to;
-      // A consumed droplet's position becomes the consumer's output site;
-      // storage transfers keep the producer op as the key.
-    }
-    plan.changeovers.push_back(std::move(changeover));
+    if (!problem.requests.empty()) problems.push_back(std::move(problem));
   }
+  return problems;
+}
 
+std::vector<std::size_t> default_order(
+    const std::vector<TransferRequest>& requests) {
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const bool dispense_a = requests[a].from == kDispensePending;
+    const bool dispense_b = requests[b].from == kDispensePending;
+    if (dispense_a != dispense_b) return !dispense_a;
+    const int da = manhattan_distance(requests[a].from, requests[a].to);
+    const int db = manhattan_distance(requests[b].from, requests[b].to);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return order;
+}
+
+std::optional<ChangeoverPlan> solve_prioritized(
+    const ChangeoverProblem& problem, const std::vector<std::size_t>& order,
+    const RoutePlannerOptions& options, int horizon, std::string* failure) {
+  ChangeoverPlan changeover;
+  changeover.time_s = problem.time_s;
+  for (const std::size_t r : order) {
+    TransferRequest request = problem.requests[r];
+    std::optional<std::vector<Point>> positions;
+    if (request.from == kDispensePending) {
+      // Try perimeter entries nearest the target until one routes.
+      for (const Point& entry :
+           perimeter_entries(problem.blocked, request.to)) {
+        request.from = entry;
+        positions = route_transfer(request, problem.blocked, changeover.routes,
+                                   horizon, options.separation_cells);
+        if (positions) break;
+      }
+    } else {
+      positions = route_transfer(request, problem.blocked, changeover.routes,
+                                 horizon, options.separation_cells);
+    }
+    if (!positions) {
+      if (failure) {
+        std::ostringstream os;
+        os << "droplet '" << problem.requests[r].label
+           << "' cannot be routed to (" << problem.requests[r].to.x << ","
+           << problem.requests[r].to.y << ") at t=" << problem.time_s;
+        *failure = os.str();
+      }
+      return std::nullopt;
+    }
+    TimedRoute route;
+    route.request = request;
+    route.positions = *positions;
+    changeover.makespan_steps =
+        std::max(changeover.makespan_steps, route.arrival_step());
+    changeover.routes.push_back(std::move(route));
+  }
+  return changeover;
+}
+
+void accumulate(RoutePlan& plan, ChangeoverPlan&& changeover) {
+  for (const TimedRoute& route : changeover.routes) {
+    plan.total_steps += route.arrival_step();
+    plan.total_moved_cells += route.moved_cells();
+  }
+  plan.changeovers.push_back(std::move(changeover));
+}
+
+RoutePlan plan_prioritized(const SequencingGraph& graph,
+                           const Schedule& schedule,
+                           const Placement& placement, int chip_width,
+                           int chip_height,
+                           const RoutePlannerOptions& options) {
+  RoutePlan plan;
+  const int horizon = resolve_horizon(options, chip_width, chip_height);
+  for (const ChangeoverProblem& problem :
+       extract_problems(graph, schedule, placement, chip_width, chip_height)) {
+    auto changeover = solve_prioritized(problem, default_order(problem.requests),
+                                        options, horizon, &plan.failure_reason);
+    if (!changeover) {
+      plan.success = false;
+      return plan;
+    }
+    accumulate(plan, std::move(*changeover));
+  }
   plan.success = true;
   return plan;
+}
+
+}  // namespace routing
+
+RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
+                      const Placement& placement, int chip_width,
+                      int chip_height, const RoutePlannerOptions& options) {
+  return routing::plan_prioritized(graph, schedule, placement, chip_width,
+                                   chip_height, options);
 }
 
 std::vector<std::string> validate_changeover(
@@ -348,27 +400,21 @@ std::vector<std::string> validate_changeover(
       const TimedRoute& b = plan.routes[j];
       if (a.request.to == b.request.to) continue;  // merging pair
       for (int step = 0; step <= horizon; ++step) {
-        const Point pa = route_position(a, step);
-        const Point pb = route_position(b, step);
-        if (chebyshev_distance(pa, pb) < options.separation_cells) {
-          std::ostringstream os;
-          os << "droplets '" << a.request.label << "' and '"
-             << b.request.label << "' too close at step " << step;
-          complain(os.str());
-          break;
+        if (!routing::pair_violates_at(a, b, step,
+                                       options.separation_cells)) {
+          continue;
         }
-        if (step > 0 &&
-            (chebyshev_distance(pa, route_position(b, step - 1)) <
-                 options.separation_cells ||
-             chebyshev_distance(pb, route_position(a, step - 1)) <
-                 options.separation_cells)) {
-          std::ostringstream os;
-          os << "droplets '" << a.request.label << "' and '"
-             << b.request.label << "' violate the dynamic constraint at step "
-             << step;
-          complain(os.str());
-          break;
-        }
+        const bool dynamic_only =
+            chebyshev_distance(routing::position_at(a, step),
+                               routing::position_at(b, step)) >=
+            options.separation_cells;
+        std::ostringstream os;
+        os << "droplets '" << a.request.label << "' and '" << b.request.label
+           << (dynamic_only ? "' violate the dynamic constraint at step "
+                            : "' too close at step ")
+           << step;
+        complain(os.str());
+        break;
       }
     }
   }

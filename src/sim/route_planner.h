@@ -2,19 +2,28 @@
 // changeovers, with fluidic constraints.
 //
 // The simulator (simulator.h) routes droplets one at a time and ignores
-// droplet-droplet interactions; this planner produces a *checkable
+// droplet-droplet interactions; the planners here produce a *checkable
 // actuation-ready* plan: at every changeover instant all pending droplet
 // transfers are routed simultaneously on a space-time grid under the
 // standard DMFB fluidic constraints (droplets must stay >= 2 cells apart
 // in Chebyshev distance, both against the other droplet's current and
 // previous position, unless they are being merged at the same target).
 //
-// Prioritized planning: transfers are routed one after another, each
-// avoiding the space-time reservations of those before it; a droplet may
-// wait in place to let another pass. This is the classic decoupled
-// approach used by DMFB routers descended from this paper's group's work.
+// This header carries the plan data model (TransferRequest, TimedRoute,
+// ChangeoverPlan, RoutePlan), the shared building blocks every routing
+// backend composes (`routing::` namespace), and the legacy `plan_routes`
+// entry point — now a deprecated thin wrapper over the "prioritized"
+// backend. Polymorphic backends live in sim/router_backend.h:
+//
+//   auto router = make_router("negotiated");
+//   RoutePlan plan = router->plan(graph, schedule, placement, 16, 16);
+//
+// Units: a *step* is one actuation interval (a droplet moves one cell or
+// waits in place for one step); a *cell* is one cell actually traversed.
+// Waits cost steps but no cells, so step counts >= cell counts.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -22,6 +31,7 @@
 #include "assay/schedule.h"
 #include "assay/sequencing_graph.h"
 #include "core/placement.h"
+#include "util/deprecation.h"
 #include "util/geometry.h"
 #include "util/matrix.h"
 
@@ -39,8 +49,21 @@ struct TransferRequest {
 struct TimedRoute {
   TransferRequest request;
   std::vector<Point> positions;  ///< positions[step], step 0 = at `from`
+
+  /// Steps until arrival (unit: steps — waits in place count, so this is
+  /// the droplet's transport *time*, not distance). 0 for an empty route.
   int arrival_step() const {
-    return static_cast<int>(positions.size()) - 1;
+    return positions.empty() ? 0 : static_cast<int>(positions.size()) - 1;
+  }
+
+  /// Cells actually traversed (unit: cells — waits in place do not count,
+  /// so this is the droplet's transport *distance*). <= arrival_step().
+  int moved_cells() const {
+    int moved = 0;
+    for (std::size_t i = 1; i < positions.size(); ++i) {
+      if (!(positions[i] == positions[i - 1])) ++moved;
+    }
+    return moved;
   }
 };
 
@@ -48,7 +71,7 @@ struct TimedRoute {
 struct ChangeoverPlan {
   double time_s = 0.0;
   std::vector<TimedRoute> routes;
-  int makespan_steps = 0;  ///< latest arrival among the routes
+  int makespan_steps = 0;  ///< latest arrival among the routes (steps)
 };
 
 /// A complete routing plan for an assay execution.
@@ -56,32 +79,154 @@ struct RoutePlan {
   bool success = false;
   std::string failure_reason;
   std::vector<ChangeoverPlan> changeovers;
-  long long total_steps = 0;  ///< sum of per-droplet path lengths
+  /// Sum of per-droplet arrival steps (unit: droplet-steps, waits
+  /// included). Never smaller than `total_moved_cells`.
+  long long total_steps = 0;
+  /// Sum of per-droplet cells traversed (unit: droplet-cells, waits
+  /// excluded) — the electrode-actuation work the plan implies.
+  long long total_moved_cells = 0;
 
-  /// Transport time implied by the plan at `cells_per_second`.
+  /// Transport time implied by the plan at `cells_per_second`: changeover
+  /// makespans are serial, droplets within a changeover are concurrent.
   double total_transport_seconds(double cells_per_second) const;
 };
 
-/// Planner options.
+/// Planner options, shared by every routing backend; backends read the
+/// fields relevant to them and ignore the rest.
 struct RoutePlannerOptions {
   /// Max timesteps per changeover before giving up (0 = auto: 4*(W+H)).
   int step_horizon = 0;
   /// Minimum Chebyshev separation between unrelated droplets.
   int separation_cells = 2;
+
+  // "negotiated" backend (Pathfinder-style rip-up-and-reroute).
+  /// Max negotiation rounds per changeover before falling back.
+  int negotiation_rounds = 24;
+  /// Cost of sharing a space-time neighbourhood, escalated per round.
+  double present_congestion_weight = 1.0;
+  /// Weight of accumulated (historic) congestion on a space-time cell.
+  double history_congestion_weight = 0.4;
+
+  // "restart" backend (seeded random-restart over transfer orderings).
+  /// Shuffled orderings tried per changeover beyond the deterministic one.
+  int max_restarts = 8;
+  /// Seed for the ordering shuffles; the pipeline overrides this with the
+  /// run seed so one number reproduces the whole flow.
+  std::uint64_t seed = 0xDA7E2005ULL;
 };
 
-/// Plans droplet routing for the full assay: for every changeover in the
-/// schedule, routes all transfers concurrently. Requires a chip of
-/// `chip_width` x `chip_height` covering the placement.
+/// Plans droplet routing for the full assay with the classic prioritized
+/// planner. Deprecated: resolve a backend through the RouterRegistry
+/// (sim/router_backend.h) instead; `make_router("prioritized")` reproduces
+/// this function exactly.
+DMFB_DEPRECATED(
+    "use make_router(\"prioritized\")->plan(...) from sim/router_backend.h")
 RoutePlan plan_routes(const SequencingGraph& graph, const Schedule& schedule,
                       const Placement& placement, int chip_width,
                       int chip_height,
                       const RoutePlannerOptions& options = {});
 
 /// Validates a changeover plan against the fluidic constraints; returns
-/// human-readable violations (empty = valid). Exposed for tests.
+/// human-readable violations (empty = valid). Exposed for tests and used
+/// by the shared router conformance suite.
 std::vector<std::string> validate_changeover(
     const ChangeoverPlan& plan, const Matrix<std::uint8_t>& blocked,
     const RoutePlannerOptions& options = {});
+
+// --- shared building blocks for routing backends ----------------------
+//
+// Everything below is the backend-independent core: changeover extraction
+// from the schedule, the space-time A* primitive, and the prioritized
+// per-changeover solver. Router implementations (sim/router_backend.cpp)
+// compose these; they are exposed here so custom backends registered with
+// RouterRegistry can too.
+namespace routing {
+
+/// Sentinel `from` of a dispense transfer: the droplet has no on-chip
+/// position yet, and the solver picks a conflict-free perimeter entry.
+inline constexpr Point kDispensePending{-1, -1};
+
+/// One changeover's routing problem, extracted from the schedule: the
+/// blocked grid at that instant and the pending transfers (dispense
+/// requests carry `kDispensePending` as `from`).
+struct ChangeoverProblem {
+  double time_s = 0.0;
+  Matrix<std::uint8_t> blocked;
+  std::vector<TransferRequest> requests;
+};
+
+/// Extracts every changeover with at least one transfer, in time order.
+/// Droplet positions between changeovers are tracked internally (a
+/// droplet always lands at its request's `to`, so extraction does not
+/// depend on the backend's path choices). Throws std::invalid_argument
+/// when schedule and placement disagree or the chip is too small.
+std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
+                                                const Schedule& schedule,
+                                                const Placement& placement,
+                                                int chip_width,
+                                                int chip_height);
+
+/// The per-changeover step horizon implied by `options` (0 = auto).
+int resolve_horizon(const RoutePlannerOptions& options, int chip_width,
+                    int chip_height);
+
+/// Position of `route` at `step`: clamped to the endpoints (a droplet is
+/// parked at its target after arrival).
+Point position_at(const TimedRoute& route, int step);
+
+/// All free perimeter cells, nearest to `target` first (dispense entry
+/// candidates — the reservoir sits off-chip next to the chosen cell).
+std::vector<Point> perimeter_entries(const Matrix<std::uint8_t>& blocked,
+                                     Point target);
+
+/// The one fluidic rule, reservation form: does a droplet at `p` on
+/// `step` violate the separation constraints against `other`'s timed
+/// positions? Checks the static rule plus both directions of the dynamic
+/// rule (the other droplet's previous *and* next position). Callers
+/// handle the merge-at-same-target exemption.
+bool conflicts_with_route(Point p, int step, const TimedRoute& other,
+                          int separation);
+
+/// The one fluidic rule, pairwise form: do routes `a` and `b` violate the
+/// separation constraints at `step` (static rule, plus the dynamic rule
+/// against each other's previous position — the forward direction is
+/// covered by the check at step+1)? Callers handle the merge exemption.
+bool pair_violates_at(const TimedRoute& a, const TimedRoute& b, int step,
+                      int separation);
+
+/// Space-time A* for one transfer against `earlier` routes' reservations
+/// (hard fluidic constraints, including both directions of the dynamic
+/// rule). Returns the per-step positions, or nullopt when no conflict-free
+/// path exists within `horizon` steps.
+std::optional<std::vector<Point>> route_transfer(
+    const TransferRequest& request, const Matrix<std::uint8_t>& blocked,
+    const std::vector<TimedRoute>& earlier, int horizon, int separation);
+
+/// The deterministic visit order: on-chip transfers first (their start
+/// cells are fixed), longest first; dispenses last so their entry choice
+/// can dodge everything already routed.
+std::vector<std::size_t> default_order(
+    const std::vector<TransferRequest>& requests);
+
+/// Routes one changeover's transfers in the given visit order, each
+/// avoiding the space-time reservations of those before it (prioritized /
+/// decoupled planning). Returns nullopt and sets `failure` when some
+/// transfer cannot be routed.
+std::optional<ChangeoverPlan> solve_prioritized(
+    const ChangeoverProblem& problem, const std::vector<std::size_t>& order,
+    const RoutePlannerOptions& options, int horizon, std::string* failure);
+
+/// Folds a solved changeover into `plan` (routes + step/cell totals).
+void accumulate(RoutePlan& plan, ChangeoverPlan&& changeover);
+
+/// The full prioritized planner (extraction + per-changeover solve in
+/// `default_order`) — the implementation behind the "prioritized" backend
+/// and the deprecated `plan_routes`.
+RoutePlan plan_prioritized(const SequencingGraph& graph,
+                           const Schedule& schedule,
+                           const Placement& placement, int chip_width,
+                           int chip_height, const RoutePlannerOptions& options);
+
+}  // namespace routing
 
 }  // namespace dmfb

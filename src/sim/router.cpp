@@ -62,13 +62,15 @@ std::optional<DropletPath> find_path(const Matrix<std::uint8_t>& blocked,
 }
 
 double path_duration_s(const DropletPath& path, double cells_per_second) {
+  // Guard the empty path before forming path.size() - 1: size() is
+  // unsigned, so the subtraction would wrap to a huge hop count.
   if (path.size() <= 1 || cells_per_second <= 0.0) return 0.0;
   return static_cast<double>(path.size() - 1) / cells_per_second;
 }
 
 bool is_valid_path(const Matrix<std::uint8_t>& blocked,
                    const DropletPath& path) {
-  if (path.empty()) return false;
+  if (path.empty()) return false;  // a droplet is always somewhere
   for (std::size_t i = 0; i < path.size(); ++i) {
     if (!blocked.in_bounds(path[i]) || blocked.at(path[i]) != 0) return false;
     if (i > 0 && manhattan_distance(path[i - 1], path[i]) != 1) return false;

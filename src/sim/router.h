@@ -20,15 +20,20 @@ using DropletPath = std::vector<Point>;
 
 /// Plans a shortest 4-connected path from `from` to `to` avoiding cells
 /// where `blocked` is nonzero. Endpoints must be in bounds and unblocked.
-/// Returns nullopt when no path exists.
+/// Returns nullopt when no path exists. `from == to` yields the
+/// single-cell path {from} (the droplet is already there).
 std::optional<DropletPath> find_path(const Matrix<std::uint8_t>& blocked,
                                      Point from, Point to);
 
-/// Seconds the path takes at the given transport speed (cells per second).
+/// Seconds the path takes at the given transport speed (cells per
+/// second): (path.size() - 1) / cells_per_second. Empty and single-cell
+/// paths take 0 s, as does any path at a non-positive speed.
 double path_duration_s(const DropletPath& path, double cells_per_second);
 
-/// Validates a path: consecutive cells 4-adjacent, all unblocked and in
-/// bounds. Used by tests and the simulator's internal assertions.
+/// Validates a path: non-empty, consecutive cells 4-adjacent, all
+/// unblocked and in bounds. A single-cell path is valid iff its one cell
+/// is in bounds and unblocked; the empty path is invalid (a droplet is
+/// always somewhere). Used by tests and the simulator's assertions.
 bool is_valid_path(const Matrix<std::uint8_t>& blocked,
                    const DropletPath& path);
 

@@ -1,0 +1,453 @@
+#include "sim/router_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace dmfb {
+namespace {
+
+using routing::ChangeoverProblem;
+using routing::position_at;
+
+// --- "prioritized" ----------------------------------------------------
+
+class PrioritizedRouter final : public Router {
+ public:
+  std::string name() const override { return "prioritized"; }
+
+  RoutePlan plan(const SequencingGraph& graph, const Schedule& schedule,
+                 const Placement& placement, int chip_width, int chip_height,
+                 const RoutePlannerOptions& options) const override {
+    return routing::plan_prioritized(graph, schedule, placement, chip_width,
+                                     chip_height, options);
+  }
+};
+
+// --- "negotiated" -----------------------------------------------------
+//
+// Pathfinder-style negotiated congestion on the space-time grid. Every
+// transfer is routed with a cost-based A* that may enter another route's
+// fluidic neighbourhood at a price: an escalating present-congestion cost
+// plus a history cost accumulated on space-time cells that keep seeing
+// conflicts. Conflicted routes are ripped up and rerouted each round
+// until the changeover is conflict-free.
+
+/// A routed candidate with its congestion-aware cost.
+struct SoftRoute {
+  std::vector<Point> positions;
+  double cost = 0.0;
+};
+
+/// Reusable space-time search buffers: one A* needs (horizon+1)*W*H
+/// entries of best-cost and parent state, and the negotiation loop runs
+/// many searches per changeover — reallocating each time would dominate
+/// the backend's wall time.
+struct SoftScratch {
+  std::vector<double> best_g;
+  std::vector<int> parent;
+};
+
+/// Cost-based space-time A* for one transfer. `others` are the current
+/// routes of every transfer; `self` is skipped (as are merging partners).
+/// `present_weight` prices entering another route's neighbourhood;
+/// `history` prices space-time cells with a conflict record. With both at
+/// zero this degenerates to an unconstrained shortest path.
+std::optional<SoftRoute> route_soft(
+    const TransferRequest& request, const Matrix<std::uint8_t>& blocked,
+    const std::vector<TimedRoute>& others, std::size_t self, int horizon,
+    int separation, double present_weight, const std::vector<double>& history,
+    double history_weight, SoftScratch& scratch) {
+  const int width = blocked.width();
+  const int height = blocked.height();
+  if (!blocked.in_bounds(request.from) || !blocked.in_bounds(request.to)) {
+    return std::nullopt;
+  }
+  if (blocked.at(request.from) != 0 || blocked.at(request.to) != 0) {
+    return std::nullopt;
+  }
+
+  const auto key = [&](Point p, int step) {
+    return (static_cast<std::size_t>(step) * height + p.y) * width + p.x;
+  };
+
+  auto penalty = [&](Point p, int step) {
+    double cost = history.empty() ? 0.0
+                                  : history[key(p, step)] * history_weight;
+    for (std::size_t o = 0; o < others.size(); ++o) {
+      if (o == self) continue;
+      const TimedRoute& other = others[o];
+      if (other.positions.empty()) continue;  // not routed yet
+      if (other.request.to == request.to) continue;  // merging pair
+      if (routing::conflicts_with_route(p, step, other, separation)) {
+        cost += present_weight;
+      }
+    }
+    return cost;
+  };
+
+  struct Node {
+    double f;
+    double g;
+    int step;
+    Point p;
+    bool operator>(const Node& o) const {
+      if (f != o.f) return f > o.f;
+      if (step != o.step) return step > o.step;
+      return std::pair(p.x, p.y) > std::pair(o.p.x, o.p.y);
+    }
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t states =
+      static_cast<std::size_t>(horizon + 1) * width * height;
+  std::vector<double>& best_g = scratch.best_g;
+  std::vector<int>& parent = scratch.parent;
+  best_g.assign(states, kInf);  // reuses the buffers' capacity
+  parent.assign(states, -1);
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> open;
+  const double start_g = penalty(request.from, 0);
+  best_g[key(request.from, 0)] = start_g;
+  open.push(Node{start_g + manhattan_distance(request.from, request.to),
+                 start_g, 0, request.from});
+
+  const Point steps[5] = {{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  while (!open.empty()) {
+    const Node node = open.top();
+    open.pop();
+    if (node.g > best_g[key(node.p, node.step)]) continue;  // stale entry
+    if (node.p == request.to) {
+      SoftRoute route;
+      route.cost = node.g;
+      route.positions.resize(static_cast<std::size_t>(node.step) + 1);
+      Point p = node.p;
+      for (int s = node.step; s >= 0; --s) {
+        route.positions[static_cast<std::size_t>(s)] = p;
+        const int parent_index = parent[key(p, s)];
+        if (s > 0) {
+          p = Point{parent_index % width, (parent_index / width) % height};
+        }
+      }
+      return route;
+    }
+    if (node.step >= horizon) continue;
+    for (const Point& delta : steps) {
+      const Point next{node.p.x + delta.x, node.p.y + delta.y};
+      const int next_step = node.step + 1;
+      if (!blocked.in_bounds(next) || blocked.at(next) != 0) continue;
+      const double g = node.g + 1.0 + penalty(next, next_step);
+      if (g >= best_g[key(next, next_step)]) continue;
+      best_g[key(next, next_step)] = g;
+      parent[key(next, next_step)] = static_cast<int>(
+          key(node.p, 0) % (static_cast<std::size_t>(width) * height));
+      open.push(Node{g + manhattan_distance(next, request.to), g, next_step,
+                     next});
+    }
+  }
+  return std::nullopt;
+}
+
+/// Routes `request`, resolving a dispense's pending entry by evaluating
+/// the nearest free perimeter cells and keeping the cheapest route. The
+/// resolved request (with the chosen entry as `from`) is written back.
+std::optional<SoftRoute> route_soft_resolved(
+    TransferRequest& request, const Matrix<std::uint8_t>& blocked,
+    const std::vector<TimedRoute>& others, std::size_t self, int horizon,
+    int separation, double present_weight, const std::vector<double>& history,
+    double history_weight, SoftScratch& scratch) {
+  if (!(request.from == routing::kDispensePending)) {
+    return route_soft(request, blocked, others, self, horizon, separation,
+                      present_weight, history, history_weight, scratch);
+  }
+  // Evaluating every perimeter cell is an A* each; the nearest few are
+  // where a sensible entry lives.
+  constexpr std::size_t kMaxEntries = 12;
+  std::optional<SoftRoute> best;
+  Point best_entry = request.from;
+  const auto entries = routing::perimeter_entries(blocked, request.to);
+  for (std::size_t i = 0; i < entries.size() && i < kMaxEntries; ++i) {
+    TransferRequest candidate = request;
+    candidate.from = entries[i];
+    auto route = route_soft(candidate, blocked, others, self, horizon,
+                            separation, present_weight, history,
+                            history_weight, scratch);
+    if (route && (!best || route->cost < best->cost)) {
+      best = std::move(route);
+      best_entry = entries[i];
+    }
+  }
+  if (best) request.from = best_entry;
+  return best;
+}
+
+/// Indices of routes involved in at least one fluidic violation, and —
+/// when `history` is non-null — a history bump on every space-time cell
+/// the offenders occupy at a violating step.
+std::vector<std::size_t> conflicted_routes(
+    const std::vector<TimedRoute>& routes, int separation, int horizon,
+    int width, int height, std::vector<double>* history) {
+  const auto key = [&](Point p, int step) {
+    return (static_cast<std::size_t>(step) * height + p.y) * width + p.x;
+  };
+  std::vector<bool> conflicted(routes.size(), false);
+  int makespan = 0;
+  for (const auto& route : routes) {
+    makespan = std::max(makespan, route.arrival_step());
+  }
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    for (std::size_t j = i + 1; j < routes.size(); ++j) {
+      const TimedRoute& a = routes[i];
+      const TimedRoute& b = routes[j];
+      if (a.request.to == b.request.to) continue;  // merging pair
+      for (int step = 0; step <= makespan; ++step) {
+        if (!routing::pair_violates_at(a, b, step, separation)) continue;
+        conflicted[i] = conflicted[j] = true;
+        if (history) {
+          const int s = std::min(step, horizon);
+          (*history)[key(position_at(a, step), s)] += 1.0;
+          (*history)[key(position_at(b, step), s)] += 1.0;
+        }
+      }
+    }
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    if (conflicted[i]) result.push_back(i);
+  }
+  return result;
+}
+
+class NegotiatedRouter final : public Router {
+ public:
+  std::string name() const override { return "negotiated"; }
+
+  RoutePlan plan(const SequencingGraph& graph, const Schedule& schedule,
+                 const Placement& placement, int chip_width, int chip_height,
+                 const RoutePlannerOptions& options) const override {
+    RoutePlan plan;
+    const int horizon =
+        routing::resolve_horizon(options, chip_width, chip_height);
+    for (const ChangeoverProblem& problem : routing::extract_problems(
+             graph, schedule, placement, chip_width, chip_height)) {
+      auto changeover = negotiate(problem, options, horizon);
+      if (!changeover) {
+        // A changeover the negotiation cannot converge on may still yield
+        // to decoupled planning, so "negotiated" never does worse than
+        // "prioritized".
+        changeover =
+            routing::solve_prioritized(problem,
+                                       routing::default_order(problem.requests),
+                                       options, horizon, &plan.failure_reason);
+      }
+      if (!changeover) {
+        plan.success = false;
+        return plan;
+      }
+      routing::accumulate(plan, std::move(*changeover));
+    }
+    plan.success = true;
+    return plan;
+  }
+
+ private:
+  std::optional<ChangeoverPlan> negotiate(const ChangeoverProblem& problem,
+                                          const RoutePlannerOptions& options,
+                                          int horizon) const {
+    const int width = problem.blocked.width();
+    const int height = problem.blocked.height();
+    const int separation = options.separation_cells;
+    std::vector<double> history(
+        static_cast<std::size_t>(horizon + 1) * width * height, 0.0);
+    SoftScratch scratch;
+
+    // Initial pass: route each transfer congestion-aware against the
+    // routes placed so far (soft — sharing is allowed, just priced).
+    std::vector<TimedRoute> routes(problem.requests.size());
+    for (const std::size_t r : routing::default_order(problem.requests)) {
+      TransferRequest request = problem.requests[r];
+      auto soft = route_soft_resolved(
+          request, problem.blocked, routes, r, horizon, separation,
+          options.present_congestion_weight, history,
+          options.history_congestion_weight, scratch);
+      if (!soft) return std::nullopt;  // physically unroutable
+      routes[r].request = request;
+      routes[r].positions = std::move(soft->positions);
+    }
+
+    // Negotiation rounds: rip up every conflicted route and reroute it at
+    // an escalating present-congestion cost.
+    for (int round = 1; round <= options.negotiation_rounds; ++round) {
+      const auto conflicted = conflicted_routes(routes, separation, horizon,
+                                                width, height, &history);
+      if (conflicted.empty()) return finish(problem.time_s, routes);
+      const double present =
+          options.present_congestion_weight * static_cast<double>(round);
+      for (const std::size_t r : conflicted) {
+        TransferRequest request = problem.requests[r];
+        auto soft = route_soft_resolved(
+            request, problem.blocked, routes, r, horizon, separation, present,
+            history, options.history_congestion_weight, scratch);
+        if (!soft) return std::nullopt;
+        routes[r].request = request;
+        routes[r].positions = std::move(soft->positions);
+      }
+    }
+    if (conflicted_routes(routes, separation, horizon, width, height, nullptr)
+            .empty()) {
+      return finish(problem.time_s, routes);
+    }
+    return std::nullopt;  // failed to converge
+  }
+
+  static ChangeoverPlan finish(double time_s, std::vector<TimedRoute> routes) {
+    ChangeoverPlan changeover;
+    changeover.time_s = time_s;
+    for (const auto& route : routes) {
+      changeover.makespan_steps =
+          std::max(changeover.makespan_steps, route.arrival_step());
+    }
+    changeover.routes = std::move(routes);
+    return changeover;
+  }
+};
+
+// --- "restart" --------------------------------------------------------
+
+class RestartRouter final : public Router {
+ public:
+  std::string name() const override { return "restart"; }
+
+  RoutePlan plan(const SequencingGraph& graph, const Schedule& schedule,
+                 const Placement& placement, int chip_width, int chip_height,
+                 const RoutePlannerOptions& options) const override {
+    RoutePlan plan;
+    const int horizon =
+        routing::resolve_horizon(options, chip_width, chip_height);
+    const auto problems = routing::extract_problems(graph, schedule, placement,
+                                                    chip_width, chip_height);
+    for (std::size_t c = 0; c < problems.size(); ++c) {
+      const ChangeoverProblem& problem = problems[c];
+      // Per-changeover stream split from the one seed, so a changeover's
+      // orderings do not depend on how many came before it succeeded.
+      Rng rng(SplitMix64(options.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)))
+                  .next());
+
+      std::optional<ChangeoverPlan> best;
+      std::string failure;
+      auto consider = [&](const std::vector<std::size_t>& order) {
+        auto candidate = routing::solve_prioritized(problem, order, options,
+                                                    horizon, &failure);
+        if (!candidate) return;
+        if (!best || better(*candidate, *best)) best = std::move(candidate);
+      };
+
+      std::vector<std::size_t> order =
+          routing::default_order(problem.requests);
+      consider(order);
+      for (int restart = 0; restart < options.max_restarts; ++restart) {
+        shuffle(order, rng);
+        consider(order);
+      }
+      if (!best) {
+        plan.success = false;
+        plan.failure_reason = failure;
+        return plan;
+      }
+      routing::accumulate(plan, std::move(*best));
+    }
+    plan.success = true;
+    return plan;
+  }
+
+ private:
+  /// Min makespan, then min total droplet-steps.
+  static bool better(const ChangeoverPlan& a, const ChangeoverPlan& b) {
+    if (a.makespan_steps != b.makespan_steps) {
+      return a.makespan_steps < b.makespan_steps;
+    }
+    return total_steps(a) < total_steps(b);
+  }
+
+  static long long total_steps(const ChangeoverPlan& plan) {
+    long long steps = 0;
+    for (const auto& route : plan.routes) steps += route.arrival_step();
+    return steps;
+  }
+
+  static void shuffle(std::vector<std::size_t>& order, Rng& rng) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kNegotiated:
+      return "negotiated";
+    case RouterKind::kPrioritized:
+      return "prioritized";
+    case RouterKind::kRestart:
+      return "restart";
+  }
+  return "?";
+}
+
+template <>
+RouterKind from_string<RouterKind>(std::string_view text) {
+  if (text == "negotiated") return RouterKind::kNegotiated;
+  if (text == "prioritized") return RouterKind::kPrioritized;
+  if (text == "restart") return RouterKind::kRestart;
+  throw std::invalid_argument(
+      "unknown RouterKind \"" + std::string(text) +
+      "\" (expected one of: negotiated, prioritized, restart)");
+}
+
+std::ostream& operator<<(std::ostream& os, RouterKind kind) {
+  return os << to_string(kind);
+}
+
+std::istream& operator>>(std::istream& is, RouterKind& kind) {
+  std::string token;
+  is >> token;
+  kind = from_string<RouterKind>(token);
+  return is;
+}
+
+RouterRegistry::RouterRegistry() {
+  register_router(to_string(RouterKind::kNegotiated),
+                  [] { return std::make_unique<NegotiatedRouter>(); });
+  register_router(to_string(RouterKind::kPrioritized),
+                  [] { return std::make_unique<PrioritizedRouter>(); });
+  register_router(to_string(RouterKind::kRestart),
+                  [] { return std::make_unique<RestartRouter>(); });
+}
+
+RouterRegistry& RouterRegistry::global() {
+  static RouterRegistry registry;
+  return registry;
+}
+
+std::unique_ptr<Router> make_router(const std::string& name) {
+  return RouterRegistry::global().make(name);
+}
+
+std::unique_ptr<Router> make_router(RouterKind kind) {
+  return make_router(std::string(to_string(kind)));
+}
+
+std::vector<std::string> registered_routers() {
+  return RouterRegistry::global().names();
+}
+
+}  // namespace dmfb

@@ -1,0 +1,96 @@
+// registry.h — shared machinery for the string-keyed backend factories.
+//
+// PlacerRegistry (core/placer.h) and RouterRegistry (sim/router_backend.h)
+// are the same thread-safe name -> factory map with the same error
+// contract; this template is that map, written once. The public registry
+// classes keep their domain-specific names and docs and forward here, so
+// a third backend family (schedulers, binders, ...) can reuse it without
+// copying seventy lines of locking code again.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmfb::detail {
+
+/// Thread-safe string-keyed factory map for one backend family. `kind`
+/// names the family in error messages ("placer", "router").
+template <typename Backend>
+class NamedRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Backend>()>;
+
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers a factory under `name`. Throws std::invalid_argument when
+  /// the name is empty, the factory is not callable, or the name is taken.
+  void add(const std::string& name, Factory factory) {
+    if (name.empty()) {
+      throw std::invalid_argument(kind_ + " name must be non-empty");
+    }
+    if (!factory) {
+      throw std::invalid_argument(kind_ + " factory for \"" + name +
+                                  "\" must be callable");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+    if (!inserted) {
+      throw std::invalid_argument(kind_ + " \"" + name +
+                                  "\" already registered");
+    }
+  }
+
+  /// Instantiates the backend registered under `name`. Throws
+  /// std::invalid_argument for unknown names; the message lists every
+  /// registered name, gathered under the same lock acquisition as the
+  /// failed lookup so it reflects the state the lookup actually saw.
+  std::unique_ptr<Backend> make(const std::string& name) const {
+    Factory factory;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = factories_.find(name);
+      if (it == factories_.end()) {
+        std::ostringstream message;
+        message << "unknown " << kind_ << " \"" << name << "\"; registered "
+                << kind_ << "s:";
+        for (const auto& known : names_locked()) {
+          message << " \"" << known << "\"";
+        }
+        throw std::invalid_argument(message.str());
+      }
+      factory = it->second;
+    }
+    return factory();
+  }
+
+  bool contains(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) != 0;
+  }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return names_locked();
+  }
+
+ private:
+  std::vector<std::string> names_locked() const {
+    std::vector<std::string> result;
+    result.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) result.push_back(name);
+    return result;  // std::map iteration is already sorted
+  }
+
+  std::string kind_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace dmfb::detail

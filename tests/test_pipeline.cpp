@@ -165,6 +165,22 @@ TEST(PipelineTest, PlacerSelectableByName) {
                std::invalid_argument);
 }
 
+TEST(PipelineTest, RouteStageReportsRouterBackend) {
+  PipelineOptions options = fast_options();
+  options.placer = "greedy";
+  options.router = "restart";
+  std::string route_detail;
+  options.observer = [&](PipelineStage stage, double,
+                         const std::string& detail) {
+    if (stage == PipelineStage::kRoute) route_detail = detail;
+  };
+  const PipelineResult result =
+      SynthesisPipeline(options).run(pcr_mixing_assay());
+  EXPECT_TRUE(result.routes.success) << result.routes.failure_reason;
+  // The observer names the backend, so logs attribute the route stage.
+  EXPECT_EQ(route_detail.rfind("restart: ", 0), 0u) << route_detail;
+}
+
 TEST(PipelineTest, RunManyIsReproducibleAndOrdered) {
   const ModuleLibrary library = ModuleLibrary::standard();
   std::vector<AssayCase> cases;

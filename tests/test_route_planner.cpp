@@ -80,6 +80,29 @@ TEST(RoutePlannerTest, TotalStepsAndTransportTime) {
   EXPECT_GT(plan.total_steps, 0);
   EXPECT_GT(plan.total_transport_seconds(13.0), 0.0);
   EXPECT_DOUBLE_EQ(plan.total_transport_seconds(0.0), 0.0);
+  // Accounting: total_steps sums arrival steps (waits included),
+  // total_moved_cells sums cells traversed (waits excluded).
+  EXPECT_GT(plan.total_moved_cells, 0);
+  EXPECT_GE(plan.total_steps, plan.total_moved_cells);
+  long long steps = 0;
+  long long cells = 0;
+  for (const auto& changeover : plan.changeovers) {
+    for (const auto& route : changeover.routes) {
+      steps += route.arrival_step();
+      cells += route.moved_cells();
+    }
+  }
+  EXPECT_EQ(plan.total_steps, steps);
+  EXPECT_EQ(plan.total_moved_cells, cells);
+}
+
+TEST(RoutePlannerTest, StepAndCellAccountingPerRoute) {
+  TimedRoute route;
+  EXPECT_EQ(route.arrival_step(), 0);  // empty route: no steps, no cells
+  EXPECT_EQ(route.moved_cells(), 0);
+  route.positions = {{0, 0}, {0, 0}, {1, 0}, {1, 0}, {1, 1}};
+  EXPECT_EQ(route.arrival_step(), 4);  // steps count the two waits...
+  EXPECT_EQ(route.moved_cells(), 2);   // ...cells traversed do not
 }
 
 TEST(RoutePlannerTest, MergingDropletsMayShareTarget) {

@@ -78,6 +78,27 @@ TEST(RouterTest, PathDuration) {
   EXPECT_DOUBLE_EQ(path_duration_s(path, 0.0), 0.0);
 }
 
+TEST(RouterTest, EmptyAndSingleCellPathEdgeCases) {
+  auto grid = open_grid(5, 5);
+  // The empty path: zero duration, never valid (a droplet is always
+  // somewhere), and no negative-speed surprises.
+  EXPECT_DOUBLE_EQ(path_duration_s({}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(path_duration_s({}, -1.0), 0.0);
+  EXPECT_FALSE(is_valid_path(grid, {}));
+  // A single-cell path: zero duration, valid iff its cell is free.
+  EXPECT_DOUBLE_EQ(path_duration_s({{2, 2}}, 10.0), 0.0);
+  EXPECT_TRUE(is_valid_path(grid, {{2, 2}}));
+  EXPECT_FALSE(is_valid_path(grid, {{-1, 2}}));
+  grid.at(2, 2) = 1;
+  EXPECT_FALSE(is_valid_path(grid, {{2, 2}}));
+  EXPECT_FALSE(find_path(grid, {2, 2}, {2, 2}).has_value());  // blocked
+  grid.at(2, 2) = 0;
+  const auto path = find_path(grid, {2, 2}, {2, 2});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (DropletPath{{2, 2}}));
+  EXPECT_TRUE(is_valid_path(grid, *path));
+}
+
 TEST(RouterTest, IsValidPathRejectsJumpsAndBlockedCells) {
   auto grid = open_grid(5, 5);
   EXPECT_TRUE(is_valid_path(grid, {{0, 0}, {1, 0}, {1, 1}}));
