@@ -31,6 +31,23 @@ inline void emit_json_line(const std::string& name, const std::string& placer,
             << ",\"seed\":" << seed << "}\n";
 }
 
+/// The annealing-engine counterpart: one line per (engine, beta) cell of
+/// bench_perf_sa's copy-vs-delta comparison. `identical_best` records
+/// whether the engine reproduced the reference (copy-engine) placement
+/// anchor for anchor — the delta engine's contract.
+inline void emit_engine_json_line(const std::string& name,
+                                  const std::string& engine, double beta,
+                                  double cost, double proposals_per_second,
+                                  double wall_seconds, bool identical_best,
+                                  std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"" << name << "\",\"engine\":\"" << engine
+            << "\",\"beta\":" << beta << ",\"cost\":" << cost
+            << ",\"proposals_per_second\":" << proposals_per_second
+            << ",\"wall_seconds\":" << wall_seconds << ",\"identical\":"
+            << (identical_best ? "true" : "false") << ",\"seed\":" << seed
+            << "}\n";
+}
+
 /// The routing counterpart: one line per router backend, with the route
 /// success rate over the bench's scenario set, the summed makespan of the
 /// succeeded plans, and the routing wall time.

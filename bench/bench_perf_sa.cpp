@@ -1,9 +1,21 @@
-// bench_perf_sa — microbenchmarks for the annealing machinery: cost
-// evaluation, move generation, and end-to-end placement runs (the paper's
-// §6 runtime context: 5 min for area-only SA, 20 min for two-stage, on a
-// 1.0 GHz Pentium-III). Placement backends are resolved through the
-// PlacerRegistry; the end-to-end pipeline is benchmarked as one unit too.
+// bench_perf_sa — microbenchmarks for the annealing machinery plus the
+// copy-vs-delta engine comparison (the paper's §6 runtime context: 5 min
+// for area-only SA, 20 min for two-stage, on a 1.0 GHz Pentium-III).
+//
+// Before the Google-Benchmark suite runs, the binary anneals the paper's
+// Fig. 7 configuration once per engine (and once per engine again with
+// beta > 0, the two-stage LTSA objective) and emits one JSON line per
+// (engine, beta) cell:
+//
+//   {"bench":"perf_sa","engine":"delta","beta":0,...,"identical":true,...}
+//
+// It exits non-zero when the delta engine is slower than the copy engine
+// or the final placements differ — the CI shape check. `--smoke` shrinks
+// the schedules and skips the microbenchmarks (CI Release job).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
 
 #include "bench_common.h"
 #include "core/cost.h"
@@ -24,6 +36,124 @@ Placement greedy_pcr_placement() {
       ->place(pcr_schedule(), bench::paper_context())
       .placement;
 }
+
+// --- copy-vs-delta engine comparison ----------------------------------
+
+/// One (engine, beta) comparison cell annealed from `initial`.
+PlacementOutcome run_engine(AnnealingEngine engine, const Placement& initial,
+                            const SaPlacerOptions& base) {
+  SaPlacerOptions options = base;
+  options.engine = engine;
+  return anneal_from(initial, options);
+}
+
+bool same_placement(const Placement& a, const Placement& b) {
+  if (a.module_count() != b.module_count()) return false;
+  for (int i = 0; i < a.module_count(); ++i) {
+    if (!(a.module(i).anchor == b.module(i).anchor) ||
+        a.module(i).rotated != b.module(i).rotated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs both engines on one configuration, emits their JSON lines, and
+/// returns whether the delta engine held its contract (identical best
+/// placement, no slower than the copy engine). Runs are interleaved and
+/// each engine reports its best proposals/sec of `rounds` runs, so CPU
+/// frequency drift biases neither side.
+bool compare_engines(const char* label, const Placement& initial,
+                     const SaPlacerOptions& options, int rounds) {
+  PlacementOutcome copy = run_engine(AnnealingEngine::kCopy, initial, options);
+  PlacementOutcome delta =
+      run_engine(AnnealingEngine::kDelta, initial, options);
+  for (int round = 1; round < rounds; ++round) {
+    PlacementOutcome c = run_engine(AnnealingEngine::kCopy, initial, options);
+    if (c.stats.proposals_per_second > copy.stats.proposals_per_second) {
+      copy = std::move(c);
+    }
+    PlacementOutcome d = run_engine(AnnealingEngine::kDelta, initial, options);
+    if (d.stats.proposals_per_second > delta.stats.proposals_per_second) {
+      delta = std::move(d);
+    }
+  }
+  const bool identical = same_placement(copy.placement, delta.placement);
+
+  bench::emit_engine_json_line("perf_sa", "copy", options.weights.beta,
+                               copy.cost.value,
+                               copy.stats.proposals_per_second,
+                               copy.stats.wall_seconds, identical,
+                               options.seed);
+  bench::emit_engine_json_line("perf_sa", "delta", options.weights.beta,
+                               delta.cost.value,
+                               delta.stats.proposals_per_second,
+                               delta.stats.wall_seconds, identical,
+                               options.seed);
+  const double speedup =
+      copy.stats.proposals_per_second > 0.0
+          ? delta.stats.proposals_per_second / copy.stats.proposals_per_second
+          : 0.0;
+  std::cout << label << ": delta/copy speedup " << speedup
+            << "x (copy " << copy.stats.proposals_per_second
+            << " proposals/s, delta " << delta.stats.proposals_per_second
+            << " proposals/s), placements "
+            << (identical ? "identical" : "DIFFER") << "\n";
+
+  bool ok = true;
+  if (!identical) {
+    std::cerr << "SHAPE CHECK FAILED: " << label
+              << ": engines returned different placements\n";
+    ok = false;
+  }
+  if (speedup < 1.0) {
+    std::cerr << "SHAPE CHECK FAILED: " << label
+              << ": delta engine slower than copy engine (" << speedup
+              << "x)\n";
+    ok = false;
+  }
+  return ok;
+}
+
+/// The copy-vs-delta comparison over the Fig. 7 configuration (beta = 0)
+/// and its two-stage LTSA counterpart (beta = 30). `smoke` shrinks the
+/// schedules so the CI Release job finishes in seconds; the full run is
+/// the recorded artifact quoted in README "Performance".
+bool run_comparison(bool smoke) {
+  const Placement initial = greedy_pcr_placement();
+  const int rounds = smoke ? 1 : 3;
+
+  // Fig. 7: area-only annealing at the paper's parameters.
+  SaPlacerOptions stage1 = bench::paper_sa_options();
+  if (smoke) {
+    stage1.schedule.initial_temperature = 1000.0;
+    stage1.schedule.cooling_rate = 0.8;
+    stage1.schedule.iterations_per_module = 25;
+  }
+  bool ok = compare_engines(smoke ? "fig7 (smoke)" : "fig7", initial, stage1,
+                            rounds);
+
+  // Two-stage LTSA: beta > 0 exercises the incremental FTI cache. Single
+  // displacements only, as in §6.2.
+  SaPlacerOptions ltsa = stage1;
+  ltsa.schedule = AnnealingSchedule{/*initial_temperature=*/100.0,
+                                    /*cooling_rate=*/0.9,
+                                    /*iterations_per_module=*/400,
+                                    /*min_temperature=*/0.05};
+  if (smoke) {
+    ltsa.schedule.cooling_rate = 0.8;
+    ltsa.schedule.iterations_per_module = 25;
+  }
+  ltsa.weights.beta = 30.0;
+  ltsa.moves.single_move_probability = 1.0;
+  ltsa.moves.rotate_probability = 0.0;
+  ok = compare_engines(smoke ? "ltsa beta=30 (smoke)" : "ltsa beta=30",
+                       initial, ltsa, rounds) &&
+       ok;
+  return ok;
+}
+
+// --- Google-Benchmark microbenches ------------------------------------
 
 void BM_CostEvaluationAreaOnly(benchmark::State& state) {
   const Placement placement = greedy_pcr_placement();
@@ -57,11 +187,15 @@ void BM_MoveGeneration(benchmark::State& state) {
 BENCHMARK(BM_MoveGeneration);
 
 void BM_AreaOnlyPlacementEndToEnd(benchmark::State& state) {
-  // Shortened schedule so a single iteration stays ~tens of ms.
+  // Shortened schedule so a single iteration stays ~tens of ms; arg 1
+  // selects the engine (0 = delta, 1 = copy) so the speedup shows up in
+  // the benchmark table too.
   PlacerContext context = bench::paper_context();
   context.annealing.initial_temperature = 1000.0;
   context.annealing.cooling_rate = 0.8;
   context.annealing.iterations_per_module = static_cast<int>(state.range(0));
+  context.engine =
+      state.range(1) == 0 ? AnnealingEngine::kDelta : AnnealingEngine::kCopy;
   const auto placer = make_placer("sa");
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -70,13 +204,18 @@ void BM_AreaOnlyPlacementEndToEnd(benchmark::State& state) {
     benchmark::DoNotOptimize(outcome.cost.area_cells);
   }
   state.counters["Na"] = static_cast<double>(state.range(0));
+  state.SetLabel(to_string(context.engine));
 }
-BENCHMARK(BM_AreaOnlyPlacementEndToEnd)->Arg(25)->Arg(100)
+BENCHMARK(BM_AreaOnlyPlacementEndToEnd)
+    ->Args({25, 0})
+    ->Args({25, 1})
+    ->Args({100, 0})
+    ->Args({100, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PaperParameterPlacement(benchmark::State& state) {
   // Full paper parameters (T0=1e4, alpha=0.9, Na=400) — the modern
-  // counterpart of the paper's 5-minute figure.
+  // counterpart of the paper's 5-minute figure, on the delta engine.
   PlacerContext context = bench::paper_context();
   const auto placer = make_placer("sa");
   std::uint64_t seed = 1;
@@ -111,4 +250,18 @@ BENCHMARK(BM_PipelineEndToEnd)->Arg(25)->Arg(100)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bench::banner(smoke ? "perf_sa: copy vs delta engine (smoke)"
+                      : "perf_sa: copy vs delta engine");
+  const bool ok = run_comparison(smoke);
+  if (!ok) return 1;
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,16 +1,15 @@
 #include "assay/pipeline.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #include "biochip/chip.h"
 #include "sim/router_backend.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace dmfb {
@@ -204,38 +203,9 @@ std::vector<PipelineResult> SynthesisPipeline::run_indexed(
   SplitMix64 splitter(options_.seed);
   for (auto& seed : seeds) seed = splitter.next();
 
-  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t worker_count =
-      std::min(count, static_cast<std::size_t>(
-                          options_.threads > 0
-                              ? static_cast<unsigned>(options_.threads)
-                              : hardware));
-
-  std::vector<std::exception_ptr> errors(count);
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= count) return;
-      try {
-        results[index] = one(index, seeds[index]);
-      } catch (...) {
-        errors[index] = std::current_exception();
-      }
-    }
-  };
-
-  if (worker_count <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(worker_count);
-    for (std::size_t i = 0; i < worker_count; ++i) {
-      threads.emplace_back(worker);
-    }
-    for (auto& thread : threads) thread.join();
-  }
-
+  const auto errors = detail::for_each_index(
+      count, options_.threads,
+      [&](std::size_t index) { results[index] = one(index, seeds[index]); });
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }

@@ -76,7 +76,11 @@ struct PipelineOptions {
   /// Registry name of the routing backend ("prioritized", "negotiated",
   /// "restart", or any custom registration — sim/router_backend.h).
   std::string router = "prioritized";
-  RoutePlannerOptions routing;  ///< `routing.seed` is overridden by `seed`
+  /// `routing.seed` is overridden by `seed`; `routing.threads` fans the
+  /// independent per-changeover solves across a thread pool (identical
+  /// plans for any thread count — leave at 1 when `run_many` already
+  /// saturates the machine with per-item workers).
+  RoutePlannerOptions routing;
   /// Chip dimensions for routing/simulation; 0 = the placement canvas.
   int chip_width = 0;
   int chip_height = 0;

@@ -8,6 +8,7 @@
 // window reaching its minimum span (expressed as a minimum temperature).
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -32,7 +33,27 @@ struct AnnealingStats {
   int temperature_steps = 0;
   double final_temperature = 0.0;
   double best_cost = std::numeric_limits<double>::infinity();
+  /// Wall time of the annealing loop itself (excludes the caller's
+  /// initial-placement construction) and the throughput it implies —
+  /// bench_perf_sa records these per engine (copy vs delta).
+  double wall_seconds = 0.0;
+  double proposals_per_second = 0.0;
 };
+
+namespace detail {
+
+inline void finish_stats(AnnealingStats& stats,
+                         std::chrono::steady_clock::time_point start) {
+  stats.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  stats.proposals_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(stats.proposals) / stats.wall_seconds
+          : 0.0;
+}
+
+}  // namespace detail
 
 /// Problem plumbing: cost of a state, neighbour generation (given the
 /// current temperature as a fraction of T0, for the controlling window),
@@ -53,6 +74,7 @@ template <typename State>
 State anneal(State initial, const AnnealingProblem<State>& problem,
              const AnnealingSchedule& schedule, int module_count, Rng& rng,
              AnnealingStats* stats_out = nullptr) {
+  const auto start_time = std::chrono::steady_clock::now();
   AnnealingStats stats;
   const auto recordable = [&](const State& s) {
     return !problem.recordable || problem.recordable(s);
@@ -102,8 +124,114 @@ State anneal(State initial, const AnnealingProblem<State>& problem,
 
   stats.final_temperature = temperature;
   stats.best_cost = best_cost;
+  detail::finish_stats(stats, start_time);
   if (stats_out) *stats_out = stats;
   return have_best ? best : current;
+}
+
+/// In-place problem form for delta-cost annealing: the state lives behind
+/// the callbacks (e.g. an IncrementalPlacementState) and is mutated by
+/// `propose_delta`, then either kept (`commit`) or rolled back (`revert`).
+/// No per-proposal state copy ever happens; `record_best` is invoked when
+/// the committed state becomes the best recordable one seen, which is the
+/// only time a caller needs to snapshot (costs one copy per improvement,
+/// not one per proposal).
+///
+/// All five members must be set — `recordable` returns true and
+/// `record_best` is a no-op when unused. (anneal_delta is templated over
+/// the problem type precisely so hot callers can pass a struct of
+/// concrete lambdas instead and skip std::function dispatch; this struct
+/// is the type-erased convenience form.)
+struct DeltaAnnealingProblem {
+  /// Applies one random move in place and returns the cost delta.
+  std::function<double(double /*temperature_fraction*/, Rng&)> propose_delta;
+  /// Keeps the proposed move; returns the new absolute cost (recomputed by
+  /// the state from its tallies, so no floating-point drift accumulates
+  /// across a long run).
+  std::function<double()> commit;
+  /// Rolls the proposed move back.
+  std::function<void()> revert;
+  /// May the *committed* state be recorded as the answer?
+  std::function<bool()> recordable;
+  /// The committed state is the new best; snapshot it.
+  std::function<void(double /*cost*/)> record_best;
+};
+
+/// The annealing loop over an in-place state. Drives the exact same
+/// schedule, acceptance rule and bookkeeping as `anneal` — given a
+/// bit-exact delta evaluator (IncrementalPlacementState) and the same
+/// seed, the accept/reject trajectory, stats and best state are identical
+/// to the copying engine's. Returns the best recordable cost seen
+/// (+infinity if none was; the caller then falls back to the final
+/// current state, mirroring `anneal`).
+///
+/// `Problem` is any type with DeltaAnnealingProblem's five members —
+/// pass a struct of concrete lambdas (as sa_placer.cpp does) to let the
+/// callbacks inline into the loop; the std::function-based
+/// DeltaAnnealingProblem works too when type erasure is worth its cost.
+template <typename Problem>
+double anneal_delta(double initial_cost, const Problem& problem,
+                    const AnnealingSchedule& schedule, int module_count,
+                    Rng& rng, AnnealingStats* stats_out = nullptr) {
+  const auto start_time = std::chrono::steady_clock::now();
+  AnnealingStats stats;
+
+  double current_cost = initial_cost;
+  bool have_best = problem.recordable();
+  double best_cost = have_best ? current_cost
+                               : std::numeric_limits<double>::infinity();
+  if (have_best) problem.record_best(best_cost);
+
+  const int inner_iterations =
+      schedule.iterations_per_module * std::max(1, module_count);
+
+  double temperature = schedule.initial_temperature;
+  while (temperature > schedule.min_temperature) {
+    const double fraction =
+        schedule.initial_temperature > 0.0
+            ? temperature / schedule.initial_temperature
+            : 0.0;
+    for (int i = 0; i < inner_iterations; ++i) {
+      const double delta = problem.propose_delta(fraction, rng);
+      ++stats.proposals;
+      bool accept = delta < 0.0;
+      if (!accept && temperature > 0.0) {
+        // The Metropolis draw always happens (stream compatibility with
+        // `anneal`), but exp() is skipped where its value is known: a
+        // zero delta always accepts (r < exp(0) = 1 for r in [0, 1)),
+        // and below -746 exp() is exactly 0.0 (the subnormal floor is at
+        // ~-745.13; cutting higher would drop the copy engine's accept
+        // on an exactly-zero draw against a subnormal exp value).
+        const double r = rng.next_double();
+        if (delta == 0.0) {
+          accept = true;
+        } else {
+          const double exponent = -delta / temperature;
+          accept = exponent > -746.0 && r < std::exp(exponent);
+        }
+        if (accept) ++stats.uphill_accepted;
+      }
+      if (accept) {
+        current_cost = problem.commit();
+        ++stats.accepted;
+        if (current_cost < best_cost && problem.recordable()) {
+          best_cost = current_cost;
+          have_best = true;
+          problem.record_best(best_cost);
+        }
+      } else {
+        problem.revert();
+      }
+    }
+    temperature *= schedule.cooling_rate;
+    ++stats.temperature_steps;
+  }
+
+  stats.final_temperature = temperature;
+  stats.best_cost = best_cost;
+  detail::finish_stats(stats, start_time);
+  if (stats_out) *stats_out = stats;
+  return have_best ? best_cost : std::numeric_limits<double>::infinity();
 }
 
 }  // namespace dmfb

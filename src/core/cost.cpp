@@ -29,6 +29,8 @@ long long CostEvaluator::defect_usage(const Placement& placement) const {
   long long count = 0;
   for (const auto& m : placement.modules()) {
     const Rect fp = m.footprint();
+    // A module that cannot contain any defect skips the O(d) scan.
+    if (!fp.intersects(defect_bounds_)) continue;
     for (const Point& defect : defects_) {
       if (fp.contains(defect)) ++count;
     }

@@ -49,14 +49,24 @@ class CostEvaluator {
       : weights_(weights), fti_options_(fti_options) {}
 
   const CostWeights& weights() const { return weights_; }
+  const FtiOptions& fti_options() const { return fti_options_; }
 
   /// Marks electrodes known defective at placement time (e.g. from a
   /// manufacturing test); modules covering them are penalized like
   /// overlaps, so defect-aware annealing places around them.
   void set_defects(std::vector<Point> defects) {
     defects_ = std::move(defects);
+    defect_bounds_ = Rect{};
+    for (const Point& d : defects_) {
+      defect_bounds_ = defect_bounds_.united(Rect{d.x, d.y, 1, 1});
+    }
   }
   const std::vector<Point>& defects() const { return defects_; }
+
+  /// Smallest rectangle containing every defect (empty when there are
+  /// none). `defect_usage` early-outs modules that miss it entirely, so
+  /// defect-free regions cost nothing per proposal.
+  const Rect& defect_bounds() const { return defect_bounds_; }
 
   CostBreakdown evaluate(const Placement& placement) const;
 
@@ -71,6 +81,7 @@ class CostEvaluator {
   CostWeights weights_;
   FtiOptions fti_options_;
   std::vector<Point> defects_;
+  Rect defect_bounds_;  ///< bounding rect of defects_ (empty when none)
 };
 
 }  // namespace dmfb

@@ -9,11 +9,12 @@ namespace dmfb {
 namespace {
 
 /// Binary occupancy of `region` by modules that time-overlap module
-/// `excluded` (excluding itself): exactly the cells unavailable to the
-/// module were it relocated.
-Matrix<std::uint8_t> occupancy_excluding(const Placement& placement,
-                                         int excluded, const Rect& region) {
-  Matrix<std::uint8_t> grid(region.width, region.height, 0);
+/// `excluded` (excluding itself), written into `grid`: exactly the cells
+/// unavailable to the module were it relocated.
+void occupancy_excluding_into(const Placement& placement, int excluded,
+                              const Rect& region,
+                              Matrix<std::uint8_t>& grid) {
+  grid.reset(region.width, region.height, 0);
   const PlacedModule& target = placement.module(excluded);
   for (int i = 0; i < placement.module_count(); ++i) {
     if (i == excluded) continue;
@@ -24,57 +25,57 @@ Matrix<std::uint8_t> occupancy_excluding(const Placement& placement,
     fp.y -= region.y;
     grid.fill_rect(fp, 1);
   }
+}
+
+Matrix<std::uint8_t> occupancy_excluding(const Placement& placement,
+                                         int excluded, const Rect& region) {
+  Matrix<std::uint8_t> grid;
+  occupancy_excluding_into(placement, excluded, region, grid);
   return grid;
 }
 
 /// Grid of anchor positions where a w-by-h footprint fits entirely on empty
-/// cells. Cell (x, y) of the returned matrix is 1 iff rect (x, y, w, h) is
-/// empty; the matrix has the same dimensions as `occupied` with infeasible
-/// anchors (footprint sticking out) left 0.
-Matrix<std::uint8_t> valid_anchor_grid(const PrefixSum2D& sums, int w,
-                                       int h) {
-  Matrix<std::uint8_t> valid(sums.width(), sums.height(), 0);
+/// cells, written into `valid`. Cell (x, y) is 1 iff rect (x, y, w, h) is
+/// empty; the matrix has the same dimensions as the source grid with
+/// infeasible anchors (footprint sticking out) left 0.
+void valid_anchor_grid_into(const PrefixSum2D& sums, int w, int h,
+                            Matrix<std::uint8_t>& valid) {
+  valid.reset(sums.width(), sums.height(), 0);
   for (int y = 0; y + h <= sums.height(); ++y) {
     for (int x = 0; x + w <= sums.width(); ++x) {
       if (sums.is_rect_empty(Rect{x, y, w, h})) valid.at(x, y) = 1;
     }
   }
-  return valid;
 }
 
-/// Per-orientation relocation query data for one module.
-struct OrientationQuery {
-  int w = 0;
-  int h = 0;
-  long long total_positions = 0;
-  PrefixSum2D position_sums;
+}  // namespace
 
-  /// Number of valid anchors whose footprint would contain `cell`
-  /// (region-relative coordinates).
-  long long positions_containing(Point cell) const {
-    const int x1 = std::max(0, cell.x - w + 1);
-    const int y1 = std::max(0, cell.y - h + 1);
-    const int x2 = std::min(cell.x, position_sums.width() - 1);
-    const int y2 = std::min(cell.y, position_sums.height() - 1);
-    if (x2 < x1 || y2 < y1) return 0;
-    return position_sums.occupied_in(Rect{x1, y1, x2 - x1 + 1, y2 - y1 + 1});
-  }
+long long OrientationQuery::positions_containing(Point cell) const {
+  const int x1 = std::max(0, cell.x - w + 1);
+  const int y1 = std::max(0, cell.y - h + 1);
+  const int x2 = std::min(cell.x, position_sums.width() - 1);
+  const int y2 = std::min(cell.y, position_sums.height() - 1);
+  if (x2 < x1 || y2 < y1) return 0;
+  return position_sums.occupied_in(Rect{x1, y1, x2 - x1 + 1, y2 - y1 + 1});
+}
 
-  /// Relocation avoiding a fault at `cell` succeeds in this orientation iff
-  /// some valid anchor's footprint does not contain the cell.
-  bool relocatable_avoiding(Point cell) const {
-    return total_positions - positions_containing(cell) > 0;
-  }
-};
+bool OrientationQuery::relocatable_avoiding(Point cell) const {
+  return total_positions - positions_containing(cell) > 0;
+}
 
-/// Builds the queries (one or two orientations) for module `index`.
-std::vector<OrientationQuery> build_queries(const Placement& placement,
-                                            int index, const Rect& region,
-                                            const FtiOptions& options) {
+std::vector<OrientationQuery> build_relocation_queries(
+    const Placement& placement, int index, const Rect& region,
+    const FtiOptions& options) {
+  FtiBuildScratch scratch;
+  return build_relocation_queries(placement, index, region, options, scratch);
+}
+
+std::vector<OrientationQuery> build_relocation_queries(
+    const Placement& placement, int index, const Rect& region,
+    const FtiOptions& options, FtiBuildScratch& scratch) {
   const PlacedModule& m = placement.module(index);
-  const Matrix<std::uint8_t> occupied =
-      occupancy_excluding(placement, index, region);
-  const PrefixSum2D occupied_sums(occupied);
+  occupancy_excluding_into(placement, index, region, scratch.occupied);
+  scratch.occupied_sums.rebuild(scratch.occupied);
 
   const int w = m.spec.footprint_width();
   const int h = m.spec.footprint_height();
@@ -84,19 +85,17 @@ std::vector<OrientationQuery> build_queries(const Placement& placement,
     OrientationQuery q;
     q.w = qw;
     q.h = qh;
-    const Matrix<std::uint8_t> valid = valid_anchor_grid(occupied_sums, qw, qh);
+    valid_anchor_grid_into(scratch.occupied_sums, qw, qh, scratch.valid);
     long long total = 0;
-    for (const auto v : valid) total += v;
+    for (const auto v : scratch.valid) total += v;
     q.total_positions = total;
-    q.position_sums = PrefixSum2D(valid);
+    q.position_sums = PrefixSum2D(scratch.valid);
     queries.push_back(std::move(q));
   };
   add(w, h);
   if (options.allow_rotation && w != h) add(h, w);
   return queries;
 }
-
-}  // namespace
 
 FtiResult evaluate_fti(const Placement& placement, const FtiOptions& options,
                        std::optional<Rect> region_opt) {
@@ -112,7 +111,8 @@ FtiResult evaluate_fti(const Placement& placement, const FtiOptions& options,
     const Rect fp = fp_abs.intersection(region);
     if (fp.empty()) continue;
 
-    const auto queries = build_queries(placement, index, region, options);
+    const auto queries =
+        build_relocation_queries(placement, index, region, options);
     for (int y = fp.y; y < fp.top(); ++y) {
       for (int x = fp.x; x < fp.right(); ++x) {
         const Point cell{x - region.x, y - region.y};
@@ -138,6 +138,161 @@ FtiResult evaluate_fti(const Placement& placement, const FtiOptions& options,
 long long covered_cell_count(const Placement& placement,
                              const FtiOptions& options, const Rect& region) {
   return evaluate_fti(placement, options, region).covered_cells;
+}
+
+FtiIncrementalEvaluator::ModuleQueries FtiIncrementalEvaluator::build(
+    const Placement& placement, int index, const Rect& domain) {
+  // The domain grid is built exactly like evaluate_fti's region grid —
+  // same occupancy, same valid-anchor derivation — just over the larger,
+  // region-covering rectangle. Region bounds are applied at query time
+  // (anchors_in_region below).
+  ModuleQueries queries;
+  queries.domain = domain;
+  queries.orientations =
+      build_relocation_queries(placement, index, domain, options_,
+                               build_scratch_);
+  return queries;
+}
+
+void FtiIncrementalEvaluator::update(const Placement& placement,
+                                     const Rect& region,
+                                     const std::vector<int>& dirty,
+                                     Backup& backup) {
+  const int count = placement.module_count();
+  backup.region = region_;
+  backup.full = false;
+  backup.all.clear();
+  backup.some.clear();
+
+  // The domain trades build cost (grids are O(domain area)) against
+  // rebuild frequency (a region drifting outside a module's domain
+  // forces its rebuild): region plus a slack ring, clipped to the canvas.
+  // Low-temperature annealing moves the bounding box a cell or two at a
+  // time, so the slack absorbs most drifts.
+  constexpr int kDomainSlack = 2;
+  const Rect canvas{0, 0, placement.canvas_width(),
+                    placement.canvas_height()};
+  const Rect domain =
+      region.inflated(kDomainSlack).intersection(canvas).united(region);
+
+  if (queries_.size() != static_cast<std::size_t>(count)) {
+    // First use: build everything.
+    backup.full = true;
+    backup.all = std::move(queries_);
+    queries_.clear();
+    queries_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      queries_.push_back(build(placement, i, domain));
+    }
+    region_ = region;
+    return;
+  }
+
+  backup.some.reserve(dirty.size());
+  for (const int index : dirty) {
+    auto& slot = queries_[static_cast<std::size_t>(index)];
+    backup.some.emplace_back(index, std::move(slot));
+    slot = build(placement, index, domain);
+  }
+  // A cached domain the region has drifted out of (it outgrew the slack
+  // ring since that module's last build) is rebuilt too. Modules rebuilt
+  // by the dirty loop above cannot re-trigger here: their fresh domain
+  // contains the region by construction.
+  for (int i = 0; i < count; ++i) {
+    auto& slot = queries_[static_cast<std::size_t>(i)];
+    if (slot.domain.contains(region) || region.empty()) continue;
+    backup.some.emplace_back(i, std::move(slot));
+    slot = build(placement, i, domain);
+  }
+  region_ = region;
+}
+
+void FtiIncrementalEvaluator::restore(Backup& backup) {
+  region_ = backup.region;
+  if (backup.full) {
+    queries_ = std::move(backup.all);
+    return;
+  }
+  for (auto& [index, saved] : backup.some) {
+    queries_[static_cast<std::size_t>(index)] = std::move(saved);
+  }
+}
+
+namespace {
+
+/// Valid anchors of orientation `q` (domain grid) that lie inside
+/// `region` — the same count evaluate_fti's region-built grid calls
+/// `total_positions`.
+long long anchors_in_region(const OrientationQuery& q, const Rect& domain,
+                            const Rect& region) {
+  const int bw = region.width - q.w + 1;
+  const int bh = region.height - q.h + 1;
+  if (bw <= 0 || bh <= 0) return 0;
+  return q.position_sums.occupied_in(
+      Rect{region.x - domain.x, region.y - domain.y, bw, bh});
+}
+
+/// Valid region-interior anchors whose footprint would contain `cell`
+/// (absolute coordinates).
+long long anchors_containing(const OrientationQuery& q, const Rect& domain,
+                             const Rect& region, Point cell) {
+  const int x1 = std::max(region.x, cell.x - q.w + 1);
+  const int y1 = std::max(region.y, cell.y - q.h + 1);
+  const int x2 = std::min(cell.x, region.right() - q.w);
+  const int y2 = std::min(cell.y, region.top() - q.h);
+  if (x2 < x1 || y2 < y1) return 0;
+  return q.position_sums.occupied_in(
+      Rect{x1 - domain.x, y1 - domain.y, x2 - x1 + 1, y2 - y1 + 1});
+}
+
+}  // namespace
+
+long long FtiIncrementalEvaluator::covered_cells(const Placement& placement) {
+  if (region_.empty()) return 0;
+  if (covered_scratch_.width() != region_.width ||
+      covered_scratch_.height() != region_.height) {
+    covered_scratch_ = Matrix<std::uint8_t>(region_.width, region_.height, 1);
+  } else {
+    covered_scratch_.fill(1);
+  }
+
+  // Same pass as evaluate_fti, with the per-module query build replaced
+  // by the cache lookup — the whole point of incremental evaluation.
+  for (int index = 0; index < placement.module_count(); ++index) {
+    const Rect fp = placement.module(index).footprint().intersection(region_);
+    if (fp.empty()) continue;
+    const ModuleQueries& queries = queries_[static_cast<std::size_t>(index)];
+
+    // Per-orientation totals over the region, once per module.
+    long long totals[2] = {0, 0};
+    const std::size_t orientation_count = queries.orientations.size();
+    for (std::size_t o = 0; o < orientation_count; ++o) {
+      totals[o] = anchors_in_region(queries.orientations[o], queries.domain,
+                                    region_);
+    }
+
+    for (int y = fp.y; y < fp.top(); ++y) {
+      for (int x = fp.x; x < fp.right(); ++x) {
+        const Point cell{x - region_.x, y - region_.y};
+        if (covered_scratch_.at(cell) == 0) continue;  // already uncovered
+        bool relocatable = false;
+        for (std::size_t o = 0; o < orientation_count; ++o) {
+          if (totals[o] - anchors_containing(queries.orientations[o],
+                                             queries.domain, region_,
+                                             Point{x, y}) >
+              0) {
+            relocatable = true;
+            break;
+          }
+        }
+        if (!relocatable) covered_scratch_.at(cell) = 0;
+      }
+    }
+  }
+
+  long long covered = 0;
+  for (const auto v : covered_scratch_) covered += v;
+  return covered;
 }
 
 bool is_cell_covered_reference(const Placement& placement, Point cell,

@@ -22,10 +22,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/placement.h"
 #include "util/geometry.h"
 #include "util/matrix.h"
+#include "util/prefix_sum.h"
 
 namespace dmfb {
 
@@ -70,5 +73,117 @@ long long covered_cell_count(const Placement& placement,
 /// ablation bench to validate the fast evaluator.
 bool is_cell_covered_reference(const Placement& placement, Point cell,
                                const FtiOptions& options, const Rect& region);
+
+// --- incremental evaluation (delta-cost annealing) --------------------
+
+/// Per-orientation relocation query data for one module: a summed-area
+/// table over the valid-anchor grid, answering "can this module relocate
+/// avoiding a fault at `cell`?" in O(1). Built once per (module, region,
+/// neighbour-footprint) configuration; the incremental evaluator below
+/// caches these so a move re-derives only the queries it invalidated.
+struct OrientationQuery {
+  int w = 0;
+  int h = 0;
+  long long total_positions = 0;
+  PrefixSum2D position_sums;
+
+  /// Number of valid anchors whose footprint would contain `cell`
+  /// (region-relative coordinates).
+  long long positions_containing(Point cell) const;
+
+  /// Relocation avoiding a fault at `cell` succeeds in this orientation iff
+  /// some valid anchor's footprint does not contain the cell.
+  bool relocatable_avoiding(Point cell) const;
+};
+
+/// Reusable intermediates of one relocation-query build (the retained
+/// OrientationQuery prefix sums are freshly allocated; everything else is
+/// recycled across builds).
+struct FtiBuildScratch {
+  Matrix<std::uint8_t> occupied;
+  PrefixSum2D occupied_sums;
+  Matrix<std::uint8_t> valid;
+};
+
+/// Builds the queries (one or two orientations) for module `index` of
+/// `placement` over `region` — the per-module unit of work `evaluate_fti`
+/// performs for every module on every call, and exactly what the
+/// incremental evaluator caches.
+std::vector<OrientationQuery> build_relocation_queries(
+    const Placement& placement, int index, const Rect& region,
+    const FtiOptions& options);
+
+/// Same, with caller-owned scratch buffers (the incremental evaluator's
+/// hot path: several builds per annealing proposal).
+std::vector<OrientationQuery> build_relocation_queries(
+    const Placement& placement, int index, const Rect& region,
+    const FtiOptions& options, FtiBuildScratch& scratch);
+
+/// Caches per-module OrientationQuery data across annealing proposals.
+///
+/// A module's queries are built over a region-independent *domain* (the
+/// canvas, united with the evaluation region for out-of-canvas
+/// placements) and depend only on the footprints of the modules it
+/// time-overlaps — not on the region and not on the module's own
+/// position. A move therefore dirties exactly the moved modules'
+/// temporal neighbours; bounding-box changes (which happen on a large
+/// share of proposals in a compact low-temperature placement) invalidate
+/// nothing. Region bounds are applied at query time with clamped
+/// prefix-sum reads, which test_fti/test_incremental_cost pin to be
+/// cell-for-cell identical to `evaluate_fti` over the region.
+/// `update` returns the displaced cache entries so the caller's revert
+/// path can restore them without recomputation.
+class FtiIncrementalEvaluator {
+ public:
+  explicit FtiIncrementalEvaluator(FtiOptions options = {})
+      : options_(options) {}
+
+  /// One module's cached relocation data.
+  struct ModuleQueries {
+    Rect domain;  ///< grid the orientations' prefix sums cover
+    std::vector<OrientationQuery> orientations;
+  };
+
+  /// Displaced cache state from one `update`, restorable via `restore`.
+  struct Backup {
+    Rect region;
+    bool full = false;  ///< first build: `all` holds every module's data
+    std::vector<ModuleQueries> all;
+    std::vector<std::pair<int, ModuleQueries>> some;
+  };
+
+  const Rect& region() const { return region_; }
+  const FtiOptions& options() const { return options_; }
+
+  /// Points the evaluator at `region` and re-derives the cached queries
+  /// of the modules listed in `dirty` (plus any module whose domain no
+  /// longer covers the region, e.g. after the region outgrew its slack).
+  /// Everything is built on first use. The displaced data lands in
+  /// `backup` (an out-param so its buffers recycle across proposals) for
+  /// undo via `restore`.
+  void update(const Placement& placement, const Rect& region,
+              const std::vector<int>& dirty, Backup& backup);
+
+  /// Restores the cache to its state before the matching `update`,
+  /// consuming `backup`'s entries (the container itself survives for
+  /// reuse).
+  void restore(Backup& backup);
+
+  /// Covered-cell count of `placement` over the cached region using the
+  /// cached queries — identical to
+  /// `covered_cell_count(placement, options, region())` whenever the cache
+  /// is in sync with the placement.
+  long long covered_cells(const Placement& placement);
+
+ private:
+  ModuleQueries build(const Placement& placement, int index,
+                      const Rect& domain);
+
+  FtiOptions options_;
+  Rect region_;
+  std::vector<ModuleQueries> queries_;    ///< per module
+  Matrix<std::uint8_t> covered_scratch_;  ///< region-sized, reused per call
+  FtiBuildScratch build_scratch_;
+};
 
 }  // namespace dmfb

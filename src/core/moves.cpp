@@ -47,20 +47,32 @@ std::istream& operator>>(std::istream& is, MoveKind& kind) {
 
 namespace {
 
-/// Clamps `anchor` so the module's footprint stays inside the canvas.
-Point clamp_anchor(const Placement& placement, int index, Point anchor) {
-  const Point limit = max_anchor(placement, index);
-  return Point{std::clamp(anchor.x, 0, limit.x),
-               std::clamp(anchor.y, 0, limit.y)};
+/// Clamps `anchor` so a footprint of the module's spec in the given
+/// orientation stays inside the canvas. A footprint too large for the
+/// canvas in one dimension (possible after a rotation on a non-square
+/// canvas) pins to anchor 0 rather than handing std::clamp an inverted
+/// range (UB).
+Point clamp_anchor(const Placement& placement, int index, bool rotated,
+                   Point anchor) {
+  // modules()[...] over module(): index is in range by construction and
+  // this sits in the proposal loop.
+  const auto& spec = placement.modules()[static_cast<std::size_t>(index)].spec;
+  const int w = rotated ? spec.footprint_height() : spec.footprint_width();
+  const int h = rotated ? spec.footprint_width() : spec.footprint_height();
+  const int max_x = std::max(0, placement.canvas_width() - w);
+  const int max_y = std::max(0, placement.canvas_height() - h);
+  return Point{std::clamp(anchor.x, 0, max_x), std::clamp(anchor.y, 0, max_y)};
 }
 
-/// Flips the orientation of a (non-square) module; square footprints are
-/// rotation-invariant so flipping them would be a null move.
-bool try_rotate(Placement& placement, int index) {
+/// Orientation after a requested flip; square footprints are
+/// rotation-invariant so flipping them would be a null move. Returns
+/// whether the orientation actually changed.
+bool flipped_orientation(const Placement& placement, int index,
+                         bool& rotated) {
   const auto& m = placement.module(index);
+  rotated = m.rotated;
   if (m.spec.square()) return false;
-  placement.set_rotated(index, !m.rotated);
-  placement.set_anchor(index, clamp_anchor(placement, index, m.anchor));
+  rotated = !m.rotated;
   return true;
 }
 
@@ -80,14 +92,18 @@ int controlling_window_span(const Placement& placement,
       std::max(placement.canvas_width(), placement.canvas_height());
   if (!options.use_controlling_window) return full_span;
   const double fraction = std::clamp(temperature_fraction, 0.0, 1.0);
-  const int span = static_cast<int>(std::lround(full_span * fraction));
+  // Round-half-up — identical to lround for these non-negative values,
+  // without the libm call (this sits in the annealer's proposal loop).
+  const int span = static_cast<int>(full_span * fraction + 0.5);
   return std::max(options.min_window, span);
 }
 
-MoveKind apply_random_move(Placement& placement, double temperature_fraction,
-                           const MoveOptions& options, Rng& rng) {
+PlacementMove generate_random_move(const Placement& placement,
+                                   double temperature_fraction,
+                                   const MoveOptions& options, Rng& rng) {
+  PlacementMove move;
   const int count = placement.module_count();
-  if (count == 0) return MoveKind::kDisplace;
+  if (count == 0) return move;
 
   const bool single =
       count < 2 || rng.next_bool(options.single_move_probability);
@@ -97,13 +113,19 @@ MoveKind apply_random_move(Placement& placement, double temperature_fraction,
     const int index = static_cast<int>(rng.next_below(count));
     const int span =
         controlling_window_span(placement, temperature_fraction, options);
-    const Point current = placement.module(index).anchor;
-    bool rotated = false;
-    if (rotate) rotated = try_rotate(placement, index);
+    const PlacedModule& m =
+        placement.modules()[static_cast<std::size_t>(index)];
+    const Point current = m.anchor;
+    bool rotated = m.rotated;
+    const bool flipped =
+        rotate && flipped_orientation(placement, index, rotated);
     const Point target{current.x + rng.next_int(-span, span),
                        current.y + rng.next_int(-span, span)};
-    placement.set_anchor(index, clamp_anchor(placement, index, target));
-    return rotated ? MoveKind::kDisplaceRotate : MoveKind::kDisplace;
+    move.kind = flipped ? MoveKind::kDisplaceRotate : MoveKind::kDisplace;
+    move.count = 1;
+    move.changes[0] = ModuleMove{
+        index, clamp_anchor(placement, index, rotated, target), rotated};
+    return move;
   }
 
   // Pair interchange.
@@ -113,14 +135,39 @@ MoveKind apply_random_move(Placement& placement, double temperature_fraction,
 
   const Point anchor_i = placement.module(i).anchor;
   const Point anchor_j = placement.module(j).anchor;
-  bool rotated = false;
+  bool rotated_i = placement.module(i).rotated;
+  bool rotated_j = placement.module(j).rotated;
+  bool flipped = false;
   if (rotate) {
     // Move (iv): at least one module of the pair changes orientation.
-    rotated = try_rotate(placement, rng.next_bool(0.5) ? i : j);
+    if (rng.next_bool(0.5)) {
+      flipped = flipped_orientation(placement, i, rotated_i);
+    } else {
+      flipped = flipped_orientation(placement, j, rotated_j);
+    }
   }
-  placement.set_anchor(i, clamp_anchor(placement, i, anchor_j));
-  placement.set_anchor(j, clamp_anchor(placement, j, anchor_i));
-  return rotated ? MoveKind::kSwapRotate : MoveKind::kSwap;
+  move.kind = flipped ? MoveKind::kSwapRotate : MoveKind::kSwap;
+  move.count = 2;
+  move.changes[0] = ModuleMove{
+      i, clamp_anchor(placement, i, rotated_i, anchor_j), rotated_i};
+  move.changes[1] = ModuleMove{
+      j, clamp_anchor(placement, j, rotated_j, anchor_i), rotated_j};
+  return move;
+}
+
+void apply_move(Placement& placement, const PlacementMove& move) {
+  for (int c = 0; c < move.count; ++c) {
+    const ModuleMove& change = move.changes[c];
+    placement.set_position(change.index, change.anchor, change.rotated);
+  }
+}
+
+MoveKind apply_random_move(Placement& placement, double temperature_fraction,
+                           const MoveOptions& options, Rng& rng) {
+  const PlacementMove move =
+      generate_random_move(placement, temperature_fraction, options, rng);
+  apply_move(placement, move);
+  return move.kind;
 }
 
 }  // namespace dmfb

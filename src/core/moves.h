@@ -48,10 +48,38 @@ struct MoveOptions {
   int min_window = 1;
 };
 
-/// Applies one random move to `placement` in place. `temperature_fraction`
-/// is T / T0 in [0, 1] and scales the controlling window. Anchors are
-/// clamped so footprints stay inside the canvas (Fig. 4(a): modules are
-/// prevented from leaving the core area).
+/// One module's final state under a proposed move.
+struct ModuleMove {
+  int index = -1;
+  Point anchor{0, 0};
+  bool rotated = false;
+};
+
+/// A generated move as a value: the final (anchor, orientation) of every
+/// touched module (one for displacements, two for pair interchanges). The
+/// delta-cost annealing engine applies and undoes these without copying
+/// the placement; `apply_random_move` is now a generate + apply pair, so
+/// both engines draw the identical random stream and stay seed-for-seed
+/// reproducible against each other.
+struct PlacementMove {
+  MoveKind kind = MoveKind::kDisplace;
+  int count = 0;          ///< touched modules (0 on an empty placement)
+  ModuleMove changes[2];  ///< entries [0, count)
+};
+
+/// Draws one random move against `placement` without mutating it.
+/// `temperature_fraction` is T / T0 in [0, 1] and scales the controlling
+/// window. Anchors are clamped so footprints stay inside the canvas
+/// (Fig. 4(a): modules are prevented from leaving the core area).
+PlacementMove generate_random_move(const Placement& placement,
+                                   double temperature_fraction,
+                                   const MoveOptions& options, Rng& rng);
+
+/// Applies a generated move to `placement` (the caller re-evaluates cost).
+void apply_move(Placement& placement, const PlacementMove& move);
+
+/// Applies one random move to `placement` in place — exactly
+/// `apply_move(placement, generate_random_move(placement, ...))`.
 /// Returns the move kind applied.
 MoveKind apply_random_move(Placement& placement, double temperature_fraction,
                            const MoveOptions& options, Rng& rng);

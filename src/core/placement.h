@@ -55,6 +55,15 @@ class Placement {
   void set_anchor(int index, Point anchor);
   void set_rotated(int index, bool rotated);
 
+  /// Both of the above in one unchecked call — the delta engine applies
+  /// millions of accepted moves per second, where even vector::at's
+  /// bounds branch shows up. `index` must be valid.
+  void set_position(int index, Point anchor, bool rotated) {
+    PlacedModule& m = modules_[static_cast<std::size_t>(index)];
+    m.anchor = anchor;
+    m.rotated = rotated;
+  }
+
   /// Index pairs (i < j) whose time intervals overlap — the only pairs that
   /// can conflict spatially.
   const std::vector<std::pair<int, int>>& conflicting_pairs() const {

@@ -176,6 +176,7 @@ SaPlacerOptions sa_options_from(const PlacerContext& context) {
   options.fti_options = context.fti_options;
   options.defects = context.defects;
   options.seed = context.seed;
+  options.engine = context.engine;
   return options;
 }
 

@@ -70,6 +70,9 @@ struct PlacerContext {
   MoveOptions moves;
   CostWeights weights;  ///< beta = 0 keeps the objective area-only
   FtiOptions fti_options;
+  /// Proposal-evaluation engine (both annealing stages); kDelta and kCopy
+  /// give identical results, kDelta is the fast path.
+  AnnealingEngine engine = AnnealingEngine::kDelta;
 
   // "two-stage" refinement (§6.2).
   double two_stage_beta = 30.0;  ///< fault-tolerance weight of stage 2

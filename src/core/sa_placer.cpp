@@ -1,10 +1,45 @@
 #include "core/sa_placer.h"
 
 #include <chrono>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
 
 #include "core/greedy_placer.h"
+#include "core/incremental_cost.h"
 
 namespace dmfb {
+
+const char* to_string(AnnealingEngine engine) {
+  switch (engine) {
+    case AnnealingEngine::kDelta:
+      return "delta";
+    case AnnealingEngine::kCopy:
+      return "copy";
+  }
+  return "?";
+}
+
+template <>
+AnnealingEngine from_string<AnnealingEngine>(std::string_view text) {
+  if (text == "delta") return AnnealingEngine::kDelta;
+  if (text == "copy") return AnnealingEngine::kCopy;
+  throw std::invalid_argument("unknown AnnealingEngine \"" +
+                              std::string(text) +
+                              "\" (expected one of: delta, copy)");
+}
+
+std::ostream& operator<<(std::ostream& os, AnnealingEngine engine) {
+  return os << to_string(engine);
+}
+
+std::istream& operator>>(std::istream& is, AnnealingEngine& engine) {
+  std::string token;
+  is >> token;
+  engine = from_string<AnnealingEngine>(token);
+  return is;
+}
 
 PlacementOutcome place_simulated_annealing(const Schedule& schedule,
                                            const SaPlacerOptions& options) {
@@ -14,14 +49,13 @@ PlacementOutcome place_simulated_annealing(const Schedule& schedule,
   return anneal_from(initial, options);
 }
 
-PlacementOutcome anneal_from(const Placement& initial,
-                             const SaPlacerOptions& options) {
-  const auto start_time = std::chrono::steady_clock::now();
+namespace {
 
-  CostEvaluator evaluator(options.weights, options.fti_options);
-  evaluator.set_defects(options.defects);
-  Rng rng(options.seed);
-
+/// The original engine: every proposal copies the placement and evaluates
+/// cost from scratch. Kept as the delta engine's cross-check oracle.
+Placement anneal_copy(const Placement& initial, const CostEvaluator& evaluator,
+                      const SaPlacerOptions& options, Rng& rng,
+                      AnnealingStats* stats) {
   AnnealingProblem<Placement> problem;
   problem.cost = [&](const Placement& p) { return evaluator.cost(p); };
   problem.neighbor = [&](const Placement& p, double fraction, Rng& move_rng) {
@@ -32,10 +66,91 @@ PlacementOutcome anneal_from(const Placement& initial,
   problem.recordable = [&](const Placement& p) {
     return p.feasible() && evaluator.defect_usage(p) == 0;
   };
+  return anneal(initial, problem, options.schedule, initial.module_count(),
+                rng, stats);
+}
+
+/// Concrete (non-type-erased) delta problem, so the annealing loop inlines
+/// the callbacks — std::function dispatch measurably costs at the delta
+/// engine's proposal rates.
+template <typename P, typename C, typename R, typename Q, typename B>
+struct InlineDeltaProblem {
+  P propose_delta;
+  C commit;
+  R revert;
+  Q recordable;
+  B record_best;
+};
+template <typename P, typename C, typename R, typename Q, typename B>
+InlineDeltaProblem(P, C, R, Q, B) -> InlineDeltaProblem<P, C, R, Q, B>;
+
+/// The incremental engine: one IncrementalPlacementState mutated in place,
+/// each proposal priced by the delta of the cost terms it touched. The
+/// placement is only ever copied when a new best is recorded.
+Placement anneal_delta_engine(const Placement& initial,
+                              const CostEvaluator& evaluator,
+                              const SaPlacerOptions& options, Rng& rng,
+                              AnnealingStats* stats) {
+  IncrementalPlacementState state(initial, evaluator);
+
+  // Best-so-far as a pose list, not a Placement copy: the early
+  // accept-everything phase improves the best thousands of times, and a
+  // full Placement copy per improvement (strings, pair and slice
+  // vectors) costs more than the proposal it follows.
+  struct Pose {
+    Point anchor;
+    bool rotated = false;
+  };
+  std::vector<Pose> best_pose(
+      static_cast<std::size_t>(initial.module_count()));
+
+  const InlineDeltaProblem problem{
+      /*propose_delta=*/[&](double fraction, Rng& move_rng) {
+        return state.propose(generate_random_move(state.placement(), fraction,
+                                                  options.moves, move_rng));
+      },
+      /*commit=*/[&] { return state.commit(); },
+      /*revert=*/[&] { state.revert(); },
+      /*recordable=*/
+      [&] { return state.feasible() && state.defect_cells() == 0; },
+      /*record_best=*/
+      [&](double) {
+        const auto& modules = state.placement().modules();
+        for (std::size_t i = 0; i < best_pose.size(); ++i) {
+          best_pose[i] = Pose{modules[i].anchor, modules[i].rotated};
+        }
+      }};
+
+  const double best_cost =
+      anneal_delta(state.cost(), problem, options.schedule,
+                   initial.module_count(), rng, stats);
+  // No recordable state seen: fall back to the final current state, as the
+  // copying engine does.
+  if (!std::isfinite(best_cost)) return state.placement();
+  Placement best = state.placement();
+  for (std::size_t i = 0; i < best_pose.size(); ++i) {
+    best.set_position(static_cast<int>(i), best_pose[i].anchor,
+                      best_pose[i].rotated);
+  }
+  return best;
+}
+
+}  // namespace
+
+PlacementOutcome anneal_from(const Placement& initial,
+                             const SaPlacerOptions& options) {
+  const auto start_time = std::chrono::steady_clock::now();
+
+  CostEvaluator evaluator(options.weights, options.fti_options);
+  evaluator.set_defects(options.defects);
+  Rng rng(options.seed);
 
   PlacementOutcome outcome;
-  outcome.placement = anneal(initial, problem, options.schedule,
-                             initial.module_count(), rng, &outcome.stats);
+  outcome.placement =
+      options.engine == AnnealingEngine::kCopy
+          ? anneal_copy(initial, evaluator, options, rng, &outcome.stats)
+          : anneal_delta_engine(initial, evaluator, options, rng,
+                                &outcome.stats);
   outcome.cost = evaluator.evaluate(outcome.placement);
   outcome.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "assay/schedule.h"
 #include "core/annealer.h"
@@ -13,8 +14,28 @@
 #include "core/moves.h"
 #include "core/placement.h"
 #include "util/deprecation.h"
+#include "util/enum_text.h"
 
 namespace dmfb {
+
+/// How the annealer evaluates proposals.
+enum class AnnealingEngine {
+  /// In-place move/undo over an IncrementalPlacementState: each proposal
+  /// re-prices only the cost terms the move touched. The fast path, and
+  /// seed-for-seed identical to kCopy (test_incremental_cost.cpp).
+  kDelta,
+  /// Per-proposal Placement copy + full cost re-evaluation — the original
+  /// engine, kept as the cross-check oracle and for custom problem forms.
+  kCopy,
+};
+
+/// Textual round-trip ("delta", "copy") for logs and bench JSON;
+/// `from_string` and `>>` throw std::invalid_argument on unknown text.
+const char* to_string(AnnealingEngine engine);
+template <>
+AnnealingEngine from_string<AnnealingEngine>(std::string_view text);
+std::ostream& operator<<(std::ostream& os, AnnealingEngine engine);
+std::istream& operator>>(std::istream& is, AnnealingEngine& engine);
 
 /// Everything configurable about one annealing run.
 struct SaPlacerOptions {
@@ -29,6 +50,9 @@ struct SaPlacerOptions {
   /// the result routes modules around the defect map.
   std::vector<Point> defects;
   std::uint64_t seed = 0xDA7E2005ULL;
+  /// Proposal-evaluation engine; results are identical either way, kDelta
+  /// is just (much) faster.
+  AnnealingEngine engine = AnnealingEngine::kDelta;
 };
 
 /// Result of a placement run.

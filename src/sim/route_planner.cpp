@@ -1,12 +1,14 @@
 #include "sim/route_planner.h"
 
 #include <algorithm>
+#include <exception>
 #include <map>
 #include <queue>
 #include <sstream>
 #include <stdexcept>
 
 #include "biochip/module_spec.h"
+#include "util/parallel.h"
 
 namespace dmfb {
 namespace {
@@ -325,25 +327,64 @@ void accumulate(RoutePlan& plan, ChangeoverPlan&& changeover) {
   plan.changeovers.push_back(std::move(changeover));
 }
 
+RoutePlan solve_changeovers(const std::vector<ChangeoverProblem>& problems,
+                            int threads, const ChangeoverSolver& solve) {
+  const std::size_t count = problems.size();
+  std::vector<std::optional<ChangeoverPlan>> solved(count);
+  std::vector<std::string> failures(count);
+  std::vector<std::exception_ptr> errors(count);
+
+  if (detail::resolve_worker_count(count, threads) <= 1) {
+    // Inline: fail fast like the pre-pool loops did — changeovers after
+    // the first unroutable one are never attempted, and an exception
+    // propagates from exactly where it was thrown.
+    for (std::size_t index = 0; index < count; ++index) {
+      solved[index] = solve(problems[index], index, &failures[index]);
+      if (!solved[index]) break;
+    }
+  } else {
+    // Workers solve everything: skipping work after a failure would make
+    // which changeovers got solved (and so the reported failure) depend
+    // on worker scheduling, breaking the thread-count invariance this
+    // function promises. Failing assays trade some wasted solves for it.
+    errors = detail::for_each_index(
+        count, threads, [&](std::size_t index) {
+          solved[index] = solve(problems[index], index, &failures[index]);
+        });
+  }
+
+  // Fold in changeover (time) order, so totals, the reported failure and
+  // even exception behavior do not depend on worker scheduling: an error
+  // or routing failure surfaces exactly where the fail-fast sequential
+  // walk would have hit it, and anything solved past that point is
+  // discarded.
+  RoutePlan plan;
+  for (std::size_t c = 0; c < count; ++c) {
+    if (errors[c]) std::rethrow_exception(errors[c]);
+    if (!solved[c]) {
+      plan.success = false;
+      plan.failure_reason = failures[c];
+      return plan;
+    }
+    accumulate(plan, std::move(*solved[c]));
+  }
+  plan.success = true;
+  return plan;
+}
+
 RoutePlan plan_prioritized(const SequencingGraph& graph,
                            const Schedule& schedule,
                            const Placement& placement, int chip_width,
                            int chip_height,
                            const RoutePlannerOptions& options) {
-  RoutePlan plan;
   const int horizon = resolve_horizon(options, chip_width, chip_height);
-  for (const ChangeoverProblem& problem :
-       extract_problems(graph, schedule, placement, chip_width, chip_height)) {
-    auto changeover = solve_prioritized(problem, default_order(problem.requests),
-                                        options, horizon, &plan.failure_reason);
-    if (!changeover) {
-      plan.success = false;
-      return plan;
-    }
-    accumulate(plan, std::move(*changeover));
-  }
-  plan.success = true;
-  return plan;
+  return solve_changeovers(
+      extract_problems(graph, schedule, placement, chip_width, chip_height),
+      options.threads,
+      [&](const ChangeoverProblem& problem, std::size_t, std::string* failure) {
+        return solve_prioritized(problem, default_order(problem.requests),
+                                 options, horizon, failure);
+      });
 }
 
 }  // namespace routing

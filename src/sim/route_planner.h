@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -113,6 +114,13 @@ struct RoutePlannerOptions {
   /// Seed for the ordering shuffles; the pipeline overrides this with the
   /// run seed so one number reproduces the whole flow.
   std::uint64_t seed = 0xDA7E2005ULL;
+
+  /// Worker threads for per-changeover routing (all backends). Changeovers
+  /// are independent once extracted and stochastic backends derive a
+  /// per-changeover seed from `seed`, so the resulting plan is identical
+  /// for any thread count (test_parallel_routing.cpp pins 1 vs 4).
+  /// 1 = solve in the calling thread, 0 = hardware concurrency.
+  int threads = 1;
 };
 
 /// Plans droplet routing for the full assay with the classic prioritized
@@ -215,6 +223,24 @@ std::vector<std::size_t> default_order(
 std::optional<ChangeoverPlan> solve_prioritized(
     const ChangeoverProblem& problem, const std::vector<std::size_t>& order,
     const RoutePlannerOptions& options, int horizon, std::string* failure);
+
+/// One changeover's solver: plan the changeover at `index` in `problems`,
+/// or return nullopt and set `failure`. Must be thread-safe across
+/// changeovers (every built-in backend's solver is: changeovers share no
+/// mutable state, and seeded backends split a per-changeover stream from
+/// the run seed by index).
+using ChangeoverSolver = std::function<std::optional<ChangeoverPlan>(
+    const ChangeoverProblem& /*problem*/, std::size_t /*index*/,
+    std::string* /*failure*/)>;
+
+/// Solves every changeover with `solve` across `threads` workers (1 =
+/// inline in the calling thread, 0 = hardware concurrency) and folds the
+/// results into a RoutePlan in changeover order. Because the solver is
+/// index-seeded and changeovers are independent, the returned plan is
+/// identical for any thread count; on failure the first unroutable
+/// changeover (in time order) supplies `failure_reason`.
+RoutePlan solve_changeovers(const std::vector<ChangeoverProblem>& problems,
+                            int threads, const ChangeoverSolver& solve);
 
 /// Folds a solved changeover into `plan` (routes + step/cell totals).
 void accumulate(RoutePlan& plan, ChangeoverPlan&& changeover);

@@ -232,29 +232,27 @@ class NegotiatedRouter final : public Router {
   RoutePlan plan(const SequencingGraph& graph, const Schedule& schedule,
                  const Placement& placement, int chip_width, int chip_height,
                  const RoutePlannerOptions& options) const override {
-    RoutePlan plan;
     const int horizon =
         routing::resolve_horizon(options, chip_width, chip_height);
-    for (const ChangeoverProblem& problem : routing::extract_problems(
-             graph, schedule, placement, chip_width, chip_height)) {
-      auto changeover = negotiate(problem, options, horizon);
-      if (!changeover) {
-        // A changeover the negotiation cannot converge on may still yield
-        // to decoupled planning, so "negotiated" never does worse than
-        // "prioritized".
-        changeover =
-            routing::solve_prioritized(problem,
-                                       routing::default_order(problem.requests),
-                                       options, horizon, &plan.failure_reason);
-      }
-      if (!changeover) {
-        plan.success = false;
-        return plan;
-      }
-      routing::accumulate(plan, std::move(*changeover));
-    }
-    plan.success = true;
-    return plan;
+    // Changeovers negotiate independently (each owns its history grid and
+    // scratch), so they fan out across the routing thread pool.
+    return routing::solve_changeovers(
+        routing::extract_problems(graph, schedule, placement, chip_width,
+                                  chip_height),
+        options.threads,
+        [&](const ChangeoverProblem& problem, std::size_t,
+            std::string* failure) {
+          auto changeover = negotiate(problem, options, horizon);
+          if (!changeover) {
+            // A changeover the negotiation cannot converge on may still
+            // yield to decoupled planning, so "negotiated" never does
+            // worse than "prioritized".
+            changeover = routing::solve_prioritized(
+                problem, routing::default_order(problem.requests), options,
+                horizon, failure);
+          }
+          return changeover;
+        });
   }
 
  private:
@@ -328,43 +326,40 @@ class RestartRouter final : public Router {
   RoutePlan plan(const SequencingGraph& graph, const Schedule& schedule,
                  const Placement& placement, int chip_width, int chip_height,
                  const RoutePlannerOptions& options) const override {
-    RoutePlan plan;
     const int horizon =
         routing::resolve_horizon(options, chip_width, chip_height);
-    const auto problems = routing::extract_problems(graph, schedule, placement,
-                                                    chip_width, chip_height);
-    for (std::size_t c = 0; c < problems.size(); ++c) {
-      const ChangeoverProblem& problem = problems[c];
-      // Per-changeover stream split from the one seed, so a changeover's
-      // orderings do not depend on how many came before it succeeded.
-      Rng rng(SplitMix64(options.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)))
-                  .next());
+    return routing::solve_changeovers(
+        routing::extract_problems(graph, schedule, placement, chip_width,
+                                  chip_height),
+        options.threads,
+        [&](const ChangeoverProblem& problem, std::size_t c,
+            std::string* failure) -> std::optional<ChangeoverPlan> {
+          // Per-changeover stream split from the one seed, so a
+          // changeover's orderings depend on neither how many came before
+          // it succeeded nor which worker picked it up.
+          Rng rng(SplitMix64(options.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)))
+                      .next());
 
-      std::optional<ChangeoverPlan> best;
-      std::string failure;
-      auto consider = [&](const std::vector<std::size_t>& order) {
-        auto candidate = routing::solve_prioritized(problem, order, options,
-                                                    horizon, &failure);
-        if (!candidate) return;
-        if (!best || better(*candidate, *best)) best = std::move(candidate);
-      };
+          std::optional<ChangeoverPlan> best;
+          auto consider = [&](const std::vector<std::size_t>& order) {
+            auto candidate = routing::solve_prioritized(problem, order,
+                                                        options, horizon,
+                                                        failure);
+            if (!candidate) return;
+            if (!best || better(*candidate, *best)) {
+              best = std::move(candidate);
+            }
+          };
 
-      std::vector<std::size_t> order =
-          routing::default_order(problem.requests);
-      consider(order);
-      for (int restart = 0; restart < options.max_restarts; ++restart) {
-        shuffle(order, rng);
-        consider(order);
-      }
-      if (!best) {
-        plan.success = false;
-        plan.failure_reason = failure;
-        return plan;
-      }
-      routing::accumulate(plan, std::move(*best));
-    }
-    plan.success = true;
-    return plan;
+          std::vector<std::size_t> order =
+              routing::default_order(problem.requests);
+          consider(order);
+          for (int restart = 0; restart < options.max_restarts; ++restart) {
+            shuffle(order, rng);
+            consider(order);
+          }
+          return best;
+        });
   }
 
  private:

@@ -57,6 +57,18 @@ class Matrix {
 
   void fill(const T& value) { data_.assign(data_.size(), value); }
 
+  /// Re-dimensions in place, reusing the underlying buffer's capacity —
+  /// for scratch matrices rebuilt thousands of times per second (the
+  /// incremental FTI evaluator).
+  void reset(int width, int height, T fill = T{}) {
+    if (width < 0 || height < 0) {
+      throw std::invalid_argument("Matrix: negative dimension");
+    }
+    width_ = width;
+    height_ = height;
+    data_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
   /// Assigns `value` to every cell of `r` clipped to the matrix bounds.
   void fill_rect(const Rect& r, const T& value) {
     const Rect clipped = r.intersection(Rect{0, 0, width_, height_});

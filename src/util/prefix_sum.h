@@ -22,10 +22,17 @@ class PrefixSum2D {
 
   /// Builds the table from an occupancy grid; `occupied` maps any nonzero
   /// value to 1.
-  explicit PrefixSum2D(const Matrix<std::uint8_t>& occupied)
-      : width_(occupied.width()),
-        height_(occupied.height()),
-        sums_(occupied.width() + 1, occupied.height() + 1, 0) {
+  explicit PrefixSum2D(const Matrix<std::uint8_t>& occupied) {
+    rebuild(occupied);
+  }
+
+  /// Rebuilds in place over a (possibly different-sized) grid, reusing
+  /// the table's capacity — scratch tables in the annealer's FTI path
+  /// are rebuilt thousands of times per second.
+  void rebuild(const Matrix<std::uint8_t>& occupied) {
+    width_ = occupied.width();
+    height_ = occupied.height();
+    sums_.reset(width_ + 1, height_ + 1, 0);
     for (int y = 0; y < height_; ++y) {
       for (int x = 0; x < width_; ++x) {
         sums_.at(x + 1, y + 1) = sums_.at(x, y + 1) + sums_.at(x + 1, y) -

@@ -6,10 +6,68 @@
 // via SplitMix64, the standard pairing recommended by the xoshiro authors.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 
 namespace dmfb {
+
+/// Exact 64-bit division by a fixed divisor via precomputed magic numbers
+/// (Granlund–Montgomery, the libdivide schemes): one widening multiply
+/// and a shift instead of a hardware divide. `divide` returns exactly
+/// n / bound for every n — test_rng.cpp cross-checks against the
+/// hardware divider — so Rng::next_below's rejection sampling produces
+/// bit-identical streams with or without it. The annealer draws three
+/// bounded samples per proposal; two hardware divides each was a
+/// measurable slice of the delta engine's proposal budget.
+struct FastDiv {
+  std::uint64_t bound = 0;
+  std::uint64_t magic = 0;
+  std::uint64_t threshold = 0;  ///< (2^64 - bound) % bound, Lemire rejection
+  int shift = 0;
+  bool add = false;   ///< round-down scheme: needs the add fixup
+  bool pow2 = false;  ///< plain shift
+
+  static FastDiv make(std::uint64_t d) {
+    FastDiv f;
+    f.bound = d;
+    f.threshold = (0 - d) % d;
+    const int sh = 63 - std::countl_zero(d);
+    f.shift = sh;
+    if ((d & (d - 1)) == 0) {
+      f.pow2 = true;
+      return f;
+    }
+    const unsigned __int128 power = static_cast<unsigned __int128>(1)
+                                    << (64 + sh);
+    std::uint64_t proposed = static_cast<std::uint64_t>(power / d);
+    const std::uint64_t rem = static_cast<std::uint64_t>(power % d);
+    const std::uint64_t error = d - rem;
+    if (error < (static_cast<std::uint64_t>(1) << sh)) {
+      // Round-up scheme: magic = floor(2^(64+sh) / d) + 1 is exact.
+      f.magic = proposed + 1;
+    } else {
+      // Round-down scheme with the saturating add fixup.
+      proposed += proposed;
+      const std::uint64_t twice_rem = rem + rem;
+      if (twice_rem >= d || twice_rem < rem) ++proposed;
+      f.magic = proposed + 1;
+      f.add = true;
+    }
+    return f;
+  }
+
+  std::uint64_t divide(std::uint64_t n) const {
+    if (pow2) return n >> shift;
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(magic) * n) >> 64);
+    if (!add) return q >> shift;
+    const std::uint64_t t = ((n - q) >> 1) + q;
+    return t >> shift;
+  }
+
+  std::uint64_t mod(std::uint64_t n) const { return n - divide(n) * bound; }
+};
 
 /// SplitMix64: used to expand a 64-bit seed into xoshiro state. Also a
 /// perfectly fine generator for non-critical uses.
@@ -64,11 +122,26 @@ class Rng {
     return result;
   }
 
-  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
-  /// multiply-shift rejection method to avoid modulo bias.
+  /// Uniform integer in [0, bound). bound must be > 0. Rejection sampling
+  /// to avoid modulo bias; repeating bounds run through a per-bound
+  /// FastDiv memo (the annealer redraws the same couple of bounds
+  /// millions of times), while one-shot bounds (e.g. a Fisher–Yates
+  /// shuffle's descending sequence) take the plain hardware-divide path
+  /// — a FastDiv is only derived once a bound misses the memo twice in a
+  /// row. Both paths produce bit-identical results.
   std::uint64_t next_below(std::uint64_t bound) {
-    // Rejection loop; expected iterations < 2 for any bound.
+    if (divs_[0].bound == bound) return next_below_with(divs_[0]);
+    if (divs_[1].bound == bound) return next_below_with(divs_[1]);
+    if (divs_[2].bound == bound) return next_below_with(divs_[2]);
+    if (bound == last_missed_bound_) {
+      FastDiv& slot = divs_[div_victim_];
+      div_victim_ = (div_victim_ + 1) % 3;
+      slot = FastDiv::make(bound);
+      return next_below_with(slot);
+    }
+    last_missed_bound_ = bound;
     const std::uint64_t threshold = (0 - bound) % bound;
+    // Rejection loop; expected iterations < 2 for any bound.
     for (;;) {
       const std::uint64_t r = next();
       if (r >= threshold) return r % bound;
@@ -98,8 +171,23 @@ class Rng {
     return (v << k) | (v >> (64 - k));
   }
 
+  std::uint64_t next_below_with(const FastDiv& div) {
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= div.threshold) return div.mod(r);
+    }
+  }
+
   std::uint64_t seed_ = 0;
   std::uint64_t state_[4] = {};
+  /// Three-entry direct-mapped FastDiv memo: the annealer's proposal
+  /// loop draws three recurring bounds — module count, the controlling
+  /// window span, and count-1 from pair interchanges — so three slots
+  /// cover the hot loop without thrash (the span slot turns over once
+  /// per temperature step).
+  FastDiv divs_[3];
+  std::uint64_t last_missed_bound_ = 0;
+  int div_victim_ = 0;
 };
 
 }  // namespace dmfb

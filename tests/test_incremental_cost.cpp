@@ -1,0 +1,213 @@
+// Cross-checks for the delta-cost engine (core/incremental_cost.h): the
+// incremental state must track the from-scratch CostEvaluator exactly —
+// after every propose, commit and revert, for beta = 0 and beta > 0, with
+// and without defect maps — and the delta annealing engine must replay the
+// copying engine's trajectory seed for seed.
+#include "core/incremental_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "core/moves.h"
+#include "core/sa_placer.h"
+#include "util/rng.h"
+
+namespace dmfb {
+namespace {
+
+/// A schedule whose module intervals produce a mixed conflict structure:
+/// some pairs overlap in time (and so may conflict spatially), some are
+/// disjoint and reuse cells.
+Schedule mixed_schedule(int modules, Rng& rng) {
+  Schedule s;
+  for (int i = 0; i < modules; ++i) {
+    const int w = 1 + static_cast<int>(rng.next_below(4));
+    const int h = 1 + static_cast<int>(rng.next_below(4));
+    const double start = static_cast<double>(rng.next_below(30));
+    const double duration = 5.0 + static_cast<double>(rng.next_below(20));
+    const std::string id = std::to_string(i);
+    const ModuleSpec spec{"m" + id, ModuleKind::kMixer, w, h, duration};
+    s.add(ScheduledModule{i, "M" + id, spec, start, start + duration, -1, -1});
+  }
+  return s;
+}
+
+/// A placement with every anchor randomized (in canvas, any orientation).
+Placement random_placement(const Schedule& schedule, int canvas, Rng& rng) {
+  Placement p(schedule, canvas, canvas);
+  MoveOptions scatter;
+  scatter.single_move_probability = 1.0;
+  scatter.rotate_probability = 0.5;
+  scatter.use_controlling_window = false;
+  for (int i = 0; i < 3 * p.module_count(); ++i) {
+    apply_random_move(p, 1.0, scatter, rng);
+  }
+  return p;
+}
+
+void expect_matches_evaluator(const IncrementalPlacementState& state,
+                              const CostEvaluator& evaluator) {
+  const CostBreakdown fresh = evaluator.evaluate(state.placement());
+  const CostBreakdown tracked = state.breakdown();
+  EXPECT_EQ(tracked.area_cells, fresh.area_cells);
+  EXPECT_EQ(tracked.overlap_cells, fresh.overlap_cells);
+  EXPECT_EQ(tracked.defect_cells, fresh.defect_cells);
+  EXPECT_DOUBLE_EQ(tracked.fti, fresh.fti);
+  EXPECT_DOUBLE_EQ(tracked.value, fresh.value);
+  EXPECT_DOUBLE_EQ(state.cost(), fresh.value);
+  EXPECT_EQ(state.feasible(), state.placement().feasible());
+  EXPECT_EQ(state.defect_cells(), evaluator.defect_usage(state.placement()));
+}
+
+/// Random move sequence with random commit/revert decisions; the tracked
+/// cost must equal a fresh evaluation after every step.
+void run_cross_check(double beta, std::vector<Point> defects,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  const Schedule schedule = mixed_schedule(8, rng);
+  const Placement initial = random_placement(schedule, 16, rng);
+
+  CostWeights weights;
+  weights.beta = beta;
+  CostEvaluator evaluator(weights);
+  evaluator.set_defects(std::move(defects));
+
+  IncrementalPlacementState state(initial, evaluator);
+  expect_matches_evaluator(state, evaluator);
+
+  MoveOptions moves;  // defaults: displacements, swaps and rotations
+  for (int step = 0; step < 200; ++step) {
+    const double fraction = 1.0 - static_cast<double>(step) / 200.0;
+    const PlacementMove move =
+        generate_random_move(state.placement(), fraction, moves, rng);
+    const double before = state.cost();
+    const double delta = state.propose(move);
+    ASSERT_TRUE(state.has_pending());
+    // Mid-proposal, cost() keeps reporting the committed state.
+    EXPECT_DOUBLE_EQ(state.cost(), before);
+
+    if (rng.next_bool(0.5)) {
+      EXPECT_DOUBLE_EQ(state.commit(), before + delta);
+    } else {
+      state.revert();
+      EXPECT_DOUBLE_EQ(state.cost(), before);
+    }
+    ASSERT_FALSE(state.has_pending());
+    expect_matches_evaluator(state, evaluator);
+  }
+}
+
+TEST(IncrementalCostTest, TracksEvaluatorAreaOnly) {
+  run_cross_check(/*beta=*/0.0, {}, /*seed=*/11);
+  run_cross_check(/*beta=*/0.0, {}, /*seed=*/12);
+}
+
+TEST(IncrementalCostTest, TracksEvaluatorWithFti) {
+  run_cross_check(/*beta=*/30.0, {}, /*seed=*/21);
+  run_cross_check(/*beta=*/30.0, {}, /*seed=*/22);
+}
+
+TEST(IncrementalCostTest, TracksEvaluatorWithDefects) {
+  const std::vector<Point> defects{{3, 3}, {7, 2}, {12, 12}, {3, 3}};
+  run_cross_check(/*beta=*/0.0, defects, /*seed=*/31);
+  run_cross_check(/*beta=*/30.0, defects, /*seed=*/32);
+}
+
+void expect_identical_outcomes(const PlacementOutcome& copy,
+                               const PlacementOutcome& delta) {
+  EXPECT_EQ(copy.stats.proposals, delta.stats.proposals);
+  EXPECT_EQ(copy.stats.accepted, delta.stats.accepted);
+  EXPECT_EQ(copy.stats.uphill_accepted, delta.stats.uphill_accepted);
+  EXPECT_DOUBLE_EQ(copy.stats.best_cost, delta.stats.best_cost);
+  EXPECT_DOUBLE_EQ(copy.cost.value, delta.cost.value);
+  ASSERT_EQ(copy.placement.module_count(), delta.placement.module_count());
+  for (int i = 0; i < copy.placement.module_count(); ++i) {
+    EXPECT_EQ(copy.placement.module(i).anchor, delta.placement.module(i).anchor)
+        << "module " << i;
+    EXPECT_EQ(copy.placement.module(i).rotated,
+              delta.placement.module(i).rotated)
+        << "module " << i;
+  }
+}
+
+/// Seed-for-seed equivalence of the copying and delta engines over a
+/// shortened (but real) annealing run.
+void run_engine_equivalence(double beta, std::vector<Point> defects,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  const Schedule schedule = mixed_schedule(7, rng);
+  const Placement initial = random_placement(schedule, 16, rng);
+
+  SaPlacerOptions options;
+  options.canvas_width = 16;
+  options.canvas_height = 16;
+  options.schedule.initial_temperature = 200.0;
+  options.schedule.cooling_rate = 0.8;
+  options.schedule.iterations_per_module = 30;
+  options.schedule.min_temperature = 0.5;
+  options.weights.beta = beta;
+  options.defects = std::move(defects);
+  options.seed = seed;
+
+  options.engine = AnnealingEngine::kCopy;
+  const PlacementOutcome copy = anneal_from(initial, options);
+  options.engine = AnnealingEngine::kDelta;
+  const PlacementOutcome delta = anneal_from(initial, options);
+  expect_identical_outcomes(copy, delta);
+}
+
+TEST(IncrementalCostTest, EnginesAgreeSeedForSeedAreaOnly) {
+  run_engine_equivalence(/*beta=*/0.0, {}, /*seed=*/101);
+  run_engine_equivalence(/*beta=*/0.0, {}, /*seed=*/102);
+}
+
+TEST(IncrementalCostTest, EnginesAgreeSeedForSeedWithFti) {
+  run_engine_equivalence(/*beta=*/30.0, {}, /*seed=*/201);
+}
+
+TEST(IncrementalCostTest, EnginesAgreeSeedForSeedWithDefects) {
+  run_engine_equivalence(/*beta=*/0.0, {{2, 2}, {9, 9}}, /*seed=*/301);
+}
+
+TEST(IncrementalCostTest, GenerateThenApplyEqualsApplyRandomMove) {
+  // The two engines share one random stream contract: generating a move
+  // and applying it must consume and produce exactly what the legacy
+  // in-place mutation does.
+  Rng seed_rng(7);
+  const Schedule schedule = mixed_schedule(6, seed_rng);
+  Placement a = random_placement(schedule, 16, seed_rng);
+  Placement b = a;
+
+  MoveOptions moves;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  for (int step = 0; step < 100; ++step) {
+    const double fraction = 1.0 - static_cast<double>(step) / 100.0;
+    const MoveKind kind_a = apply_random_move(a, fraction, moves, rng_a);
+    const PlacementMove move =
+        generate_random_move(b, fraction, moves, rng_b);
+    apply_move(b, move);
+    EXPECT_EQ(kind_a, move.kind);
+    for (int i = 0; i < a.module_count(); ++i) {
+      ASSERT_EQ(a.module(i).anchor, b.module(i).anchor) << "module " << i;
+      ASSERT_EQ(a.module(i).rotated, b.module(i).rotated) << "module " << i;
+    }
+  }
+  EXPECT_EQ(rng_a.next(), rng_b.next());  // identical stream consumption
+}
+
+TEST(IncrementalCostTest, EmptyPlacementProposalsAreNoOps) {
+  const Schedule empty;
+  Placement placement(empty, 8, 8);
+  CostEvaluator evaluator(CostWeights{});
+  IncrementalPlacementState state(placement, evaluator);
+  Rng rng(1);
+  const PlacementMove move =
+      generate_random_move(state.placement(), 1.0, MoveOptions{}, rng);
+  EXPECT_EQ(move.count, 0);
+  EXPECT_DOUBLE_EQ(state.propose(move), 0.0);
+  EXPECT_DOUBLE_EQ(state.commit(), 0.0);
+  EXPECT_DOUBLE_EQ(state.cost(), 0.0);
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -116,5 +116,49 @@ TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
   EXPECT_NE(rng(), rng());
 }
 
+TEST(FastDivTest, MatchesHardwareDivision) {
+  // Every small divisor against awkward and random numerators; the
+  // annealer's stream reproducibility rides on this being exact.
+  Rng rng(0xD1Dull);
+  std::vector<std::uint64_t> numerators = {
+      0,    1,    2,          3,
+      ~0ULL, ~0ULL - 1, 1ULL << 63, (1ULL << 63) - 1};
+  for (int i = 0; i < 64; ++i) numerators.push_back(rng.next());
+  for (std::uint64_t d = 1; d <= 1024; ++d) {
+    const FastDiv div = FastDiv::make(d);
+    EXPECT_EQ(div.threshold, (0 - d) % d) << "d=" << d;
+    for (const std::uint64_t n : numerators) {
+      ASSERT_EQ(div.divide(n), n / d) << "n=" << n << " d=" << d;
+      ASSERT_EQ(div.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+  // Large divisors, including > 2^63 (the add-scheme corner).
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t d = rng.next() | 1;
+    const FastDiv div = FastDiv::make(d);
+    for (const std::uint64_t n : numerators) {
+      ASSERT_EQ(div.divide(n), n / d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDivTest, NextBelowStreamUnchanged) {
+  // next_below must produce the exact sequence of the plain `% bound`
+  // formulation it replaced (recorded from the pre-FastDiv build).
+  Rng rng(42);
+  auto reference = [](Rng& r, std::uint64_t bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t v = r.next();
+      if (v >= threshold) return v % bound;
+    }
+  };
+  Rng a(7), b(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t bound = 1 + rng.next_below(1000);
+    ASSERT_EQ(a.next_below(bound), reference(b, bound)) << "bound=" << bound;
+  }
+}
+
 }  // namespace
 }  // namespace dmfb
