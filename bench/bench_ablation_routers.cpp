@@ -81,6 +81,32 @@ std::vector<Scenario> make_scenarios() {
         result.schedule, result.placement.placement, chip,
         trial % 2 == 0 ? 8 : 10});
   }
+
+  // Corridor / permutation stress scenarios (assay/random_assay.h): long
+  // -lived walls carve the chip into lanes and a whole wave of crossing
+  // transfers lands on one changeover — the structure where decoupled
+  // prioritized planning actually runs out of slack under a deadline.
+  for (int trial = 0; trial < 4; ++trial) {
+    const AssayCase assay = permutation_assay(
+        4 + trial % 2, 2, library,
+        bench::kBenchSeed + 100 + static_cast<std::uint64_t>(trial));
+    const int chip = 16;
+    const PipelineResult result = compiled(assay, chip);
+    scenarios.push_back(Scenario{"perm" + std::to_string(trial) + "/deadline",
+                                 assay.graph, result.schedule,
+                                 result.placement.placement, chip,
+                                 trial % 2 == 0 ? 8 : 10});
+  }
+  {
+    StressAssayParams params;
+    const AssayCase assay = corridor_assay(params, library,
+                                           bench::kBenchSeed + 200);
+    const int chip = 18;
+    const PipelineResult result = compiled(assay, chip);
+    scenarios.push_back(Scenario{"corridor/deadline", assay.graph,
+                                 result.schedule, result.placement.placement,
+                                 chip, 10});
+  }
   return scenarios;
 }
 
@@ -103,16 +129,35 @@ int main() {
     std::vector<bool> solved_mask;
     std::vector<long long> makespans;
     std::vector<long long> steps;
+    /// Per-scenario negotiation rounds (negotiated backends only);
+    /// summed over the commonly-solved set like the quality columns, so
+    /// cold-vs-warm convergence compares identical scenario sets.
+    std::vector<long long> rounds;
   };
   std::map<std::string, Result> results;
 
+  // Every registered backend, plus the negotiated backend warm-starting
+  // its Pathfinder history across changeovers — the ablation that records
+  // the convergence-round reduction persistence buys.
+  struct Variant {
+    std::string label;
+    std::string router;
+    bool persist_history = false;
+  };
+  std::vector<Variant> variants;
   for (const auto& name : registered_routers()) {
-    const auto router = make_router(name);
-    Result& r = results[name];
+    variants.push_back(Variant{name, name, false});
+  }
+  variants.push_back(Variant{"negotiated+history", "negotiated", true});
+
+  for (const auto& variant : variants) {
+    const auto router = make_router(variant.router);
+    Result& r = results[variant.label];
     for (const auto& scenario : scenarios) {
       RoutePlannerOptions options;
       options.seed = bench::kBenchSeed;
       options.step_horizon = scenario.step_horizon;
+      options.persist_congestion_history = variant.persist_history;
       const auto start = Clock::now();
       const RoutePlan plan =
           router->plan(scenario.graph, scenario.schedule, scenario.placement,
@@ -121,6 +166,7 @@ int main() {
           std::chrono::duration<double>(Clock::now() - start).count();
       r.solved_mask.push_back(plan.success);
       r.solved += plan.success ? 1 : 0;
+      r.rounds.push_back(plan.negotiation_rounds);
       long long makespan = 0;
       for (const auto& changeover : plan.changeovers) {
         makespan += changeover.makespan_steps;
@@ -131,9 +177,15 @@ int main() {
   }
 
   // Quality comparisons only make sense over the scenarios *every*
-  // backend solved; success rate covers the rest.
+  // registered backend solved; success rate covers the rest. The
+  // +history variant is excluded from the mask (it is an ablation of
+  // "negotiated", not a fourth backend) so its solved set cannot shift
+  // the makespan/steps columns the perf trajectory tracks for the base
+  // backends; its own sums below are guarded per scenario.
   std::vector<bool> common(scenarios.size(), true);
-  for (const auto& [name, r] : results) {
+  for (const auto& variant : variants) {
+    if (variant.persist_history) continue;
+    const Result& r = results[variant.label];
     for (std::size_t s = 0; s < scenarios.size(); ++s) {
       common[s] = common[s] && r.solved_mask[s];
     }
@@ -141,16 +193,18 @@ int main() {
 
   TextTable table("Routing backends (makespan/steps over commonly-solved)");
   table.set_header({"router", "solved", "success rate", "makespan steps",
-                    "droplet steps", "wall (s)"});
+                    "droplet steps", "negot. rounds", "wall (s)"});
   for (const auto& [name, r] : results) {
     const double rate =
         static_cast<double>(r.solved) / static_cast<double>(scenarios.size());
     long long makespan_steps = 0;
     long long total_steps = 0;
+    long long negotiation_rounds = 0;
     for (std::size_t s = 0; s < scenarios.size(); ++s) {
-      if (!common[s]) continue;
+      if (!common[s] || !r.solved_mask[s]) continue;
       makespan_steps += r.makespans[s];
       total_steps += r.steps[s];
+      negotiation_rounds += r.rounds[s];
     }
     table.add_row({name,
                    std::to_string(r.solved) + "/" +
@@ -158,16 +212,38 @@ int main() {
                    format_double(100.0 * rate, 1) + "%",
                    std::to_string(makespan_steps),
                    std::to_string(total_steps),
+                   std::to_string(negotiation_rounds),
                    format_double(r.wall_seconds, 3)});
     bench::emit_router_json_line("ablation_routers", name, rate,
-                                 makespan_steps, r.wall_seconds);
+                                 makespan_steps, r.wall_seconds,
+                                 bench::kBenchSeed, negotiation_rounds);
   }
   table.print(std::cout);
+
+  // The congestion-history ablation: persistence should converge in no
+  // more rip-up rounds than cold-starting every changeover. Summed over
+  // scenarios *both* negotiated variants solved, so cold and warm cover
+  // the identical set (informational; the hard shape check is below).
+  {
+    const Result& cold = results["negotiated"];
+    const Result& warm = results["negotiated+history"];
+    long long cold_rounds = 0;
+    long long warm_rounds = 0;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      if (!cold.solved_mask[s] || !warm.solved_mask[s]) continue;
+      cold_rounds += cold.rounds[s];
+      warm_rounds += warm.rounds[s];
+    }
+    std::cout << "congestion-history convergence: " << cold_rounds
+              << " rounds cold vs " << warm_rounds << " rounds warm\n";
+  }
 
   // Shape check (the PR's acceptance criterion): negotiated congestion
   // must solve at least everything decoupled prioritized planning does.
   const bool sane =
-      results["negotiated"].solved >= results["prioritized"].solved;
+      results["negotiated"].solved >= results["prioritized"].solved &&
+      results["negotiated+history"].solved >=
+          results["prioritized"].solved;
   std::cout << "shape check (negotiated >= prioritized): "
             << (sane ? "OK" : "VIOLATED") << '\n';
   return sane ? 0 : 1;

@@ -50,17 +50,38 @@ inline void emit_engine_json_line(const std::string& name,
 
 /// The routing counterpart: one line per router backend, with the route
 /// success rate over the bench's scenario set, the summed makespan of the
-/// succeeded plans, and the routing wall time.
+/// succeeded plans, the routing wall time, and (for the negotiated
+/// backend) the summed rip-up rounds — the congestion-history ablation
+/// reads convergence off this field.
 inline void emit_router_json_line(const std::string& name,
                                   const std::string& router,
                                   double success_rate,
                                   long long makespan_steps,
                                   double wall_seconds,
-                                  std::uint64_t seed = kBenchSeed) {
+                                  std::uint64_t seed = kBenchSeed,
+                                  long long negotiation_rounds = 0) {
   std::cout << "{\"bench\":\"" << name << "\",\"router\":\"" << router
             << "\",\"success_rate\":" << success_rate
             << ",\"makespan_steps\":" << makespan_steps
-            << ",\"wall_seconds\":" << wall_seconds << ",\"seed\":" << seed
+            << ",\"wall_seconds\":" << wall_seconds
+            << ",\"negotiation_rounds\":" << negotiation_rounds
+            << ",\"seed\":" << seed << "}\n";
+}
+
+/// The closed-loop counterpart: one line per (scenario, feedback round),
+/// with the transport-inclusive makespan the round achieved and whether
+/// the pipeline selected it as the answer.
+inline void emit_closed_loop_json_line(const std::string& scenario, int round,
+                                       bool routed,
+                                       double transport_makespan_s,
+                                       double placement_cost, bool selected,
+                                       std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"closed_loop\",\"scenario\":\"" << scenario
+            << "\",\"round\":" << round << ",\"routed\":"
+            << (routed ? "true" : "false") << ",\"transport_makespan_s\":"
+            << transport_makespan_s << ",\"placement_cost\":"
+            << placement_cost << ",\"selected\":"
+            << (selected ? "true" : "false") << ",\"seed\":" << seed
             << "}\n";
 }
 

@@ -44,7 +44,9 @@ int main() {
 
   const auto router = make_router("prioritized");
   bool any_failed = false;
-  TextTable table("Routing + actuation for PCR (13 cells/s transport)");
+  TextTable table("Routing + actuation for PCR (" +
+                  format_double(kActuationStepsPerSecond, 0) +
+                  " cells/s transport)");
   table.set_header({"placement", "changeovers", "droplet routes",
                     "total steps", "cells moved", "transport (s)", "frames",
                     "actuations", "peak cells on"});
@@ -84,7 +86,7 @@ int main() {
                    std::to_string(routes),
                    std::to_string(plan.total_steps),
                    std::to_string(plan.total_moved_cells),
-                   format_double(plan.total_transport_seconds(13.0), 2),
+                   format_double(plan.total_transport_seconds(), 2),
                    std::to_string(program.frames.size()),
                    std::to_string(program.total_actuations()),
                    std::to_string(program.peak_simultaneous())});

@@ -50,10 +50,11 @@ double PipelineResult::total_wall_seconds() const {
 }
 
 double PipelineResult::stage_seconds(PipelineStage stage) const {
+  double total = 0.0;
   for (const auto& timing : stage_times) {
-    if (timing.stage == stage) return timing.wall_seconds;
+    if (timing.stage == stage) total += timing.wall_seconds;
   }
-  return 0.0;
+  return total;
 }
 
 SynthesisPipeline::SynthesisPipeline(PipelineOptions options)
@@ -107,6 +108,9 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
     const auto start = Clock::now();
     result.schedule = list_schedule(graph, result.binding, scheduler);
     result.makespan_s = result.schedule.makespan_s();
+    // Until routing measures transport, the best chip-time estimate is
+    // the instantaneous-changeover makespan; routed rounds overwrite it.
+    result.transport_makespan_s = result.makespan_s;
     result.peak_concurrent_cells = result.schedule.peak_concurrent_cells();
     std::ostringstream detail;
     detail << result.schedule.module_count() << " modules, makespan "
@@ -118,57 +122,164 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
   // placement.
   if (!options_.place) return result;
 
-  // Place: pluggable backend, reproducible from the run's seed.
-  {
-    const auto start = Clock::now();
-    const std::unique_ptr<Placer> placer = make_placer(options_.placer);
-    PlacerContext context = options_.placer_context;
-    context.seed = seed;
-    result.placement = placer->place(result.schedule, context);
-    if (options_.evaluate_fault_tolerance) {
-      result.fti = evaluate_fti(result.placement.placement,
-                                context.fti_options);
+  // The closed loop engages when measured route costs can actually flow
+  // backward; the routing-pressure term alone (gamma != 0) only needs the
+  // static demand links.
+  const bool closed_loop =
+      options_.feedback_rounds > 0 && options_.plan_droplet_routes;
+  // Measured route costs can only flow into the objective through the
+  // gamma term; without it, feedback rounds degrade to seed-diverse
+  // multi-start (still best-round-wins) and links are never needed.
+  const bool use_links = options_.placer_context.weights.gamma != 0.0;
+  std::vector<RouteLink> links;
+  if (use_links) links = routing::extract_links(graph, result.schedule);
+
+  // One synthesis round: place (+ FTI), then route. Rounds differ only in
+  // seed and link weights; round 0 with the master seed and demand-only
+  // links reproduces the classic feed-forward flow exactly.
+  struct Round {
+    PlacementOutcome placement;
+    FtiResult fti;
+    RoutePlan routes;
+    Schedule transported;
+    double transport_makespan_s = 0.0;
+    int chip_width = 0;
+    int chip_height = 0;
+  };
+
+  const auto run_round = [&](int round, std::uint64_t round_seed,
+                             const std::vector<RouteLink>& round_links) {
+    Round r;
+    const std::string prefix =
+        closed_loop ? "round " + std::to_string(round) + ": " : "";
+    {
+      const auto start = Clock::now();
+      const std::unique_ptr<Placer> placer = make_placer(options_.placer);
+      PlacerContext context = options_.placer_context;
+      context.seed = round_seed;
+      if (use_links) context.route_links = round_links;
+      r.placement = placer->place(result.schedule, context);
+      if (options_.evaluate_fault_tolerance) {
+        r.fti = evaluate_fti(r.placement.placement, context.fti_options);
+      }
+      std::ostringstream detail;
+      detail << prefix << placer->name() << ": "
+             << r.placement.cost.area_cells << " cells";
+      if (options_.evaluate_fault_tolerance) {
+        detail << ", FTI " << r.fti.fti();
+      }
+      record(PipelineStage::kPlace, seconds_since(start), detail.str());
     }
-    std::ostringstream detail;
-    detail << placer->name() << ": " << result.placement.cost.area_cells
-           << " cells";
-    if (options_.evaluate_fault_tolerance) {
-      detail << ", FTI " << result.fti.fti();
+
+    const Rect box = r.placement.placement.bounding_box();
+    r.chip_width =
+        options_.chip_width > 0
+            ? options_.chip_width
+            : std::max(r.placement.placement.canvas_width(), box.right());
+    r.chip_height =
+        options_.chip_height > 0
+            ? options_.chip_height
+            : std::max(r.placement.placement.canvas_height(), box.top());
+
+    // Route: concurrent droplet routing at configuration changeovers,
+    // through the pluggable backend resolved from the registry.
+    r.transport_makespan_s = result.makespan_s;
+    if (options_.plan_droplet_routes) {
+      const auto start = Clock::now();
+      const std::unique_ptr<Router> router = make_router(options_.router);
+      RoutePlannerOptions routing = options_.routing;
+      routing.seed = round_seed;
+      r.routes =
+          router->plan(graph, result.schedule, r.placement.placement,
+                       r.chip_width, r.chip_height, routing);
+      std::ostringstream detail;
+      detail << prefix << router->name() << ": ";
+      if (r.routes.success) {
+        r.transported = fold_transport(result.schedule, r.routes);
+        r.transport_makespan_s = r.transported.makespan_s();
+        detail << r.routes.changeovers.size() << " changeovers, "
+               << r.routes.total_steps << " droplet steps ("
+               << r.routes.total_moved_cells
+               << " cells moved), transport-incl. makespan "
+               << r.transport_makespan_s << " s";
+      } else {
+        detail << "routing failed: " << r.routes.failure_reason;
+      }
+      record(PipelineStage::kRoute, seconds_since(start), detail.str());
     }
-    record(PipelineStage::kPlace, seconds_since(start), detail.str());
+    return r;
+  };
+
+  // Rounds anneal against differently-weighted links (demand-only in
+  // round 0, measured-steps-inflated afterwards), so their cost.value's
+  // gamma terms are not comparable; strip the term for cross-round
+  // comparison and reporting.
+  const double gamma = options_.placer_context.weights.gamma;
+  const auto comparable_cost = [gamma](const Round& r) {
+    return r.placement.cost.value -
+           gamma * static_cast<double>(r.placement.cost.route_pressure);
+  };
+
+  // Best round wins: routed plans beat unrouted ones, then the lower
+  // transport-inclusive makespan, then the lower (gamma-term-free)
+  // placement cost — so the closed loop never hands back something worse
+  // than round 0.
+  const auto better = [&](const Round& a, const Round& b) {
+    if (a.routes.success != b.routes.success) return a.routes.success;
+    if (a.transport_makespan_s != b.transport_makespan_s) {
+      return a.transport_makespan_s < b.transport_makespan_s;
+    }
+    return comparable_cost(a) < comparable_cost(b);
+  };
+  const auto history_of = [&](int round, std::uint64_t round_seed,
+                              const Round& r) {
+    return FeedbackRoundResult{round, round_seed, r.routes.success,
+                               r.transport_makespan_s, comparable_cost(r)};
+  };
+
+  Round best = run_round(0, seed, links);
+  if (closed_loop) {
+    result.feedback_history.push_back(history_of(0, seed, best));
+    // Round seeds split off the master seed (run_many items already get
+    // distinct `seed`s, so batches stay reproducible from one number).
+    SplitMix64 round_seeds(seed ^ 0xFEEDBAC4C105EDULL);
+    Round previous = best;  // feedback reads the latest round's measurements
+    for (int round = 1; round <= options_.feedback_rounds; ++round) {
+      const std::vector<RouteLink> weighted =
+          use_links ? routing::reweight_links(links, previous.routes)
+                    : std::vector<RouteLink>{};
+      const std::uint64_t round_seed = round_seeds.next();
+      Round next = run_round(round, round_seed, weighted);
+      result.feedback_history.push_back(history_of(round, round_seed, next));
+
+      // A placement fixed point means further rounds would only re-anneal
+      // the same problem; stop early.
+      bool converged =
+          next.placement.placement.module_count() ==
+          previous.placement.placement.module_count();
+      for (int i = 0;
+           converged && i < next.placement.placement.module_count(); ++i) {
+        const auto& a = next.placement.placement.module(i);
+        const auto& b = previous.placement.placement.module(i);
+        converged = a.anchor == b.anchor && a.rotated == b.rotated;
+      }
+
+      if (better(next, best)) {
+        best = next;
+        result.selected_round = round;
+      }
+      previous = std::move(next);
+      if (converged) break;
+    }
   }
 
-  const Rect box = result.placement.placement.bounding_box();
-  const int chip_width =
-      options_.chip_width > 0
-          ? options_.chip_width
-          : std::max(result.placement.placement.canvas_width(), box.right());
-  const int chip_height =
-      options_.chip_height > 0
-          ? options_.chip_height
-          : std::max(result.placement.placement.canvas_height(), box.top());
-
-  // Route: concurrent droplet routing at configuration changeovers,
-  // through the pluggable backend resolved from the registry.
-  if (options_.plan_droplet_routes) {
-    const auto start = Clock::now();
-    const std::unique_ptr<Router> router = make_router(options_.router);
-    RoutePlannerOptions routing = options_.routing;
-    routing.seed = seed;
-    result.routes =
-        router->plan(graph, result.schedule, result.placement.placement,
-                     chip_width, chip_height, routing);
-    std::ostringstream detail;
-    detail << router->name() << ": ";
-    if (result.routes.success) {
-      detail << result.routes.changeovers.size() << " changeovers, "
-             << result.routes.total_steps << " droplet steps ("
-             << result.routes.total_moved_cells << " cells moved)";
-    } else {
-      detail << "routing failed: " << result.routes.failure_reason;
-    }
-    record(PipelineStage::kRoute, seconds_since(start), detail.str());
-  }
+  result.placement = std::move(best.placement);
+  result.fti = std::move(best.fti);
+  result.routes = std::move(best.routes);
+  result.transported_schedule = std::move(best.transported);
+  result.transport_makespan_s = best.transport_makespan_s;
+  const int chip_width = best.chip_width;
+  const int chip_height = best.chip_height;
 
   // Simulate: droplet-level execution on a virtual chip.
   if (options_.simulate) {

@@ -16,6 +16,13 @@
 // `run_many` executes independent assays across a thread pool for
 // throughput; every stochastic stage of item i derives its seed from
 // `options.seed` and i, so batches are reproducible from one number.
+//
+// The flow is optionally a *closed loop*: with `feedback_rounds > 0` the
+// pipeline re-places with measured route costs folded into the placement
+// objective (the routing-pressure term, CostWeights::gamma) and re-routes,
+// keeping the best round — so compact placements stop strangling the
+// routes. With `feedback_rounds = 0` and `gamma = 0` (the defaults) the
+// classic feed-forward flow runs bit-identically to previous releases.
 #pragma once
 
 #include <cstdint>
@@ -66,10 +73,30 @@ struct PipelineOptions {
 
   /// Registry name of the placement backend.
   std::string placer = "sa";
+  /// Note: `placer_context.weights.gamma` turns on routing-aware
+  /// placement — the pipeline then extracts the schedule's droplet-demand
+  /// links (routing::extract_links) and prices them in the placement
+  /// objective, even at `feedback_rounds = 0`.
   PlacerContext placer_context;
   /// When false the pipeline stops after scheduling (no placement, FTI,
   /// routing or simulation) — for consumers that only need the schedule.
   bool place = true;
+
+  /// Closed-loop synthesis: after the initial place->route, run up to
+  /// this many extra rounds that fold the previous round's *measured*
+  /// route costs back into the placement objective
+  /// (routing::reweight_links -> placer_context.route_links) and
+  /// re-place/re-route with a round seed split from the master seed. The
+  /// loop stops early at a placement fixed point, and the best round —
+  /// routed plans first, then lowest transport-inclusive makespan, then
+  /// lowest placement cost — supplies the result, so feedback never does
+  /// worse than round 0. 0 (default) = the classic feed-forward flow,
+  /// bit-identical to previous releases when gamma is also 0. Ignored
+  /// when `plan_droplet_routes` is false (no route cost to feed back);
+  /// with `placer_context.weights.gamma == 0` there is no objective term
+  /// for the measured costs to flow into, so rounds degrade to
+  /// seed-diverse multi-start placement (best round still wins).
+  int feedback_rounds = 0;
 
   /// Plan concurrent droplet routes at every configuration changeover.
   bool plan_droplet_routes = true;
@@ -110,6 +137,21 @@ struct StageTiming {
   double wall_seconds = 0.0;
 };
 
+/// One completed feedback round's headline numbers (PipelineResult
+/// records one entry per round when the closed loop runs).
+struct FeedbackRoundResult {
+  int round = 0;                ///< 0 = the classic feed-forward round
+  std::uint64_t seed = 0;       ///< placement/routing seed of this round
+  bool routed = false;          ///< did routing succeed this round?
+  /// Transport-inclusive makespan of this round (== makespan_s when the
+  /// round's routing failed).
+  double transport_makespan_s = 0.0;
+  /// The round's placement cost with the gamma (routing-pressure) term
+  /// stripped — rounds price gamma over differently-weighted links, so
+  /// only the base objective is comparable across rounds.
+  double placement_cost = 0.0;
+};
+
 /// Everything the flow produced, stage by stage.
 struct PipelineResult {
   std::string assay_name;
@@ -118,6 +160,11 @@ struct PipelineResult {
   // Architectural-level synthesis.
   Binding binding;
   Schedule schedule;
+  /// Makespan of `schedule`, which treats configuration changeovers as
+  /// instantaneous. Deprecated as a chip-time estimate: droplet transport
+  /// at changeovers is real time — read `transport_makespan_s` (or
+  /// `transported_schedule.makespan_s()`) for the makespan the chip
+  /// actually needs.
   double makespan_s = 0.0;
   long long peak_concurrent_cells = 0;
 
@@ -129,11 +176,28 @@ struct PipelineResult {
   RoutePlan routes;           ///< populated iff options.plan_droplet_routes
   SimulationResult simulation;  ///< populated iff options.simulate
 
+  /// The schedule with every changeover's measured transport time folded
+  /// into module start times (fold_transport, sim/route_planner.h).
+  /// Populated iff routing ran and succeeded; its makespan_s() is
+  /// `transport_makespan_s`.
+  Schedule transported_schedule;
+  /// Transport-inclusive makespan: schedule plus routed changeover
+  /// transport at the chip's actuation rate. Falls back to `makespan_s`
+  /// when routing did not run or failed.
+  double transport_makespan_s = 0.0;
+
+  /// Per-round history of the closed loop (empty when
+  /// options.feedback_rounds == 0); entry [selected_round] produced the
+  /// placement/routes above.
+  std::vector<FeedbackRoundResult> feedback_history;
+  int selected_round = 0;
+
   std::vector<StageTiming> stage_times;  ///< in execution order
 
   const CostBreakdown& cost() const { return placement.cost; }
   double total_wall_seconds() const;
-  /// Wall time of one stage (0 when the stage did not run).
+  /// Summed wall time of one stage over every time it ran (feedback
+  /// rounds re-run place/route; 0 when the stage never ran).
   double stage_seconds(PipelineStage stage) const;
 };
 

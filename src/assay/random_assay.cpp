@@ -93,4 +93,107 @@ AssayCase random_assay(const RandomAssayParams& params,
   return random_assay(params, library, rng);
 }
 
+AssayCase corridor_assay(const StressAssayParams& params,
+                         const ModuleLibrary& library, std::uint64_t seed) {
+  if (params.traffic_width <= 0 || params.waves <= 0 ||
+      params.corridor_walls < 0) {
+    throw std::invalid_argument(
+        "corridor_assay: traffic_width and waves must be positive and "
+        "corridor_walls non-negative");
+  }
+  const auto mixers = library.by_kind(ModuleKind::kMixer);
+  if (mixers.empty()) {
+    throw std::runtime_error("corridor_assay: no mixers in library");
+  }
+  const auto detectors = library.by_kind(ModuleKind::kDetector);
+  if (params.corridor_walls > 0 && detectors.empty()) {
+    throw std::runtime_error("corridor_assay: walls need a detector");
+  }
+  Rng rng(seed);
+
+  AssayCase assay;
+  assay.name = params.corridor_walls > 0 ? "corridor-assay"
+                                         : "permutation-assay";
+  SequencingGraph graph(assay.name);
+
+  int dispense_counter = 0;
+  auto new_dispense = [&]() {
+    ++dispense_counter;
+    return graph.add_operation(OperationType::kDispense,
+                               "D" + std::to_string(dispense_counter),
+                               "reagent-" + std::to_string(dispense_counter));
+  };
+
+  // Corridor walls: dispense -> detect chains. The detector's long
+  // duration keeps the wall modules resident across the traffic waves'
+  // changeovers, and their segregation rings carve the chip into lanes.
+  std::vector<OperationId> wall_tails;
+  for (int w = 0; w < params.corridor_walls; ++w) {
+    const OperationId det = graph.add_operation(
+        OperationType::kDetect, "Wall" + std::to_string(w + 1));
+    graph.add_dependency(new_dispense(), det);
+    assay.binding.emplace(det, detectors.front());
+    wall_tails.push_back(det);
+  }
+
+  // Traffic waves. Wave 0 mixes consume fresh dispenses; wave w > 0
+  // mixes consume wave w-1's outputs under a shifted reversal
+  // permutation (droplet i feeds consumer (shift + width-1-i) % width),
+  // plus one fresh dispense each — every wave's changeover carries
+  // `traffic_width` on-chip crossing transfers and as many dispenses.
+  std::vector<OperationId> previous_wave;
+  for (int wave = 0; wave < params.waves; ++wave) {
+    // One mixer spec per wave: the whole wave finishes simultaneously,
+    // so its consumers start at a single changeover.
+    const ModuleSpec mixer = mixers[rng.next_below(mixers.size())];
+    const std::size_t shift =
+        previous_wave.empty()
+            ? 0
+            : rng.next_below(static_cast<std::uint64_t>(params.traffic_width));
+    std::vector<OperationId> wave_ops;
+    for (int i = 0; i < params.traffic_width; ++i) {
+      const OperationId mix = graph.add_operation(
+          OperationType::kMix,
+          "W" + std::to_string(wave + 1) + "M" + std::to_string(i + 1));
+      if (previous_wave.empty()) {
+        graph.add_dependency(new_dispense(), mix);
+      } else {
+        const std::size_t source =
+            (shift + static_cast<std::size_t>(params.traffic_width - 1 - i)) %
+            static_cast<std::size_t>(params.traffic_width);
+        graph.add_dependency(previous_wave[source], mix);
+      }
+      graph.add_dependency(new_dispense(), mix);
+      assay.binding.emplace(mix, mixer);
+      wave_ops.push_back(mix);
+    }
+    previous_wave = std::move(wave_ops);
+  }
+
+  // Terminate everything.
+  int sink_counter = 0;
+  auto add_output = [&](OperationId tail) {
+    ++sink_counter;
+    const OperationId out = graph.add_operation(
+        OperationType::kOutput, "Out" + std::to_string(sink_counter));
+    graph.add_dependency(tail, out);
+  };
+  for (OperationId id : previous_wave) add_output(id);
+  for (OperationId id : wall_tails) add_output(id);
+
+  assay.graph = std::move(graph);
+  assay.scheduler_options.constraints.max_concurrent_modules =
+      params.max_concurrent_modules;
+  return assay;
+}
+
+AssayCase permutation_assay(int traffic_width, int waves,
+                            const ModuleLibrary& library, std::uint64_t seed) {
+  StressAssayParams params;
+  params.corridor_walls = 0;
+  params.traffic_width = traffic_width;
+  params.waves = waves;
+  return corridor_assay(params, library, seed);
+}
+
 }  // namespace dmfb

@@ -30,4 +30,42 @@ AssayCase random_assay(const RandomAssayParams& params,
 AssayCase random_assay(const RandomAssayParams& params,
                        const ModuleLibrary& library, std::uint64_t seed);
 
+/// Parameters of the routing stress generators. The layered random_assay
+/// above rarely defeats decoupled (prioritized) routing: its transfers
+/// are few and spread over many changeovers. These generators build the
+/// two structures that do defeat it — *corridors* (long-lived modules
+/// whose segregation rings wall off the chip, leaving narrow lanes) and
+/// *permutation traffic* (a wave of simultaneous transfers whose
+/// source->target pairing is a crossing permutation, so early routes
+/// block later ones) — giving router ablations guaranteed spread under
+/// tight step horizons.
+struct StressAssayParams {
+  /// Long-lived detector "walls": dispense -> detect chains whose modules
+  /// sit on the chip for the detector's full (long) duration, spanning
+  /// the traffic waves' changeovers as blockers.
+  int corridor_walls = 3;
+  /// Mixes per traffic wave — equal to the simultaneous crossing
+  /// transfers at each wave's changeover.
+  int traffic_width = 4;
+  /// Traffic waves; wave w consumes wave w-1's outputs under a
+  /// seed-shifted reversal permutation (droplet i feeds consumer
+  /// (shift + width-1-i) % width), the worst case for decoupled
+  /// planning.
+  int waves = 2;
+  /// Resource bound handed to the scheduler; generous by default so the
+  /// walls and a whole wave really do run concurrently.
+  int max_concurrent_modules = 16;
+};
+
+/// Corridor + permutation-traffic stress assay; deterministic for a given
+/// (params, seed). All mixes of one wave share one mixer spec (drawn from
+/// the library per wave), so the whole wave finishes — and the next one
+/// starts — at a single changeover.
+AssayCase corridor_assay(const StressAssayParams& params,
+                         const ModuleLibrary& library, std::uint64_t seed);
+
+/// Pure permutation traffic (corridor_assay without the walls).
+AssayCase permutation_assay(int traffic_width, int waves,
+                            const ModuleLibrary& library, std::uint64_t seed);
+
 }  // namespace dmfb

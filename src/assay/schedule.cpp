@@ -20,6 +20,19 @@ double Schedule::makespan_s() const {
   return makespan;
 }
 
+void Schedule::shift_from(double from_s, double delta_s) {
+  if (delta_s < 0.0) {
+    throw std::invalid_argument("Schedule::shift_from: negative delta");
+  }
+  if (delta_s == 0.0) return;
+  constexpr double kEps = 1e-9;
+  for (auto& m : modules_) {
+    if (m.start_s + kEps < from_s) continue;
+    m.start_s += delta_s;
+    m.end_s += delta_s;
+  }
+}
+
 std::vector<TimeSlice> Schedule::time_slices() const {
   std::set<double> boundaries;
   for (const auto& m : modules_) {

@@ -53,8 +53,23 @@ class Schedule {
   int module_count() const { return static_cast<int>(modules_.size()); }
   const ScheduledModule& module(int index) const { return modules_.at(index); }
 
-  /// Completion time of the last module (0 for an empty schedule).
+  /// Completion time of the last module (0 for an empty schedule). Note
+  /// that for a schedule produced by the list scheduler this treats
+  /// configuration changeovers as instantaneous; the transport-inclusive
+  /// makespan is the makespan of `fold_transport(schedule, plan)`
+  /// (sim/route_planner.h), which retimes the schedule by the routed
+  /// droplet-transport times.
   double makespan_s() const;
+
+  /// Retiming primitive: delays every module whose start is at or after
+  /// `from_s` by `delta_s` (start and end shift together, so durations are
+  /// preserved). Modules already running at `from_s` are left alone. With
+  /// `delta_s >= 0`, gaps between modules never shrink, so precedence and
+  /// time-disjointness are preserved — a placement feasible for the
+  /// original schedule stays feasible for the shifted one. Throws
+  /// std::invalid_argument on a negative delta (compressing a schedule
+  /// can create overlaps the placement never priced).
+  void shift_from(double from_s, double delta_s);
 
   /// Splits [0, makespan) at every module start/end into maximal constant
   /// configurations, skipping zero-length intervals.

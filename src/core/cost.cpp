@@ -1,5 +1,7 @@
 #include "core/cost.h"
 
+#include <stdexcept>
+
 namespace dmfb {
 
 CostBreakdown CostEvaluator::evaluate(const Placement& placement) const {
@@ -17,7 +19,38 @@ CostBreakdown CostEvaluator::evaluate(const Placement& placement) const {
                  weights_.lambda_defect *
                      static_cast<double>(result.defect_cells) -
                  weights_.beta * result.fti;
+  // Appended outside the base expression (and skipped entirely at
+  // gamma == 0) so classic runs stay bit-identical; the delta engine's
+  // value_of mirrors this exact shape.
+  if (weights_.gamma != 0.0) {
+    result.route_pressure = route_pressure(placement);
+    result.value +=
+        weights_.gamma * static_cast<double>(result.route_pressure);
+  }
   return result;
+}
+
+long long CostEvaluator::route_pressure(const Placement& placement) const {
+  if (route_links_.empty()) return 0;
+  long long pressure = 0;
+  const int count = placement.module_count();
+  for (const RouteLink& link : route_links_) {
+    if (link.target_module < 0 || link.target_module >= count ||
+        link.source_module >= count) {
+      throw std::invalid_argument(
+          "CostEvaluator::route_pressure: link module index out of range "
+          "(links extracted for a different schedule?)");
+    }
+    const Rect target = placement.module(link.target_module).footprint();
+    const Rect source = link.source_module >= 0
+                            ? placement.module(link.source_module).footprint()
+                            : target;
+    pressure += link.weight *
+                detail::route_link_distance(link, source, target,
+                                            placement.canvas_width(),
+                                            placement.canvas_height());
+  }
+  return pressure;
 }
 
 double CostEvaluator::cost(const Placement& placement) const {

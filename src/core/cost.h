@@ -5,6 +5,13 @@
 // weighted objective: alpha * area - beta * fault-tolerance, the paper's
 // multi-objective weighting with alpha = 1 and beta the designer's
 // fault-tolerance importance knob (Table 2 sweeps it).
+//
+// The closed-loop extension adds a routing-pressure term: the droplet
+// transfers a schedule implies (RouteLink demand edges, extracted by
+// routing::extract_links) are priced by the distance the placement forces
+// them to cover, weighted by gamma. With gamma == 0 the term — like FTI
+// with beta == 0 — is never computed, so classic area-only annealing is
+// untouched.
 #pragma once
 
 #include <vector>
@@ -17,8 +24,28 @@ namespace dmfb {
 /// Cell pitch of the paper's chips: 1.5 mm, i.e. 2.25 mm^2 per cell.
 inline constexpr double kPaperCellAreaMm2 = 2.25;
 
+/// One droplet-transfer demand edge between scheduled modules: at some
+/// changeover, `weight` droplet transfers leave `source_module` (a
+/// schedule/placement module index; -1 = dispensed from the chip
+/// perimeter) for `target_module`. The routing-pressure cost term prices
+/// each edge as weight x the distance the current placement imposes on
+/// it (Manhattan distance between footprint centers; distance from the
+/// target's center to the nearest canvas edge for perimeter edges).
+/// Edges come from routing::extract_links (static demand) and the
+/// pipeline's feedback rounds fold measured route steps into `weight`
+/// (routing::reweight_links), so congested transfers pull their
+/// endpoints together in the next placement round. Weights are integers
+/// on purpose: pressure totals stay exact, which keeps the delta and
+/// copy annealing engines bit-identical.
+struct RouteLink {
+  int source_module = -1;  ///< -1: droplet enters from the chip perimeter
+  int target_module = -1;
+  long long weight = 1;    ///< transfer demand (+ measured steps after feedback)
+};
+
 /// Weights of the combined objective. With beta == 0 the evaluator never
-/// computes FTI (stage-1 behaviour).
+/// computes FTI (stage-1 behaviour); with gamma == 0 it never computes
+/// routing pressure.
 struct CostWeights {
   double alpha = 1.0;            ///< weight per cell of bounding-box area
   double beta = 0.0;             ///< weight of FTI (0..1), 0 disables FTI
@@ -27,6 +54,10 @@ struct CostWeights {
   /// (manufacture-time defect maps; same order as the overlap penalty so
   /// the annealer drives defect usage to zero).
   double lambda_defect = 50.0;
+  /// Weight of routing pressure (weighted link distance, see RouteLink);
+  /// 0 disables the term entirely. Typical useful values are well below
+  /// alpha — pressure sums over links, area over cells.
+  double gamma = 0.0;
 };
 
 /// Decomposed cost of one candidate placement.
@@ -35,7 +66,9 @@ struct CostBreakdown {
   long long overlap_cells = 0;
   long long defect_cells = 0;  ///< module cells on known-defective electrodes
   double fti = 0.0;       ///< 0 when FTI is not part of the objective
-  double value = 0.0;     ///< alpha*area + penalties - beta*fti
+  /// Weighted link distance (0 when gamma == 0 or no links are set).
+  long long route_pressure = 0;
+  double value = 0.0;     ///< alpha*area + penalties - beta*fti + gamma*pressure
 
   double area_mm2(double cell_area_mm2 = kPaperCellAreaMm2) const {
     return static_cast<double>(area_cells) * cell_area_mm2;
@@ -63,6 +96,20 @@ class CostEvaluator {
   }
   const std::vector<Point>& defects() const { return defects_; }
 
+  /// Sets the droplet-transfer demand edges priced by the gamma term
+  /// (routing::extract_links produces them; the pipeline's feedback
+  /// rounds re-weight them from measured plans). Module indices must be
+  /// valid for every placement later evaluated. With gamma == 0 the
+  /// links are carried but never priced.
+  void set_route_links(std::vector<RouteLink> links) {
+    route_links_ = std::move(links);
+  }
+  const std::vector<RouteLink>& route_links() const { return route_links_; }
+
+  /// Weighted link distance of `placement` over the configured links
+  /// (exact integer arithmetic — see RouteLink). 0 without links.
+  long long route_pressure(const Placement& placement) const;
+
   /// Smallest rectangle containing every defect (empty when there are
   /// none). `defect_usage` early-outs modules that miss it entirely, so
   /// defect-free regions cost nothing per proposal.
@@ -82,6 +129,38 @@ class CostEvaluator {
   FtiOptions fti_options_;
   std::vector<Point> defects_;
   Rect defect_bounds_;  ///< bounding rect of defects_ (empty when none)
+  std::vector<RouteLink> route_links_;
 };
+
+namespace detail {
+
+/// Center cell of a footprint — the same convention droplet routing uses
+/// for transfer endpoints (routing targets a module's center), so the
+/// pressure term prices the distances the router will actually route.
+inline Point footprint_center(const Rect& footprint) {
+  return Point{footprint.x + footprint.width / 2,
+               footprint.y + footprint.height / 2};
+}
+
+/// Distance one link covers under the given footprints: Manhattan
+/// center-to-center, or center-to-nearest-canvas-edge for perimeter
+/// (dispense) links. Shared by CostEvaluator and the delta engine so the
+/// two price identically.
+inline long long route_link_distance(const RouteLink& link,
+                                     const Rect& source_footprint,
+                                     const Rect& target_footprint,
+                                     int canvas_width, int canvas_height) {
+  const Point to = footprint_center(target_footprint);
+  if (link.source_module >= 0) {
+    return manhattan_distance(footprint_center(source_footprint), to);
+  }
+  // A dispensed droplet enters at the perimeter cell nearest its target;
+  // price the best case (the router may detour, feedback prices that).
+  const int dx = std::min(to.x, canvas_width - 1 - to.x);
+  const int dy = std::min(to.y, canvas_height - 1 - to.y);
+  return std::max(0, std::min(dx, dy));
+}
+
+}  // namespace detail
 
 }  // namespace dmfb

@@ -93,6 +93,52 @@ IncrementalPlacementState::IncrementalPlacementState(
     temporal_neighbors_[static_cast<std::size_t>(j)].push_back(i);
   }
 
+  // Routing-pressure caches (gamma != 0 only): CSR adjacency of links by
+  // incident module, built like the pair adjacency above.
+  if (weights_.gamma != 0.0 && !evaluator.route_links().empty()) {
+    const auto& links = evaluator.route_links();
+    link_offsets_.assign(static_cast<std::size_t>(count) + 1, 0);
+    link_entries_.reserve(links.size());
+    for (const RouteLink& link : links) {
+      if (link.target_module < 0 || link.target_module >= count ||
+          link.source_module >= count) {
+        throw std::invalid_argument(
+            "IncrementalPlacementState: route link module index out of "
+            "range (links extracted for a different schedule?)");
+      }
+      link_entries_.push_back(LinkEntry{link, 0});
+      ++link_offsets_[static_cast<std::size_t>(link.target_module) + 1];
+      if (link.source_module >= 0 &&
+          link.source_module != link.target_module) {
+        ++link_offsets_[static_cast<std::size_t>(link.source_module) + 1];
+      }
+    }
+    for (int i = 0; i < count; ++i) {
+      link_offsets_[static_cast<std::size_t>(i) + 1] +=
+          link_offsets_[static_cast<std::size_t>(i)];
+    }
+    link_adjacency_.assign(
+        static_cast<std::size_t>(link_offsets_.back()), 0);
+    std::vector<int> cursor(link_offsets_.begin(), link_offsets_.end() - 1);
+    for (std::size_t p = 0; p < link_entries_.size(); ++p) {
+      const RouteLink& link = link_entries_[p].link;
+      link_adjacency_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(link.target_module)]++)] =
+          static_cast<int>(p);
+      if (link.source_module >= 0 &&
+          link.source_module != link.target_module) {
+        link_adjacency_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(link.source_module)]++)] =
+            static_cast<int>(p);
+      }
+    }
+    for (auto& entry : link_entries_) {
+      entry.cost = link_cost(entry);
+      pressure_total_ += entry.cost;
+    }
+    link_stamp_.assign(link_entries_.size(), 0);
+  }
+
   if (weights_.beta != 0.0) {
     FtiIncrementalEvaluator::Backup scratch;
     fti_.update(placement_, bbox_, {}, scratch);
@@ -111,6 +157,7 @@ CostBreakdown IncrementalPlacementState::breakdown() const {
     result.fti =
         total == 0 ? 0.0 : static_cast<double>(covered_cells_) / total;
   }
+  result.route_pressure = pressure_total_;
   result.value = value_;
   return result;
 }
@@ -118,13 +165,19 @@ CostBreakdown IncrementalPlacementState::breakdown() const {
 double IncrementalPlacementState::value_of(long long area_cells,
                                            long long overlap_cells,
                                            long long defect_cells,
-                                           double fti) const {
-  // Exactly CostEvaluator::evaluate's expression (term order included), so
-  // copy- and delta-engine costs agree bit for bit.
-  return weights_.alpha * static_cast<double>(area_cells) +
-         weights_.lambda_overlap * static_cast<double>(overlap_cells) +
-         weights_.lambda_defect * static_cast<double>(defect_cells) -
-         weights_.beta * fti;
+                                           double fti,
+                                           long long route_pressure) const {
+  // Exactly CostEvaluator::evaluate's expression (term order included —
+  // base objective, then the gamma term appended outside it), so copy-
+  // and delta-engine costs agree bit for bit.
+  double value = weights_.alpha * static_cast<double>(area_cells) +
+                 weights_.lambda_overlap * static_cast<double>(overlap_cells) +
+                 weights_.lambda_defect * static_cast<double>(defect_cells) -
+                 weights_.beta * fti;
+  if (weights_.gamma != 0.0) {
+    value += weights_.gamma * static_cast<double>(route_pressure);
+  }
+  return value;
 }
 
 double IncrementalPlacementState::value_from_tallies() const {
@@ -133,7 +186,21 @@ double IncrementalPlacementState::value_from_tallies() const {
     const long long total = fti_.region().area();
     fti = total == 0 ? 0.0 : static_cast<double>(covered_cells_) / total;
   }
-  return value_of(bbox_.area(), overlap_total_, defect_total_, fti);
+  return value_of(bbox_.area(), overlap_total_, defect_total_, fti,
+                  pressure_total_);
+}
+
+long long IncrementalPlacementState::link_cost(const LinkEntry& entry) const {
+  const Rect& target =
+      footprints_[static_cast<std::size_t>(entry.link.target_module)];
+  const Rect& source =
+      entry.link.source_module >= 0
+          ? footprints_[static_cast<std::size_t>(entry.link.source_module)]
+          : target;
+  return entry.link.weight *
+         detail::route_link_distance(entry.link, source, target,
+                                     placement_.canvas_width(),
+                                     placement_.canvas_height());
 }
 
 long long IncrementalPlacementState::defect_hits(const Rect& footprint) const {
@@ -194,8 +261,10 @@ double IncrementalPlacementState::propose(const PlacementMove& move) {
     pending.eager = false;
     pending.move.count = 0;
     pending.new_pair_overlaps.clear();
+    pending.new_link_costs.clear();
     pending.cand_overlap_total = overlap_total_;
     pending.cand_defect_total = defect_total_;
+    pending.cand_pressure_total = pressure_total_;
     pending.cand_outside_count = outside_count_;
     pending.cand_bbox = bbox_;
     pending.cand_value = value_;
@@ -212,9 +281,11 @@ double IncrementalPlacementState::propose(const PlacementMove& move) {
   pending.eager = false;
   pending.move = move;
   pending.new_pair_overlaps.clear();
+  pending.new_link_costs.clear();
 
   long long cand_overlap = overlap_total_;
   long long cand_defect = defect_total_;
+  long long cand_pressure = pressure_total_;
   int cand_outside = outside_count_;
   // Does the committed bounding box survive the move? (An interior module
   // moving within the box cannot change it; only then is the scan below
@@ -279,6 +350,36 @@ double IncrementalPlacementState::propose(const PlacementMove& move) {
     }
   }
 
+  // Re-price the routing-pressure links incident to the touched modules
+  // (a link between both touched modules updates once, via the stamp).
+  if (!link_entries_.empty()) {
+    const auto price_links_of = [&](int module_index, bool stamped) {
+      const std::size_t module = static_cast<std::size_t>(module_index);
+      const int begin = link_offsets_[module];
+      const int end = link_offsets_[module + 1];
+      for (int a = begin; a < end; ++a) {
+        const int p = link_adjacency_[static_cast<std::size_t>(a)];
+        const std::size_t q = static_cast<std::size_t>(p);
+        if (stamped) {
+          if (link_stamp_[q] == stamp_) continue;
+          link_stamp_[q] = stamp_;
+        }
+        const long long cost = link_cost(link_entries_[q]);
+        pending.new_link_costs.emplace_back(p, cost);
+        cand_pressure += cost - link_entries_[q].cost;
+      }
+    };
+    if (move.count == 1) {
+      price_links_of(move.changes[0].index, /*stamped=*/false);
+    } else {
+      // Reuses the stamp the pair pass above advanced; link_stamp_ is a
+      // separate array, so every entry still reads as unvisited.
+      for (int c = 0; c < move.count; ++c) {
+        price_links_of(move.changes[c].index, /*stamped=*/true);
+      }
+    }
+  }
+
   // Candidate bounding box: unchanged for interior moves, else a short
   // branch-free scan over the (already updated) footprints. At placement
   // sizes this beats maintaining extent structures, and a rejected
@@ -301,10 +402,12 @@ double IncrementalPlacementState::propose(const PlacementMove& move) {
 
   pending.cand_overlap_total = cand_overlap;
   pending.cand_defect_total = cand_defect;
+  pending.cand_pressure_total = cand_pressure;
   pending.cand_outside_count = cand_outside;
   pending.cand_bbox = cand_bbox;
   pending.cand_value =
-      value_of(cand_bbox.area(), cand_overlap, cand_defect, 0.0);
+      value_of(cand_bbox.area(), cand_overlap, cand_defect, 0.0,
+               cand_pressure);
   return pending.cand_value - value_;
 }
 
@@ -317,11 +420,13 @@ double IncrementalPlacementState::propose_eager(const PlacementMove& move) {
   pending.move = move;
   pending.old_overlap_total = overlap_total_;
   pending.old_defect_total = defect_total_;
+  pending.old_pressure_total = pressure_total_;
   pending.old_outside_count = outside_count_;
   pending.old_covered = covered_cells_;
   pending.old_bbox = bbox_;
   pending.old_value = value_;
   pending.old_pair_overlaps.clear();
+  pending.old_link_costs.clear();
 
   for (int c = 0; c < move.count; ++c) {
     const ModuleMove& change = move.changes[c];
@@ -370,6 +475,27 @@ double IncrementalPlacementState::propose_eager(const PlacementMove& move) {
       pending.old_pair_overlaps.emplace_back(p, entry.overlap);
       overlap_total_ += overlap - entry.overlap;
       entry.overlap = overlap;
+    }
+  }
+
+  // Re-price touched routing-pressure links in place (same stamp; the
+  // link stamps live in their own array, so reuse is safe).
+  if (!link_entries_.empty()) {
+    for (int c = 0; c < move.count; ++c) {
+      const std::size_t module =
+          static_cast<std::size_t>(move.changes[c].index);
+      const int begin = link_offsets_[module];
+      const int end = link_offsets_[module + 1];
+      for (int a = begin; a < end; ++a) {
+        const int p = link_adjacency_[static_cast<std::size_t>(a)];
+        LinkEntry& entry = link_entries_[static_cast<std::size_t>(p)];
+        if (link_stamp_[static_cast<std::size_t>(p)] == stamp_) continue;
+        link_stamp_[static_cast<std::size_t>(p)] = stamp_;
+        const long long cost = link_cost(entry);
+        pending.old_link_costs.emplace_back(p, entry.cost);
+        pressure_total_ += cost - entry.cost;
+        entry.cost = cost;
+      }
     }
   }
 
@@ -422,8 +548,12 @@ double IncrementalPlacementState::commit() {
   for (const auto& [p, overlap] : pending.new_pair_overlaps) {
     pair_entries_[static_cast<std::size_t>(p)].overlap = overlap;
   }
+  for (const auto& [p, cost] : pending.new_link_costs) {
+    link_entries_[static_cast<std::size_t>(p)].cost = cost;
+  }
   overlap_total_ = pending.cand_overlap_total;
   defect_total_ = pending.cand_defect_total;
+  pressure_total_ = pending.cand_pressure_total;
   outside_count_ = pending.cand_outside_count;
   bbox_ = pending.cand_bbox;
   value_ = pending.cand_value;
@@ -461,6 +591,10 @@ void IncrementalPlacementState::revert() {
     pair_entries_[static_cast<std::size_t>(p)].overlap = overlap;
   }
   overlap_total_ = pending.old_overlap_total;
+  for (const auto& [p, cost] : pending.old_link_costs) {
+    link_entries_[static_cast<std::size_t>(p)].cost = cost;
+  }
+  pressure_total_ = pending.old_pressure_total;
   bbox_ = pending.old_bbox;
   if (weights_.beta != 0.0) {
     fti_.restore(pending.fti_backup);

@@ -14,6 +14,7 @@
 //   * per-module defect-hit counts against a prefix-summed defect grid,
 //   * bounding-box extents via sorted coordinate multisets,
 //   * per-module FTI relocation queries (FtiIncrementalEvaluator),
+//   * per-RouteLink routing-pressure costs in CSR adjacency (gamma != 0),
 //
 // and exposes propose(move) -> delta, commit(), revert(). Every absolute
 // cost is recomputed from the maintained integer tallies with the exact
@@ -173,8 +174,10 @@ class IncrementalPlacementState {
     bool new_outside[2] = {false, false};
     long long new_defect_hits[2] = {0, 0};
     std::vector<std::pair<int, long long>> new_pair_overlaps;
+    std::vector<std::pair<int, long long>> new_link_costs;
     long long cand_overlap_total = 0;
     long long cand_defect_total = 0;
+    long long cand_pressure_total = 0;
     int cand_outside_count = 0;
     Rect cand_bbox;
     double cand_value = 0.0;
@@ -182,8 +185,10 @@ class IncrementalPlacementState {
     // Eager (beta != 0) undo data, applied by revert().
     TouchedModule old_modules[2];
     std::vector<std::pair<int, long long>> old_pair_overlaps;
+    std::vector<std::pair<int, long long>> old_link_costs;
     long long old_overlap_total = 0;
     long long old_defect_total = 0;
+    long long old_pressure_total = 0;
     int old_outside_count = 0;
     long long old_covered = 0;
     Rect old_bbox;
@@ -194,7 +199,8 @@ class IncrementalPlacementState {
   /// The combined objective, in the exact expression order of
   /// CostEvaluator::evaluate (bit-compatibility with the copy engine).
   double value_of(long long area_cells, long long overlap_cells,
-                  long long defect_cells, double fti) const;
+                  long long defect_cells, double fti,
+                  long long route_pressure) const;
 
   /// value_of over the committed tallies.
   double value_from_tallies() const;
@@ -257,6 +263,27 @@ class IncrementalPlacementState {
   FtiIncrementalEvaluator fti_;
   std::vector<std::vector<int>> temporal_neighbors_;
   long long covered_cells_ = 0;
+
+  /// One demand edge with its cached weighted distance, mirroring
+  /// PairEntry: indices and cost on one cache line for the pricing loop.
+  struct LinkEntry {
+    RouteLink link;
+    long long cost = 0;
+  };
+
+  /// Routing-pressure caches, CSR adjacency by incident module (a link
+  /// touches its target and, when on-chip, its source). Engaged — built
+  /// and priced — only when weights_.gamma != 0 and the evaluator carried
+  /// links; otherwise every container stays empty and proposals skip the
+  /// term entirely, exactly like FTI at beta = 0.
+  std::vector<LinkEntry> link_entries_;
+  std::vector<int> link_offsets_;
+  std::vector<int> link_adjacency_;
+  std::vector<std::uint64_t> link_stamp_;
+  long long pressure_total_ = 0;
+
+  /// Weighted distance of one link under the current `footprints_`.
+  long long link_cost(const LinkEntry& entry) const;
 
   /// Proposal-scoped dedup stamps (pairs and modules) and scratch space,
   /// reused so the hot path allocates nothing. 64-bit: a 32-bit stamp

@@ -27,6 +27,7 @@ CostBreakdown evaluate_outcome_cost(const Placement& placement,
                                     const PlacerContext& context) {
   CostEvaluator evaluator(context.weights, context.fti_options);
   evaluator.set_defects(context.defects);
+  evaluator.set_route_links(context.route_links);
   return evaluator.evaluate(placement);
 }
 
@@ -175,6 +176,7 @@ SaPlacerOptions sa_options_from(const PlacerContext& context) {
   options.weights = context.weights;
   options.fti_options = context.fti_options;
   options.defects = context.defects;
+  options.route_links = context.route_links;
   options.seed = context.seed;
   options.engine = context.engine;
   return options;

@@ -63,6 +63,11 @@ struct PlacerContext {
   /// Electrodes known defective before placement; defect-aware backends
   /// place around them, others refuse (throw) rather than silently ignore.
   std::vector<Point> defects;
+  /// Droplet-transfer demand edges priced by weights.gamma — the
+  /// routing-aware placement term (core/cost.h RouteLink). The pipeline
+  /// fills these from routing::extract_links and, on feedback rounds,
+  /// re-weights them with measured route costs. Ignored at gamma = 0.
+  std::vector<RouteLink> route_links;
   std::uint64_t seed = 0xDA7E2005ULL;
 
   // Annealing backends ("sa", stage 1 of "two-stage").

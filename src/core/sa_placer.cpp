@@ -143,6 +143,7 @@ PlacementOutcome anneal_from(const Placement& initial,
 
   CostEvaluator evaluator(options.weights, options.fti_options);
   evaluator.set_defects(options.defects);
+  evaluator.set_route_links(options.route_links);
   Rng rng(options.seed);
 
   PlacementOutcome outcome;

@@ -49,6 +49,10 @@ struct SaPlacerOptions {
   /// results). The annealer refuses to record placements using them, so
   /// the result routes modules around the defect map.
   std::vector<Point> defects;
+  /// Droplet-transfer demand edges priced by weights.gamma (routing-aware
+  /// placement; routing::extract_links produces them). Ignored at
+  /// gamma = 0.
+  std::vector<RouteLink> route_links;
   std::uint64_t seed = 0xDA7E2005ULL;
   /// Proposal-evaluation engine; results are identical either way, kDelta
   /// is just (much) faster.

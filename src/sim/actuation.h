@@ -43,9 +43,9 @@ struct ActuationProgram {
 /// Compiler options.
 struct ActuationOptions {
   double control_voltage = 80.0;
-  /// Transport step duration (seconds per droplet move); 20 cm/s at the
-  /// paper's 1.5 mm pitch is ~13 steps/s.
-  double seconds_per_step = 1.0 / 13.0;
+  /// Transport step duration (seconds per droplet move); defaults to the
+  /// repo-wide actuation period (sim/route_planner.h).
+  double seconds_per_step = kActuationPeriodS;
 };
 
 /// Compiles placement + schedule + routes into a frame program. Hold

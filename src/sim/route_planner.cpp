@@ -15,9 +15,9 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
-Point footprint_center(const Rect& fp) {
-  return Point{fp.x + fp.width / 2, fp.y + fp.height / 2};
-}
+// The shared center convention (also the routing-pressure term's), so
+// placement pressure and actual route endpoints cannot diverge.
+using detail::footprint_center;
 
 /// Functional regions of modules strictly spanning time t (the changeover
 /// rule shared with the simulator: modules starting or ending exactly at t
@@ -43,6 +43,19 @@ double RoutePlan::total_transport_seconds(double cells_per_second) const {
     seconds += changeover.makespan_steps / cells_per_second;
   }
   return seconds;
+}
+
+Schedule fold_transport(const Schedule& schedule, const RoutePlan& plan) {
+  Schedule result = schedule;
+  // Reverse time order, so every shift's threshold is the changeover's
+  // *original* time: a later changeover's shift only moves modules at or
+  // after it, leaving every earlier threshold's matches untouched. The
+  // net effect is the cumulative delay sum over preceding changeovers.
+  for (auto it = plan.changeovers.rbegin(); it != plan.changeovers.rend();
+       ++it) {
+    result.shift_from(it->time_s, it->transport_seconds());
+  }
+  return result;
 }
 
 namespace routing {
@@ -211,6 +224,7 @@ std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
 
   std::vector<ChangeoverProblem> problems;
   std::map<OperationId, Point> droplet_at;
+  std::map<OperationId, int> droplet_module;  // module the droplet sits in
   for (const auto& [time, members] : groups) {
     ChangeoverProblem problem;
     problem.time_s = time;
@@ -228,11 +242,14 @@ std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
         const auto it = droplet_at.find(sm.producer_op);
         const Point from = it != droplet_at.end() ? it->second : site;
         if (!(from == site)) {
-          problem.requests.push_back(
-              TransferRequest{"S:" + sm.label, from, site, index});
+          const auto src = droplet_module.find(sm.producer_op);
+          problem.requests.push_back(TransferRequest{
+              "S:" + sm.label, from, site, index,
+              src != droplet_module.end() ? src->second : -1});
           arrivals.push_back(sm.producer_op);
         } else {
           droplet_at[sm.producer_op] = site;
+          droplet_module[sm.producer_op] = index;
         }
         continue;
       }
@@ -240,14 +257,20 @@ std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
         // Dispense droplets have no on-chip position yet; the sentinel
         // makes the solver pick a conflict-free perimeter entry.
         Point from = kDispensePending;
+        int source = -1;
         const auto it = droplet_at.find(pred);
-        if (it != droplet_at.end()) from = it->second;
+        if (it != droplet_at.end()) {
+          from = it->second;
+          const auto src = droplet_module.find(pred);
+          if (src != droplet_module.end()) source = src->second;
+        }
         if (from == site) {
           droplet_at[sm.op_id] = site;
+          droplet_module[sm.op_id] = index;
           continue;
         }
-        problem.requests.push_back(
-            TransferRequest{graph.operation(pred).label, from, site, index});
+        problem.requests.push_back(TransferRequest{
+            graph.operation(pred).label, from, site, index, source});
         arrivals.push_back(sm.op_id < 0 ? pred : sm.op_id);
       }
     }
@@ -256,10 +279,75 @@ std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
     // the consumer's output site; storage keeps the producer op as key).
     for (std::size_t i = 0; i < problem.requests.size(); ++i) {
       droplet_at[arrivals[i]] = problem.requests[i].to;
+      droplet_module[arrivals[i]] = problem.requests[i].target_module;
     }
     if (!problem.requests.empty()) problems.push_back(std::move(problem));
   }
   return problems;
+}
+
+std::vector<RouteLink> extract_links(const SequencingGraph& graph,
+                                     const Schedule& schedule) {
+  // The same grouping and droplet bookkeeping as extract_problems, minus
+  // everything placement-dependent: which module pairs exchange droplets
+  // is fixed by graph + schedule alone. (extract_problems additionally
+  // drops a transfer whose endpoints happen to share a center; such an
+  // edge prices to distance 0 here, so keeping it is harmless.)
+  std::map<double, std::vector<int>> groups;
+  for (int i = 0; i < schedule.module_count(); ++i) {
+    groups[schedule.module(i).start_s].push_back(i);
+  }
+
+  std::map<std::pair<int, int>, long long> demand;
+  std::map<OperationId, int> droplet_module;
+  for (const auto& [time, members] : groups) {
+    // Arrivals are recorded after the whole changeover is gathered, so an
+    // edge always reads the droplet's module *before* this changeover.
+    std::vector<std::pair<OperationId, int>> arrivals;
+    for (const int index : members) {
+      const ScheduledModule& sm = schedule.module(index);
+      if (sm.op_id < 0) {
+        if (sm.producer_op < 0) continue;
+        const auto it = droplet_module.find(sm.producer_op);
+        if (it != droplet_module.end()) {
+          demand[{it->second, index}] += 1;
+          arrivals.emplace_back(sm.producer_op, index);
+        } else {
+          droplet_module[sm.producer_op] = index;
+        }
+        continue;
+      }
+      for (const OperationId pred : graph.predecessors(sm.op_id)) {
+        const auto it = droplet_module.find(pred);
+        demand[{it != droplet_module.end() ? it->second : -1, index}] += 1;
+        arrivals.emplace_back(sm.op_id, index);
+      }
+    }
+    for (const auto& [op, module] : arrivals) droplet_module[op] = module;
+  }
+
+  std::vector<RouteLink> links;
+  links.reserve(demand.size());
+  for (const auto& [edge, weight] : demand) {
+    links.push_back(RouteLink{edge.first, edge.second, weight});
+  }
+  return links;
+}
+
+std::vector<RouteLink> reweight_links(std::vector<RouteLink> links,
+                                      const RoutePlan& plan) {
+  std::map<std::pair<int, int>, long long> measured;
+  for (const auto& changeover : plan.changeovers) {
+    for (const auto& route : changeover.routes) {
+      measured[{route.request.source_module, route.request.target_module}] +=
+          route.arrival_step();
+    }
+  }
+  for (auto& link : links) {
+    const auto it = measured.find({link.source_module, link.target_module});
+    if (it != measured.end()) link.weight += it->second;
+  }
+  return links;
 }
 
 std::vector<std::size_t> default_order(
@@ -324,6 +412,7 @@ void accumulate(RoutePlan& plan, ChangeoverPlan&& changeover) {
     plan.total_steps += route.arrival_step();
     plan.total_moved_cells += route.moved_cells();
   }
+  plan.negotiation_rounds += changeover.negotiation_rounds;
   plan.changeovers.push_back(std::move(changeover));
 }
 

@@ -20,7 +20,10 @@
 //
 // Units: a *step* is one actuation interval (a droplet moves one cell or
 // waits in place for one step); a *cell* is one cell actually traversed.
-// Waits cost steps but no cells, so step counts >= cell counts.
+// Waits cost steps but no cells, so step counts >= cell counts. Steps
+// convert to seconds through the one actuation-rate constant below
+// (kActuationStepsPerSecond); every `transport_seconds()` accessor uses
+// it, so benches and the pipeline agree on the steps->seconds seam.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,7 @@
 
 #include "assay/schedule.h"
 #include "assay/sequencing_graph.h"
+#include "core/cost.h"
 #include "core/placement.h"
 #include "util/deprecation.h"
 #include "util/geometry.h"
@@ -38,12 +42,28 @@
 
 namespace dmfb {
 
+/// The electrode actuation rate the repo's timing model assumes: droplets
+/// advance one cell per actuation period, so a route of N steps takes
+/// N / kActuationStepsPerSecond seconds. 13 Hz is 20 cm/s droplet
+/// transport at the paper's 1.5 mm pitch — the rate the simulator,
+/// actuation compiler and benches have always quoted; it is defined once
+/// here (and consumed by SimOptions/ActuationOptions defaults) so every
+/// layer agrees on the steps->seconds conversion.
+inline constexpr double kActuationStepsPerSecond = 13.0;
+
+/// Seconds per actuation step (the period of kActuationStepsPerSecond).
+inline constexpr double kActuationPeriodS = 1.0 / kActuationStepsPerSecond;
+
 /// One droplet transfer request at a changeover.
 struct TransferRequest {
   std::string label;   ///< droplet identity (producer op label)
   Point from;
   Point to;
   int target_module = -1;  ///< module index the droplet enters (-1: none)
+  /// Module index the droplet leaves (-1: dispensed from the perimeter).
+  /// Together with `target_module` this names the transfer's demand edge,
+  /// which routing-aware placement prices (core/cost.h RouteLink).
+  int source_module = -1;
 };
 
 /// A timed route: position per timestep (waits repeat the position).
@@ -66,6 +86,11 @@ struct TimedRoute {
     }
     return moved;
   }
+
+  /// This droplet's transport time at the chip's actuation rate.
+  double transport_seconds() const {
+    return arrival_step() * kActuationPeriodS;
+  }
 };
 
 /// All routes of one changeover.
@@ -73,6 +98,16 @@ struct ChangeoverPlan {
   double time_s = 0.0;
   std::vector<TimedRoute> routes;
   int makespan_steps = 0;  ///< latest arrival among the routes (steps)
+  /// Rip-up-and-reroute rounds the "negotiated" backend spent before this
+  /// changeover went conflict-free (0: first congestion-aware pass already
+  /// was, or another backend planned it).
+  int negotiation_rounds = 0;
+
+  /// Wall time the changeover adds to the assay: droplets move
+  /// concurrently, so it is the latest arrival at the actuation rate.
+  double transport_seconds() const {
+    return makespan_steps * kActuationPeriodS;
+  }
 };
 
 /// A complete routing plan for an assay execution.
@@ -86,11 +121,31 @@ struct RoutePlan {
   /// Sum of per-droplet cells traversed (unit: droplet-cells, waits
   /// excluded) — the electrode-actuation work the plan implies.
   long long total_moved_cells = 0;
+  /// Summed negotiation rounds over changeovers (the "negotiated"
+  /// backend's convergence effort; 0 for the other backends).
+  long long negotiation_rounds = 0;
 
-  /// Transport time implied by the plan at `cells_per_second`: changeover
-  /// makespans are serial, droplets within a changeover are concurrent.
+  /// Transport time implied by the plan at the chip's actuation rate
+  /// (kActuationStepsPerSecond): changeover makespans are serial, droplets
+  /// within a changeover are concurrent. This is exactly the time
+  /// `fold_transport` inserts into a schedule.
+  double total_transport_seconds() const {
+    return total_transport_seconds(kActuationStepsPerSecond);
+  }
+
+  /// Same at an explicit rate — for what-if analyses at other actuation
+  /// frequencies; everything in-repo uses the no-argument form.
   double total_transport_seconds(double cells_per_second) const;
 };
+
+/// The transport-inclusive schedule: every changeover's measured
+/// transport time (ChangeoverPlan::transport_seconds) is folded into the
+/// module start times — modules starting at or after a changeover are
+/// delayed by it, cumulatively over changeovers — so the result's
+/// `makespan_s()` is the transport-inclusive makespan the chip actually
+/// needs. Built from Schedule::shift_from, so durations, precedence and
+/// time-disjointness are preserved and the placement stays feasible.
+Schedule fold_transport(const Schedule& schedule, const RoutePlan& plan);
 
 /// Planner options, shared by every routing backend; backends read the
 /// fields relevant to them and ignore the rest.
@@ -107,6 +162,16 @@ struct RoutePlannerOptions {
   double present_congestion_weight = 1.0;
   /// Weight of accumulated (historic) congestion on a space-time cell.
   double history_congestion_weight = 0.4;
+  /// Carry the Pathfinder history grid forward across changeovers (warm
+  /// start) instead of resetting it per changeover: space-time cells that
+  /// caused conflicts earlier in the assay stay expensive, which cuts
+  /// negotiation rounds on layouts whose chokepoints persist (the
+  /// ROADMAP's "cross-changeover congestion history"). Forces the
+  /// negotiated backend to solve changeovers sequentially in time order
+  /// (`threads` is ignored for it) since each warm start consumes the
+  /// previous changeover's outcome; the resulting plan is still
+  /// deterministic.
+  bool persist_congestion_history = false;
 
   // "restart" backend (seeded random-restart over transfer orderings).
   /// Shuffled orderings tried per changeover beyond the deterministic one.
@@ -173,6 +238,27 @@ std::vector<ChangeoverProblem> extract_problems(const SequencingGraph& graph,
                                                 const Placement& placement,
                                                 int chip_width,
                                                 int chip_height);
+
+/// The droplet-transfer demand edges of a schedule, aggregated per
+/// (source module, target module) pair with `weight` = number of
+/// transfers on the edge. Placement-independent (derived from graph +
+/// schedule alone, with the same droplet bookkeeping as
+/// `extract_problems`), so a placer can price routing pressure *before*
+/// any placement exists — the routing-aware placement term
+/// (CostWeights::gamma, core/cost.h) consumes exactly these. Sorted by
+/// (source, target) for determinism.
+std::vector<RouteLink> extract_links(const SequencingGraph& graph,
+                                     const Schedule& schedule);
+
+/// `links` with measured route costs folded in: each link's weight
+/// becomes its transfer count plus the summed arrival steps of the
+/// plan's routes on that (source, target) edge. This is the
+/// placement-feedback signal — congested edges get heavier, so the next
+/// placement round pulls their endpoints together. Links absent from the
+/// plan (e.g. changeovers past a routing failure) keep their demand
+/// weight.
+std::vector<RouteLink> reweight_links(std::vector<RouteLink> links,
+                                      const RoutePlan& plan);
 
 /// The per-changeover step horizon implied by `options` (0 = auto).
 int resolve_horizon(const RoutePlannerOptions& options, int chip_width,

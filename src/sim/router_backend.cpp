@@ -234,15 +234,45 @@ class NegotiatedRouter final : public Router {
                  const RoutePlannerOptions& options) const override {
     const int horizon =
         routing::resolve_horizon(options, chip_width, chip_height);
+    const auto problems = routing::extract_problems(
+        graph, schedule, placement, chip_width, chip_height);
+
+    if (options.persist_congestion_history) {
+      // Warm-started history: each changeover negotiates against the
+      // conflict record every earlier changeover accumulated, so
+      // persistent chokepoints (corridors between long-lived modules)
+      // start expensive and convergence takes fewer rounds. Sequential
+      // by construction — the warm start consumes the previous
+      // changeover's outcome — so the solves run inline (threads = 1
+      // puts solve_changeovers on its deterministic fail-fast path).
+      std::vector<double> history;
+      return routing::solve_changeovers(
+          problems, /*threads=*/1,
+          [&](const ChangeoverProblem& problem, std::size_t,
+              std::string* failure) {
+            auto changeover = negotiate(problem, options, horizon, &history);
+            if (!changeover) {
+              changeover = routing::solve_prioritized(
+                  problem, routing::default_order(problem.requests), options,
+                  horizon, failure);
+              // The failed negotiation burned its full round budget; the
+              // convergence accounting must say so, or fallback-heavy
+              // plans would report suspiciously few rounds.
+              if (changeover) {
+                changeover->negotiation_rounds = options.negotiation_rounds;
+              }
+            }
+            return changeover;
+          });
+    }
+
     // Changeovers negotiate independently (each owns its history grid and
     // scratch), so they fan out across the routing thread pool.
     return routing::solve_changeovers(
-        routing::extract_problems(graph, schedule, placement, chip_width,
-                                  chip_height),
-        options.threads,
+        problems, options.threads,
         [&](const ChangeoverProblem& problem, std::size_t,
             std::string* failure) {
-          auto changeover = negotiate(problem, options, horizon);
+          auto changeover = negotiate(problem, options, horizon, nullptr);
           if (!changeover) {
             // A changeover the negotiation cannot converge on may still
             // yield to decoupled planning, so "negotiated" never does
@@ -250,20 +280,33 @@ class NegotiatedRouter final : public Router {
             changeover = routing::solve_prioritized(
                 problem, routing::default_order(problem.requests), options,
                 horizon, failure);
+            // The failed negotiation still burned its full round budget.
+            if (changeover) {
+              changeover->negotiation_rounds = options.negotiation_rounds;
+            }
           }
           return changeover;
         });
   }
 
  private:
+  /// `carried`, when non-null, is the cross-changeover history grid: read
+  /// as the warm start and left holding whatever this changeover added.
   std::optional<ChangeoverPlan> negotiate(const ChangeoverProblem& problem,
                                           const RoutePlannerOptions& options,
-                                          int horizon) const {
+                                          int horizon,
+                                          std::vector<double>* carried) const {
     const int width = problem.blocked.width();
     const int height = problem.blocked.height();
     const int separation = options.separation_cells;
-    std::vector<double> history(
-        static_cast<std::size_t>(horizon + 1) * width * height, 0.0);
+    const std::size_t states =
+        static_cast<std::size_t>(horizon + 1) * width * height;
+    // Every changeover shares the chip grid and horizon, so a carried
+    // history only needs sizing once.
+    std::vector<double> local;
+    if (carried && carried->size() != states) carried->assign(states, 0.0);
+    if (!carried) local.assign(states, 0.0);
+    std::vector<double>& history = carried ? *carried : local;
     SoftScratch scratch;
 
     // Initial pass: route each transfer congestion-aware against the
@@ -285,7 +328,8 @@ class NegotiatedRouter final : public Router {
     for (int round = 1; round <= options.negotiation_rounds; ++round) {
       const auto conflicted = conflicted_routes(routes, separation, horizon,
                                                 width, height, &history);
-      if (conflicted.empty()) return finish(problem.time_s, routes);
+      // round - 1 rip-up rounds were spent getting here.
+      if (conflicted.empty()) return finish(problem.time_s, routes, round - 1);
       const double present =
           options.present_congestion_weight * static_cast<double>(round);
       for (const std::size_t r : conflicted) {
@@ -300,14 +344,16 @@ class NegotiatedRouter final : public Router {
     }
     if (conflicted_routes(routes, separation, horizon, width, height, nullptr)
             .empty()) {
-      return finish(problem.time_s, routes);
+      return finish(problem.time_s, routes, options.negotiation_rounds);
     }
     return std::nullopt;  // failed to converge
   }
 
-  static ChangeoverPlan finish(double time_s, std::vector<TimedRoute> routes) {
+  static ChangeoverPlan finish(double time_s, std::vector<TimedRoute> routes,
+                               int negotiation_rounds) {
     ChangeoverPlan changeover;
     changeover.time_s = time_s;
+    changeover.negotiation_rounds = negotiation_rounds;
     for (const auto& route : routes) {
       changeover.makespan_steps =
           std::max(changeover.makespan_steps, route.arrival_step());

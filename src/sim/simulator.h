@@ -28,14 +28,17 @@
 #include "biochip/chip.h"
 #include "biochip/droplet.h"
 #include "core/placement.h"
+#include "sim/route_planner.h"
 #include "sim/router.h"
 
 namespace dmfb {
 
 /// Simulator tuning.
 struct SimOptions {
-  /// Droplet transport speed. 20 cm/s at a 1.5 mm pitch is ~13 cells/s.
-  double droplet_speed_cells_per_s = 13.0;
+  /// Droplet transport speed; defaults to the repo-wide actuation rate
+  /// (sim/route_planner.h), so simulated times and the routing layer's
+  /// transport_seconds() agree.
+  double droplet_speed_cells_per_s = kActuationStepsPerSecond;
   /// Plan real droplet routes (and fail when none exists). When false,
   /// droplets teleport; useful for placement-only experiments.
   bool verify_routing = true;
