@@ -34,8 +34,9 @@ struct Scenario {
 /// PCR (fig. 8 flow), seeded random assays, and the same random assays
 /// under a tight per-changeover step horizon — the actuation-deadline
 /// regime where decoupled planning actually runs out of slack and the
-/// backends' completeness differs.
-std::vector<Scenario> make_scenarios() {
+/// backends' completeness differs. `smoke` trims the random/stress
+/// trial counts for the CI job.
+std::vector<Scenario> make_scenarios(bool smoke) {
   std::vector<Scenario> scenarios;
 
   const AssayCase pcr = pcr_mixing_assay();
@@ -65,7 +66,8 @@ std::vector<Scenario> make_scenarios() {
     options.plan_droplet_routes = false;
     return SynthesisPipeline(options).run(assay);
   };
-  for (int trial = 0; trial < 10; ++trial) {
+  const int random_trials = smoke ? 4 : 10;
+  for (int trial = 0; trial < random_trials; ++trial) {
     RandomAssayParams params;
     params.mix_operations = 6 + trial % 4;
     const AssayCase assay = random_assay(
@@ -86,7 +88,8 @@ std::vector<Scenario> make_scenarios() {
   // -lived walls carve the chip into lanes and a whole wave of crossing
   // transfers lands on one changeover — the structure where decoupled
   // prioritized planning actually runs out of slack under a deadline.
-  for (int trial = 0; trial < 4; ++trial) {
+  const int permutation_trials = smoke ? 2 : 4;
+  for (int trial = 0; trial < permutation_trials; ++trial) {
     const AssayCase assay = permutation_assay(
         4 + trial % 2, 2, library,
         bench::kBenchSeed + 100 + static_cast<std::uint64_t>(trial));
@@ -112,11 +115,14 @@ std::vector<Scenario> make_scenarios() {
 
 }  // namespace
 
-int main() {
-  bench::banner("Ablation — every registered router, side by side");
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_flag(argc, argv);
+  bench::banner(smoke
+                    ? "Ablation — every registered router, side by side (smoke)"
+                    : "Ablation — every registered router, side by side");
 
   using Clock = std::chrono::steady_clock;
-  const auto scenarios = make_scenarios();
+  const auto scenarios = make_scenarios(smoke);
   std::cout << scenarios.size() << " scenarios (PCR fig. 8 placements + "
             << "random assays on 16-cell chips, with and without "
             << "changeover deadlines)\n";

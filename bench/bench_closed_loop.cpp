@@ -52,7 +52,7 @@ std::vector<Scenario> make_scenarios(bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  const bool smoke = bench::smoke_flag(argc, argv);
   bench::banner("Closed loop — routing-aware placement feedback rounds");
 
   const int rounds = smoke ? 2 : 3;

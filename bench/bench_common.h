@@ -4,6 +4,8 @@
 // (DATE 2005) and prints it in a fixed format quoted by EXPERIMENTS.md.
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -20,6 +22,16 @@ namespace dmfb::bench {
 /// Seed used by all reproduction benches (printed so runs are replayable).
 inline constexpr std::uint64_t kBenchSeed = 0xDA7E2005ULL;
 
+/// Shared argv handling for the bench binaries: `--smoke` selects the
+/// shrunken CI workload. Every bench that distinguishes the two parses
+/// its flags through this one helper instead of a per-binary copy.
+inline bool smoke_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
 /// One machine-readable result line per bench measurement, so the perf
 /// trajectory can be tracked across PRs by grepping stdout:
 ///   {"bench":"fig7","placer":"sa","cost":63,"wall_seconds":1.9,"seed":...}
@@ -32,17 +44,47 @@ inline void emit_json_line(const std::string& name, const std::string& placer,
 }
 
 /// The annealing-engine counterpart: one line per (engine, beta) cell of
-/// bench_perf_sa's copy-vs-delta comparison. `identical_best` records
-/// whether the engine reproduced the reference (copy-engine) placement
-/// anchor for anchor — the delta engine's contract.
+/// bench_perf_sa's engine comparison. `identical_best` records whether
+/// the engine reproduced the reference (copy-engine) placement anchor
+/// for anchor — the delta engine's contract (the fused engine is
+/// versioned off that stream and reports false by design). The stats
+/// fields attribute where proposal time goes: acceptance counts plus
+/// per-move-kind proposal/acceptance tallies.
 inline void emit_engine_json_line(const std::string& name,
                                   const std::string& engine, double beta,
                                   double cost, double proposals_per_second,
                                   double wall_seconds, bool identical_best,
+                                  const AnnealingStats& stats,
                                   std::uint64_t seed = kBenchSeed) {
   std::cout << "{\"bench\":\"" << name << "\",\"engine\":\"" << engine
             << "\",\"beta\":" << beta << ",\"cost\":" << cost
             << ",\"proposals_per_second\":" << proposals_per_second
+            << ",\"wall_seconds\":" << wall_seconds << ",\"identical\":"
+            << (identical_best ? "true" : "false")
+            << ",\"proposals\":" << stats.proposals
+            << ",\"accepted\":" << stats.accepted
+            << ",\"uphill_accepted\":" << stats.uphill_accepted
+            << ",\"moves\":{";
+  for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+    std::cout << (k == 0 ? "" : ",") << "\""
+              << to_string(static_cast<MoveKind>(k))
+              << "\":[" << stats.proposals_by_kind[k] << ","
+              << stats.accepted_by_kind[k] << "]";
+  }
+  std::cout << "},\"seed\":" << seed << "}\n";
+}
+
+/// One line per (module count, beta, engine) cell of bench_perf_sa's
+/// random-assay scaling sweep — the recorded artifact showing the delta
+/// engine's advantage growing with instance size.
+inline void emit_scaling_json_line(int modules, double beta,
+                                   const std::string& engine,
+                                   double proposals_per_second,
+                                   double wall_seconds, bool identical_best,
+                                   std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"perf_sa_scaling\",\"modules\":" << modules
+            << ",\"beta\":" << beta << ",\"engine\":\"" << engine
+            << "\",\"proposals_per_second\":" << proposals_per_second
             << ",\"wall_seconds\":" << wall_seconds << ",\"identical\":"
             << (identical_best ? "true" : "false") << ",\"seed\":" << seed
             << "}\n";
@@ -149,16 +191,31 @@ inline void banner(const std::string& title) {
 
 // --- SVG helpers shared by the figure benches -------------------------
 
+#include <filesystem>
 #include <fstream>
 
 #include "util/svg.h"
 
 namespace dmfb::bench {
 
-/// Writes every time slice of `placement` as one SVG file per slice:
-/// <prefix>_slice<k>.svg, drawn over the placement bounding box.
-inline void write_placement_svgs(const Placement& placement,
-                                 const std::string& prefix) {
+/// Directory the figure benches drop their artifacts (SVG slices) into,
+/// so runs never dirty the working tree: `bench-out/` under the current
+/// directory (inside the build tree when run from there), overridable
+/// via DMFB_BENCH_OUT. Created on first use.
+inline std::filesystem::path output_dir() {
+  const char* override_dir = std::getenv("DMFB_BENCH_OUT");
+  std::filesystem::path dir =
+      override_dir != nullptr ? override_dir : "bench-out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Writes every time slice of `placement` as one SVG file per slice
+/// under output_dir(): <prefix>_slice<k>.svg, drawn over the placement
+/// bounding box. Returns the directory used (for the bench's log line).
+inline std::filesystem::path write_placement_svgs(const Placement& placement,
+                                                  const std::string& prefix) {
+  const std::filesystem::path dir = output_dir();
   const Rect box = placement.bounding_box();
   const auto& slices = placement.slice_members();
   for (std::size_t s = 0; s < slices.size(); ++s) {
@@ -171,9 +228,10 @@ inline void write_placement_svgs(const Placement& placement,
       rects.push_back(SvgRect{fp, m.label,
                               palette_color(static_cast<std::size_t>(index))});
     }
-    std::ofstream out(prefix + "_slice" + std::to_string(s) + ".svg");
+    std::ofstream out(dir / (prefix + "_slice" + std::to_string(s) + ".svg"));
     out << render_svg_grid(box.width, box.height, rects);
   }
+  return dir;
 }
 
 }  // namespace dmfb::bench

@@ -61,8 +61,8 @@ int main() {
                         static_cast<double>(sa.cost.area_cells),
                         sa.wall_seconds);
 
-  bench::write_placement_svgs(sa.placement, "fig7");
-  std::cout << "wrote fig7_slice*.svg\n";
+  const auto svg_dir = bench::write_placement_svgs(sa.placement, "fig7");
+  std::cout << "wrote " << (svg_dir / "fig7_slice*.svg").string() << "\n";
 
   // Shape checks mirrored in EXPERIMENTS.md.
   const bool sane = sa.placement.feasible() &&

@@ -69,8 +69,9 @@ int main() {
                                                                  : "MISMATCH")
             << '\n';
 
-  bench::write_placement_svgs(outcome.stage2.placement, "fig8");
-  std::cout << "wrote fig8_slice*.svg\n";
+  const auto svg_dir =
+      bench::write_placement_svgs(outcome.stage2.placement, "fig8");
+  std::cout << "wrote " << (svg_dir / "fig8_slice*.svg").string() << "\n";
 
   const bool sane = outcome.stage2.placement.feasible() &&
                     fti2.fti() > fti1.fti() &&

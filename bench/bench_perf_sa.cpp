@@ -1,23 +1,31 @@
 // bench_perf_sa — microbenchmarks for the annealing machinery plus the
-// copy-vs-delta engine comparison (the paper's §6 runtime context: 5 min
-// for area-only SA, 20 min for two-stage, on a 1.0 GHz Pentium-III).
+// engine comparison and the random-assay scaling sweep (the paper's §6
+// runtime context: 5 min for area-only SA, 20 min for two-stage, on a
+// 1.0 GHz Pentium-III).
 //
-// Before the Google-Benchmark suite runs, the binary anneals the paper's
-// Fig. 7 configuration once per engine (and once per engine again with
-// beta > 0, the two-stage LTSA objective) and emits one JSON line per
-// (engine, beta) cell:
+// Before the Google-Benchmark suite runs, the binary
+//   1. anneals the paper's Fig. 7 configuration once per engine
+//      (copy / delta / fused), and once per engine again with beta > 0
+//      (the two-stage LTSA objective), emitting one JSON line per
+//      (engine, beta) cell:
+//        {"bench":"perf_sa","engine":"delta","beta":0,...,"moves":{...}}
+//   2. sweeps seeded random assays from ~10 to ~200 modules and runs
+//      the copy-vs-delta comparison at every size, emitting one
+//      {"bench":"perf_sa_scaling",...} line per (size, beta, engine)
+//      cell — the recorded artifact showing the delta engine's
+//      advantage growing with instance size.
 //
-//   {"bench":"perf_sa","engine":"delta","beta":0,...,"identical":true,...}
-//
-// It exits non-zero when the delta engine is slower than the copy engine
-// or the final placements differ — the CI shape check. `--smoke` shrinks
-// the schedules and skips the microbenchmarks (CI Release job).
+// It exits non-zero when the delta engine is slower than the copy
+// engine or their final placements differ anywhere — including at any
+// swept size — the CI shape check. `--smoke` shrinks the schedules and
+// sweep and skips the microbenchmarks (CI Release job).
 #include <benchmark/benchmark.h>
 
-#include <cstring>
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.h"
+#include "assay/random_assay.h"
 #include "core/cost.h"
 #include "core/moves.h"
 #include "util/rng.h"
@@ -37,7 +45,7 @@ Placement greedy_pcr_placement() {
       .placement;
 }
 
-// --- copy-vs-delta engine comparison ----------------------------------
+// --- engine comparison ------------------------------------------------
 
 /// One (engine, beta) comparison cell annealed from `initial`.
 PlacementOutcome run_engine(AnnealingEngine engine, const Placement& initial,
@@ -58,16 +66,20 @@ bool same_placement(const Placement& a, const Placement& b) {
   return true;
 }
 
-/// Runs both engines on one configuration, emits their JSON lines, and
-/// returns whether the delta engine held its contract (identical best
-/// placement, no slower than the copy engine). Runs are interleaved and
-/// each engine reports its best proposals/sec of `rounds` runs, so CPU
-/// frequency drift biases neither side.
+/// Runs the three engines on one configuration, emits their JSON lines,
+/// and returns whether the delta engine held its contract (identical
+/// best placement, no slower than the copy engine). Runs are interleaved
+/// and each engine reports its best proposals/sec of `rounds` runs, so
+/// CPU frequency drift biases no side. The fused engine is versioned
+/// off the legacy stream, so its placement legitimately differs; it is
+/// reported for the trajectory, not shape-checked against copy.
 bool compare_engines(const char* label, const Placement& initial,
                      const SaPlacerOptions& options, int rounds) {
   PlacementOutcome copy = run_engine(AnnealingEngine::kCopy, initial, options);
   PlacementOutcome delta =
       run_engine(AnnealingEngine::kDelta, initial, options);
+  PlacementOutcome fused =
+      run_engine(AnnealingEngine::kFused, initial, options);
   for (int round = 1; round < rounds; ++round) {
     PlacementOutcome c = run_engine(AnnealingEngine::kCopy, initial, options);
     if (c.stats.proposals_per_second > copy.stats.proposals_per_second) {
@@ -77,33 +89,48 @@ bool compare_engines(const char* label, const Placement& initial,
     if (d.stats.proposals_per_second > delta.stats.proposals_per_second) {
       delta = std::move(d);
     }
+    PlacementOutcome f = run_engine(AnnealingEngine::kFused, initial, options);
+    if (f.stats.proposals_per_second > fused.stats.proposals_per_second) {
+      fused = std::move(f);
+    }
   }
   const bool identical = same_placement(copy.placement, delta.placement);
 
   bench::emit_engine_json_line("perf_sa", "copy", options.weights.beta,
                                copy.cost.value,
                                copy.stats.proposals_per_second,
-                               copy.stats.wall_seconds, identical,
+                               copy.stats.wall_seconds, identical, copy.stats,
                                options.seed);
   bench::emit_engine_json_line("perf_sa", "delta", options.weights.beta,
                                delta.cost.value,
                                delta.stats.proposals_per_second,
                                delta.stats.wall_seconds, identical,
-                               options.seed);
+                               delta.stats, options.seed);
+  bench::emit_engine_json_line("perf_sa", "fused", options.weights.beta,
+                               fused.cost.value,
+                               fused.stats.proposals_per_second,
+                               fused.stats.wall_seconds,
+                               same_placement(copy.placement, fused.placement),
+                               fused.stats, options.seed);
   const double speedup =
       copy.stats.proposals_per_second > 0.0
           ? delta.stats.proposals_per_second / copy.stats.proposals_per_second
           : 0.0;
+  const double fused_speedup =
+      copy.stats.proposals_per_second > 0.0
+          ? fused.stats.proposals_per_second / copy.stats.proposals_per_second
+          : 0.0;
   std::cout << label << ": delta/copy speedup " << speedup
             << "x (copy " << copy.stats.proposals_per_second
             << " proposals/s, delta " << delta.stats.proposals_per_second
-            << " proposals/s), placements "
-            << (identical ? "identical" : "DIFFER") << "\n";
+            << " proposals/s), fused/copy " << fused_speedup
+            << "x, placements " << (identical ? "identical" : "DIFFER")
+            << "\n";
 
   bool ok = true;
   if (!identical) {
     std::cerr << "SHAPE CHECK FAILED: " << label
-              << ": engines returned different placements\n";
+              << ": copy and delta engines returned different placements\n";
     ok = false;
   }
   if (speedup < 1.0) {
@@ -115,8 +142,8 @@ bool compare_engines(const char* label, const Placement& initial,
   return ok;
 }
 
-/// The copy-vs-delta comparison over the Fig. 7 configuration (beta = 0)
-/// and its two-stage LTSA counterpart (beta = 30). `smoke` shrinks the
+/// The engine comparison over the Fig. 7 configuration (beta = 0) and
+/// its two-stage LTSA counterpart (beta = 30). `smoke` shrinks the
 /// schedules so the CI Release job finishes in seconds; the full run is
 /// the recorded artifact quoted in README "Performance".
 bool run_comparison(bool smoke) {
@@ -133,8 +160,8 @@ bool run_comparison(bool smoke) {
   bool ok = compare_engines(smoke ? "fig7 (smoke)" : "fig7", initial, stage1,
                             rounds);
 
-  // Two-stage LTSA: beta > 0 exercises the incremental FTI cache. Single
-  // displacements only, as in §6.2.
+  // Two-stage LTSA: beta > 0 exercises the incremental FTI coverage
+  // state. Single displacements only, as in §6.2.
   SaPlacerOptions ltsa = stage1;
   ltsa.schedule = AnnealingSchedule{/*initial_temperature=*/100.0,
                                     /*cooling_rate=*/0.9,
@@ -150,6 +177,112 @@ bool run_comparison(bool smoke) {
   ok = compare_engines(smoke ? "ltsa beta=30 (smoke)" : "ltsa beta=30",
                        initial, ltsa, rounds) &&
        ok;
+  return ok;
+}
+
+// --- random-assay scaling sweep ---------------------------------------
+
+/// One swept size: a seeded random assay scheduled through the
+/// pipeline, annealed from greedy by both engines at `beta` under a
+/// short shared schedule. Emits the two JSON rows and returns whether
+/// the placements stayed identical (the CI divergence check).
+bool sweep_point(const Schedule& schedule, int canvas, double beta,
+                 const AnnealingSchedule& annealing) {
+  const int modules = static_cast<int>(schedule.modules().size());
+
+  SaPlacerOptions options;
+  options.canvas_width = canvas;
+  options.canvas_height = canvas;
+  options.schedule = annealing;
+  options.weights.beta = beta;
+  options.seed = bench::kBenchSeed + static_cast<std::uint64_t>(modules);
+
+  PlacerContext greedy_context;
+  greedy_context.canvas_width = canvas;
+  greedy_context.canvas_height = canvas;
+  const Placement initial =
+      make_placer("greedy")->place(schedule, greedy_context).placement;
+
+  const PlacementOutcome copy =
+      run_engine(AnnealingEngine::kCopy, initial, options);
+  const PlacementOutcome delta =
+      run_engine(AnnealingEngine::kDelta, initial, options);
+  const bool identical = same_placement(copy.placement, delta.placement);
+
+  bench::emit_scaling_json_line(modules, beta, "copy",
+                                copy.stats.proposals_per_second,
+                                copy.stats.wall_seconds, identical,
+                                options.seed);
+  bench::emit_scaling_json_line(modules, beta, "delta",
+                                delta.stats.proposals_per_second,
+                                delta.stats.wall_seconds, identical,
+                                options.seed);
+  const double ratio =
+      copy.stats.proposals_per_second > 0.0
+          ? delta.stats.proposals_per_second / copy.stats.proposals_per_second
+          : 0.0;
+  std::cout << "scaling n=" << modules << " beta=" << beta
+            << " canvas=" << canvas << ": delta/copy " << ratio
+            << "x, placements " << (identical ? "identical" : "DIFFER")
+            << "\n";
+  if (!identical) {
+    std::cerr << "SHAPE CHECK FAILED: scaling n=" << modules << " beta="
+              << beta << ": engines returned different placements\n";
+  }
+  return identical;
+}
+
+/// The sweep: module counts from the PCR scale (~10) to ~200 via
+/// random_assay, each scheduled once and annealed by both engines at
+/// beta = 0 and beta = 30. The copy engine's per-proposal cost grows
+/// with the module count (it rebuilds every module's relocation state),
+/// the delta engine's only with the temporal degree — the ratio's
+/// growth with size is the artifact this records.
+bool run_scaling_sweep(bool smoke) {
+  bench::banner(smoke ? "perf_sa: random-assay scaling sweep (smoke)"
+                      : "perf_sa: random-assay scaling sweep");
+  const ModuleLibrary library = ModuleLibrary::standard();
+  // Mix counts chosen so the scheduled instances (mixes + storage) span
+  // the PCR scale (~10 modules) up to ~200.
+  const std::vector<int> mix_counts = smoke
+                                          ? std::vector<int>{8, 24, 48}
+                                          : std::vector<int>{8, 16, 32, 64,
+                                                             128};
+
+  // Short shared schedule: throughput is time-normalized, so the sweep
+  // needs samples, not convergence. (The copy engine at n ~ 200 costs
+  // milliseconds per proposal — a full paper schedule would take hours.)
+  AnnealingSchedule annealing;
+  annealing.initial_temperature = smoke ? 50.0 : 100.0;
+  annealing.cooling_rate = smoke ? 0.5 : 0.7;
+  annealing.iterations_per_module = smoke ? 2 : 4;
+  annealing.min_temperature = smoke ? 5.0 : 1.0;
+
+  bool ok = true;
+  for (const int mixes : mix_counts) {
+    RandomAssayParams params;
+    params.mix_operations = mixes;
+    params.max_layer_width = std::max(4, mixes / 4);
+    params.max_concurrent_modules = 8;
+    const AssayCase assay = random_assay(
+        params, library, bench::kBenchSeed + static_cast<std::uint64_t>(mixes));
+
+    PipelineOptions pipeline_options;
+    pipeline_options.place = false;
+    pipeline_options.seed = bench::kBenchSeed;
+    const Schedule schedule =
+        SynthesisPipeline(pipeline_options).run(assay).schedule;
+
+    // Canvas sized to hold the peak concurrent area with ~2x slack, so
+    // annealing has room to both pack and spread.
+    const int canvas = std::max(
+        16,
+        static_cast<int>(std::ceil(std::sqrt(
+            2.0 * static_cast<double>(schedule.peak_concurrent_cells())))));
+
+    ok = sweep_point(schedule, canvas, /*beta=*/0.0, annealing) && ok;
+    ok = sweep_point(schedule, canvas, /*beta=*/30.0, annealing) && ok;
+  }
   return ok;
 }
 
@@ -188,14 +321,15 @@ BENCHMARK(BM_MoveGeneration);
 
 void BM_AreaOnlyPlacementEndToEnd(benchmark::State& state) {
   // Shortened schedule so a single iteration stays ~tens of ms; arg 1
-  // selects the engine (0 = delta, 1 = copy) so the speedup shows up in
-  // the benchmark table too.
+  // selects the engine (0 = delta, 1 = copy, 2 = fused) so the speedup
+  // shows up in the benchmark table too.
   PlacerContext context = bench::paper_context();
   context.annealing.initial_temperature = 1000.0;
   context.annealing.cooling_rate = 0.8;
   context.annealing.iterations_per_module = static_cast<int>(state.range(0));
-  context.engine =
-      state.range(1) == 0 ? AnnealingEngine::kDelta : AnnealingEngine::kCopy;
+  context.engine = state.range(1) == 0   ? AnnealingEngine::kDelta
+                   : state.range(1) == 1 ? AnnealingEngine::kCopy
+                                         : AnnealingEngine::kFused;
   const auto placer = make_placer("sa");
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -209,8 +343,10 @@ void BM_AreaOnlyPlacementEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_AreaOnlyPlacementEndToEnd)
     ->Args({25, 0})
     ->Args({25, 1})
+    ->Args({25, 2})
     ->Args({100, 0})
     ->Args({100, 1})
+    ->Args({100, 2})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PaperParameterPlacement(benchmark::State& state) {
@@ -252,14 +388,12 @@ BENCHMARK(BM_PipelineEndToEnd)->Arg(25)->Arg(100)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  const bool smoke = dmfb::bench::smoke_flag(argc, argv);
 
-  bench::banner(smoke ? "perf_sa: copy vs delta engine (smoke)"
-                      : "perf_sa: copy vs delta engine");
-  const bool ok = run_comparison(smoke);
+  dmfb::bench::banner(smoke ? "perf_sa: engine comparison (smoke)"
+                            : "perf_sa: engine comparison");
+  bool ok = run_comparison(smoke);
+  ok = run_scaling_sweep(smoke) && ok;
   if (!ok) return 1;
   if (!smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -27,9 +28,20 @@ struct AnnealingSchedule {
 
 /// Counters for reporting and the ablation benches.
 struct AnnealingStats {
+  /// Move-kind telemetry slots, indexed by static_cast<int>(MoveKind)
+  /// (displace, displace-rotate, swap, swap-rotate).
+  static constexpr int kMoveKindSlots = 4;
+
   long long proposals = 0;
   long long accepted = 0;
   long long uphill_accepted = 0;
+  /// Proposal and acceptance tallies per generation move kind, so bench
+  /// JSON can attribute where proposal time goes. The placer engines
+  /// fill them where the kind is visible: the delta and fused engines
+  /// record both; the copying engine records proposals only (its
+  /// accept decision happens behind the type-erased state).
+  long long proposals_by_kind[kMoveKindSlots] = {0, 0, 0, 0};
+  long long accepted_by_kind[kMoveKindSlots] = {0, 0, 0, 0};
   int temperature_steps = 0;
   double final_temperature = 0.0;
   double best_cost = std::numeric_limits<double>::infinity();
@@ -205,6 +217,84 @@ double anneal_delta(double initial_cost, const Problem& problem,
         const double r = rng.next_double();
         if (delta == 0.0) {
           accept = true;
+        } else {
+          const double exponent = -delta / temperature;
+          accept = exponent > -746.0 && r < std::exp(exponent);
+        }
+        if (accept) ++stats.uphill_accepted;
+      }
+      if (accept) {
+        current_cost = problem.commit();
+        ++stats.accepted;
+        if (current_cost < best_cost && problem.recordable()) {
+          best_cost = current_cost;
+          have_best = true;
+          problem.record_best(best_cost);
+        }
+      } else {
+        problem.revert();
+      }
+    }
+    temperature *= schedule.cooling_rate;
+    ++stats.temperature_steps;
+  }
+
+  stats.final_temperature = temperature;
+  stats.best_cost = best_cost;
+  detail::finish_stats(stats, start_time);
+  if (stats_out) *stats_out = stats;
+  return have_best ? best_cost : std::numeric_limits<double>::infinity();
+}
+
+/// The fused-loop annealing variant (AnnealingEngine::kFused): the same
+/// geometric schedule and Metropolis rule as `anneal_delta`, but the
+/// acceptance draws come pre-batched per temperature step from a
+/// dedicated stream split off `rng` at entry, and every proposal
+/// consumes one — including downhill proposals, which the legacy loop
+/// never draws for. Batching keeps the generator's serial dependency
+/// out of the proposal's critical path and removes the data-dependent
+/// draw branch; together with move generation fused into the proposal
+/// (IncrementalPlacementState::propose_random) this lifts the shared
+/// per-proposal floor the beta = 0 ratio was bounded by.
+///
+/// The trajectory is deterministic per seed but intentionally NOT the
+/// legacy kDelta/kCopy stream — tests pin the variant's determinism and
+/// quality, not stream equality. `Problem` has the same five members as
+/// DeltaAnnealingProblem.
+template <typename Problem>
+double anneal_fused(double initial_cost, const Problem& problem,
+                    const AnnealingSchedule& schedule, int module_count,
+                    Rng& rng, AnnealingStats* stats_out = nullptr) {
+  const auto start_time = std::chrono::steady_clock::now();
+  AnnealingStats stats;
+
+  double current_cost = initial_cost;
+  bool have_best = problem.recordable();
+  double best_cost = have_best ? current_cost
+                               : std::numeric_limits<double>::infinity();
+  if (have_best) problem.record_best(best_cost);
+
+  const int inner_iterations =
+      schedule.iterations_per_module * std::max(1, module_count);
+
+  Rng metropolis_rng = rng.split();
+  std::vector<double> draws(static_cast<std::size_t>(inner_iterations));
+
+  double temperature = schedule.initial_temperature;
+  while (temperature > schedule.min_temperature) {
+    const double fraction =
+        schedule.initial_temperature > 0.0
+            ? temperature / schedule.initial_temperature
+            : 0.0;
+    for (double& draw : draws) draw = metropolis_rng.next_double();
+    for (int i = 0; i < inner_iterations; ++i) {
+      const double delta = problem.propose_delta(fraction, rng);
+      ++stats.proposals;
+      bool accept = delta < 0.0;
+      if (!accept && temperature > 0.0) {
+        const double r = draws[static_cast<std::size_t>(i)];
+        if (delta == 0.0) {
+          accept = true;  // r < exp(0) = 1 for r in [0, 1)
         } else {
           const double exponent = -delta / temperature;
           accept = exponent > -746.0 && r < std::exp(exponent);

@@ -1,6 +1,9 @@
 #include "core/fti.h"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
 
 #include "core/mer.h"
 #include "util/prefix_sum.h"
@@ -34,18 +37,33 @@ Matrix<std::uint8_t> occupancy_excluding(const Placement& placement,
   return grid;
 }
 
-/// Grid of anchor positions where a w-by-h footprint fits entirely on empty
-/// cells, written into `valid`. Cell (x, y) is 1 iff rect (x, y, w, h) is
-/// empty; the matrix has the same dimensions as the source grid with
-/// infeasible anchors (footprint sticking out) left 0.
-void valid_anchor_grid_into(const PrefixSum2D& sums, int w, int h,
-                            Matrix<std::uint8_t>& valid) {
-  valid.reset(sums.width(), sums.height(), 0);
-  for (int y = 0; y + h <= sums.height(); ++y) {
-    for (int x = 0; x + w <= sums.width(); ++x) {
-      if (sums.is_rect_empty(Rect{x, y, w, h})) valid.at(x, y) = 1;
-    }
-  }
+/// Builds the per-orientation queries from `scratch.occupied` (already
+/// filled with the excluding occupancy). The valid-anchor grid — cell
+/// (x, y) is valid iff rect (x, y, w, h) is empty and inside the grid —
+/// is derived fused into its prefix-sum pass, never materialized.
+std::vector<OrientationQuery> queries_from_scratch(FtiBuildScratch& scratch,
+                                                   int w, int h,
+                                                   const FtiOptions& options) {
+  scratch.occupied_sums.rebuild(scratch.occupied);
+  const int grid_w = scratch.occupied_sums.width();
+  const int grid_h = scratch.occupied_sums.height();
+
+  std::vector<OrientationQuery> queries;
+  auto add = [&](int qw, int qh) {
+    OrientationQuery q;
+    q.w = qw;
+    q.h = qh;
+    q.position_sums.rebuild_from(grid_w, grid_h, [&](int x, int y) {
+      return x + qw <= grid_w && y + qh <= grid_h &&
+             scratch.occupied_sums.is_rect_empty(Rect{x, y, qw, qh});
+    });
+    q.total_positions =
+        q.position_sums.occupied_in(Rect{0, 0, grid_w, grid_h});
+    queries.push_back(std::move(q));
+  };
+  add(w, h);
+  if (options.allow_rotation && w != h) add(h, w);
+  return queries;
 }
 
 }  // namespace
@@ -75,26 +93,8 @@ std::vector<OrientationQuery> build_relocation_queries(
     const FtiOptions& options, FtiBuildScratch& scratch) {
   const PlacedModule& m = placement.module(index);
   occupancy_excluding_into(placement, index, region, scratch.occupied);
-  scratch.occupied_sums.rebuild(scratch.occupied);
-
-  const int w = m.spec.footprint_width();
-  const int h = m.spec.footprint_height();
-
-  std::vector<OrientationQuery> queries;
-  auto add = [&](int qw, int qh) {
-    OrientationQuery q;
-    q.w = qw;
-    q.h = qh;
-    valid_anchor_grid_into(scratch.occupied_sums, qw, qh, scratch.valid);
-    long long total = 0;
-    for (const auto v : scratch.valid) total += v;
-    q.total_positions = total;
-    q.position_sums = PrefixSum2D(scratch.valid);
-    queries.push_back(std::move(q));
-  };
-  add(w, h);
-  if (options.allow_rotation && w != h) add(h, w);
-  return queries;
+  return queries_from_scratch(scratch, m.spec.footprint_width(),
+                              m.spec.footprint_height(), options);
 }
 
 FtiResult evaluate_fti(const Placement& placement, const FtiOptions& options,
@@ -140,159 +140,541 @@ long long covered_cell_count(const Placement& placement,
   return evaluate_fti(placement, options, region).covered_cells;
 }
 
-FtiIncrementalEvaluator::ModuleQueries FtiIncrementalEvaluator::build(
-    const Placement& placement, int index, const Rect& domain) {
-  // The domain grid is built exactly like evaluate_fti's region grid —
-  // same occupancy, same valid-anchor derivation — just over the larger,
-  // region-covering rectangle. Region bounds are applied at query time
-  // (anchors_in_region below).
-  ModuleQueries queries;
-  queries.domain = domain;
-  queries.orientations =
-      build_relocation_queries(placement, index, domain, options_,
-                               build_scratch_);
-  return queries;
+// --- incremental evaluator --------------------------------------------
+
+namespace {
+
+/// Anchor clamp rectangle for a w-by-h footprint over `region`, in
+/// absolute coordinates: the anchors whose footprint lies entirely
+/// inside the region (empty when the region cannot hold the footprint)
+/// — the exact clamp evaluate_fti's region-built queries encode
+/// structurally.
+Rect anchor_clamp(const Rect& region, int w, int h) {
+  return Rect{region.x, region.y, region.width - w + 1,
+              region.height - h + 1};
+}
+
+/// Count and bounding box (absolute coordinates) of the valid
+/// (bad == 0) anchors of `grid` inside the absolute clamp rectangle —
+/// one pointer scan over the clamp, clipped to the anchor area. The
+/// scan stops early once the anchors provably spread wider than one
+/// footprint (bbox wider than w or taller than h): that alone makes the
+/// orientation block nothing, and the caller never needs the exact
+/// count (`spread` set, count/bbox partial).
+struct AnchorStats {
+  long long count = 0;
+  Rect bbox;  ///< absolute; empty when count == 0
+  bool spread = false;  ///< anchors provably spread beyond one footprint
+};
+
+AnchorStats scan_anchors(const FtiIncrementalEvaluator::OrientationGrid& grid,
+                         const Rect& domain, const Rect& clamp) {
+  AnchorStats stats;
+  if (clamp.empty()) return stats;
+  Rect local{clamp.x - domain.x, clamp.y - domain.y, clamp.width,
+             clamp.height};
+  local = local.intersection(Rect{0, 0, grid.bad.width() - grid.w + 1,
+                                  grid.bad.height() - grid.h + 1});
+  if (local.empty()) return stats;
+  int min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  for (int y = local.y; y < local.top(); ++y) {
+    const std::uint16_t* row = &grid.bad.at(0, y);
+    if (stats.count > 0 && y - min_y + 1 > grid.h) {
+      // Any further anchor stretches the bbox taller than h.
+      for (int x = local.x; x < local.right(); ++x) {
+        if (row[x] == 0) {
+          stats.spread = true;
+          return stats;
+        }
+      }
+      continue;
+    }
+    for (int x = local.x; x < local.right(); ++x) {
+      if (row[x] != 0) continue;
+      if (stats.count == 0) {
+        min_x = max_x = x;
+        min_y = max_y = y;
+      } else {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        max_y = y;  // rows scanned bottom-up: the last hit is the top
+        if (max_x - min_x + 1 > grid.w) {
+          stats.spread = true;
+          return stats;
+        }
+      }
+      ++stats.count;
+    }
+  }
+  if (stats.count > 0) {
+    stats.bbox = Rect{domain.x + min_x, domain.y + min_y, max_x - min_x + 1,
+                      max_y - min_y + 1};
+  }
+  return stats;
+}
+
+/// Appends the up-to-four rectangles of `a` minus `b` to `out`.
+int subtract_rect(const Rect& a, const Rect& b, Rect out[4]) {
+  const Rect inter = a.intersection(b);
+  if (inter.empty()) {
+    out[0] = a;
+    return a.empty() ? 0 : 1;
+  }
+  int count = 0;
+  if (inter.x > a.x) {
+    out[count++] = Rect{a.x, a.y, inter.x - a.x, a.height};
+  }
+  if (inter.right() < a.right()) {
+    out[count++] =
+        Rect{inter.right(), a.y, a.right() - inter.right(), a.height};
+  }
+  if (inter.y > a.y) {
+    out[count++] = Rect{inter.x, a.y, inter.width, inter.y - a.y};
+  }
+  if (inter.top() < a.top()) {
+    out[count++] =
+        Rect{inter.x, inter.top(), inter.width, a.top() - inter.top()};
+  }
+  return count;
+}
+
+/// One orientation's bad-count grid from the occupancy counts via
+/// sliding footprint-window sums over the "covered by at least one
+/// neighbour" indicator: `bad` holds the occupied-cell count under
+/// every anchor (0 = valid). Full builds only — proposals patch the
+/// grid incrementally.
+void sliding_grids_into(const Matrix<std::uint16_t>& occupancy,
+                        FtiIncrementalEvaluator::OrientationGrid& grid,
+                        Matrix<int>& row_sums, std::vector<int>& column_acc) {
+  const int grid_w = occupancy.width();
+  const int grid_h = occupancy.height();
+  const int w = grid.w;
+  const int h = grid.h;
+  grid.bad.reset(grid_w, grid_h, 0);
+  if (w > grid_w || h > grid_h) return;  // no anchor fits
+
+  row_sums.reset(grid_w, grid_h, 0);
+  for (int y = 0; y < grid_h; ++y) {
+    int sum = 0;
+    for (int x = 0; x < w; ++x) sum += occupancy.at(x, y) > 0 ? 1 : 0;
+    row_sums.at(0, y) = sum;
+    for (int x = 1; x + w <= grid_w; ++x) {
+      sum += (occupancy.at(x + w - 1, y) > 0 ? 1 : 0) -
+             (occupancy.at(x - 1, y) > 0 ? 1 : 0);
+      row_sums.at(x, y) = sum;
+    }
+  }
+  column_acc.assign(static_cast<std::size_t>(grid_w), 0);
+  for (int y = 0; y < grid_h; ++y) {
+    for (int x = 0; x + w <= grid_w; ++x) {
+      column_acc[static_cast<std::size_t>(x)] += row_sums.at(x, y);
+      if (y >= h) {
+        column_acc[static_cast<std::size_t>(x)] -= row_sums.at(x, y - h);
+      }
+    }
+    if (y + 1 >= h) {
+      const int ay = y + 1 - h;
+      for (int x = 0; x + w <= grid_w; ++x) {
+        grid.bad.at(x, ay) =
+            static_cast<std::uint16_t>(column_acc[static_cast<std::size_t>(x)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FtiIncrementalEvaluator::build_module(const Placement& placement,
+                                           int index) {
+  // The occupancy counts are built exactly like evaluate_fti's region
+  // grid — every temporal neighbour's footprint, same clipping — just
+  // over the shared, region-covering domain. Region bounds are applied
+  // by the clamped count/extreme queries.
+  ModuleGrids& grids = queries_[static_cast<std::size_t>(index)];
+  const int grid_w = domain_.width;
+  const int grid_h = domain_.height;
+  grids.occupancy.reset(grid_w, grid_h, 0);
+  for (const int neighbor : neighbors_[static_cast<std::size_t>(index)]) {
+    Rect fp = placement.module(neighbor).footprint();
+    fp.x -= domain_.x;
+    fp.y -= domain_.y;
+    const Rect clipped = fp.intersection(Rect{0, 0, grid_w, grid_h});
+    for (int y = clipped.y; y < clipped.top(); ++y) {
+      for (int x = clipped.x; x < clipped.right(); ++x) {
+        ++grids.occupancy.at(x, y);
+      }
+    }
+  }
+  const ModuleSpec& spec = placement.module(index).spec;
+  const int w = spec.footprint_width();
+  const int h = spec.footprint_height();
+  grids.orientation_count = (options_.allow_rotation && w != h) ? 2 : 1;
+  for (int o = 0; o < grids.orientation_count; ++o) {
+    OrientationGrid& grid = grids.orientations[o];
+    grid.w = o == 0 ? w : h;
+    grid.h = o == 0 ? h : w;
+    sliding_grids_into(grids.occupancy, grid, build_scratch_.row_sums,
+                       build_scratch_.column_acc);
+  }
+}
+
+void FtiIncrementalEvaluator::apply_move_delta(int mover, const Rect& from,
+                                               const Rect& to,
+                                               std::uint64_t touch_stamp) {
+  if (from == to) return;
+  // Only the symmetric difference changes anyone's occupancy — a
+  // one-cell displacement touches two thin strips, not two footprints.
+  Rect removed[4];
+  Rect added[4];
+  const int removed_count = subtract_rect(from, to, removed);
+  const int added_count = subtract_rect(to, from, added);
+
+  for (const int neighbor : neighbors_[static_cast<std::size_t>(mover)]) {
+    ModuleGrids& grids = queries_[static_cast<std::size_t>(neighbor)];
+    const int grid_w = grids.occupancy.width();
+    const int grid_h = grids.occupancy.height();
+    const Rect bounds{0, 0, grid_w, grid_h};
+
+    // A cell crossing between covered and free relaxes or constrains
+    // every anchor whose footprint contains it: a w-by-h patch of bad
+    // counts, applied with pointer rows — the delta engine's innermost
+    // FTI loop. Validity is re-read by the next derive, so no further
+    // bookkeeping happens here.
+    const auto flip_cell = [&](int x, int y, bool now_occupied) {
+      if (touch_stamp != 0) {
+        visit_stamp_[static_cast<std::size_t>(neighbor)] = touch_stamp;
+      }
+      for (int o = 0; o < grids.orientation_count; ++o) {
+        OrientationGrid& grid = grids.orientations[o];
+        const int x1 = std::max(0, x - grid.w + 1);
+        const int x2 = std::min(x, grid_w - grid.w);
+        const int y1 = std::max(0, y - grid.h + 1);
+        const int y2 = std::min(y, grid_h - grid.h);
+        const std::uint16_t delta =
+            now_occupied ? 1 : static_cast<std::uint16_t>(-1);
+        for (int ay = y1; ay <= y2; ++ay) {
+          std::uint16_t* bad_row = &grid.bad.at(0, ay);
+          for (int ax = x1; ax <= x2; ++ax) {
+            bad_row[ax] = static_cast<std::uint16_t>(bad_row[ax] + delta);
+          }
+        }
+      }
+    };
+    const auto patch = [&](const Rect& rect_abs, bool adding) {
+      Rect local = rect_abs;
+      local.x -= domain_.x;
+      local.y -= domain_.y;
+      local = local.intersection(bounds);
+      for (int y = local.y; y < local.top(); ++y) {
+        std::uint16_t* occupancy_row = &grids.occupancy.at(0, y);
+        for (int x = local.x; x < local.right(); ++x) {
+          std::uint16_t& count = occupancy_row[x];
+          if (adding) {
+            if (count++ == 0) flip_cell(x, y, /*now_occupied=*/true);
+          } else {
+            if (--count == 0) flip_cell(x, y, /*now_occupied=*/false);
+          }
+        }
+      }
+    };
+    for (int r = 0; r < removed_count; ++r) patch(removed[r], false);
+    for (int a = 0; a < added_count; ++a) patch(added[a], true);
+  }
+}
+
+FtiIncrementalEvaluator::ModuleBlock FtiIncrementalEvaluator::derive_stats(
+    int index) const {
+  const ModuleGrids& grids = queries_[static_cast<std::size_t>(index)];
+  ModuleBlock stats;
+  bool any_anchor = false;
+  bool core_started = false;
+  bool core_empty = false;
+  Rect core;
+  for (int o = 0; o < grids.orientation_count; ++o) {
+    if (any_anchor && core_empty) {
+      // Outcome decided: relocatable, blocks nothing. Mark the stats
+      // unknown (-1) so the region certificates re-derive instead of
+      // trusting them.
+      stats.anchors[o] = -1;
+      stats.anchor_bbox[o] = Rect{};
+      continue;
+    }
+    const OrientationGrid& grid = grids.orientations[o];
+    const AnchorStats scanned = scan_anchors(
+        grid, domain_, anchor_clamp(region_, grid.w, grid.h));
+    // An orientation without region-valid anchors offers no relocation at
+    // all; it constrains the blocked-cell intersection with "everything".
+    if (scanned.count == 0 && !scanned.spread) {
+      stats.anchors[o] = 0;
+      stats.anchor_bbox[o] = Rect{};
+      continue;
+    }
+    any_anchor = true;
+    if (scanned.spread) {
+      // The anchors provably spread wider than one footprint: this
+      // orientation blocks nothing, and the exact count/extremes were
+      // never finished — sentinel as above.
+      stats.anchors[o] = -1;
+      stats.anchor_bbox[o] = Rect{};
+      core_started = true;
+      core_empty = true;
+      continue;
+    }
+    stats.anchors[o] = scanned.count;
+    stats.anchor_bbox[o] = scanned.bbox;
+    if (core_empty) continue;
+    // The cells every valid anchor's footprint shares: [max anchor,
+    // min anchor + extent) per axis — empty as soon as the anchors
+    // spread further apart than one footprint reaches.
+    const Rect& bb = scanned.bbox;
+    const Rect common{bb.right() - 1, bb.top() - 1, grid.w - bb.width + 1,
+                      grid.h - bb.height + 1};
+    if (common.empty()) {
+      core_started = true;
+      core_empty = true;
+      continue;
+    }
+    core = core_started ? core.intersection(common) : common;
+    core_started = true;
+    core_empty = core.empty();
+  }
+  stats.unrelocatable = !any_anchor;
+  stats.core = core_empty ? Rect{} : core;
+  stats.stats_region = region_;
+  return stats;
+}
+
+void FtiIncrementalEvaluator::clip_block(int index,
+                                         const Placement& placement,
+                                         ModuleBlock& stats) const {
+  const Rect fp_in_region =
+      placement.module(index).footprint().intersection(region_);
+  stats.block = stats.unrelocatable
+                    ? fp_in_region
+                    : fp_in_region.intersection(stats.core);
+}
+
+void FtiIncrementalEvaluator::grid_ensure(const Rect& rect) {
+  if (grid_bounds_.contains(rect)) return;
+  // Grown with slack so low-temperature bounding-box drift re-allocates
+  // rarely; counts are preserved cell for cell.
+  const Rect grown = grid_bounds_.united(rect).inflated(8);
+  Matrix<std::uint16_t> next(grown.width, grown.height, 0);
+  for (int y = 0; y < grid_bounds_.height; ++y) {
+    for (int x = 0; x < grid_bounds_.width; ++x) {
+      next.at(x + grid_bounds_.x - grown.x, y + grid_bounds_.y - grown.y) =
+          grid_.at(x, y);
+    }
+  }
+  grid_ = std::move(next);
+  grid_bounds_ = grown;
+}
+
+void FtiIncrementalEvaluator::grid_add(const Rect& rect) {
+  if (rect.empty()) return;
+  grid_ensure(rect);
+  for (int y = rect.y; y < rect.top(); ++y) {
+    for (int x = rect.x; x < rect.right(); ++x) {
+      std::uint16_t& count =
+          grid_.at(x - grid_bounds_.x, y - grid_bounds_.y);
+      if (count++ == 0) ++blocked_;
+    }
+  }
+}
+
+void FtiIncrementalEvaluator::grid_remove(const Rect& rect) {
+  if (rect.empty()) return;
+  for (int y = rect.y; y < rect.top(); ++y) {
+    for (int x = rect.x; x < rect.right(); ++x) {
+      std::uint16_t& count =
+          grid_.at(x - grid_bounds_.x, y - grid_bounds_.y);
+      if (--count == 0) --blocked_;
+    }
+  }
+}
+
+void FtiIncrementalEvaluator::apply_block(int index, const ModuleBlock& fresh,
+                                          Backup& backup) {
+  ModuleBlock& current = blocks_[static_cast<std::size_t>(index)];
+  backup.some_blocks.emplace_back(index, current);
+  grid_remove(current.block);
+  grid_add(fresh.block);
+  current = fresh;
 }
 
 void FtiIncrementalEvaluator::update(const Placement& placement,
                                      const Rect& region,
-                                     const std::vector<int>& dirty,
-                                     Backup& backup) {
+                                     const MovedModule* moved,
+                                     int moved_count, Backup& backup) {
   const int count = placement.module_count();
   backup.region = region_;
   backup.full = false;
   backup.all.clear();
-  backup.some.clear();
+  backup.all_blocks.clear();
+  backup.some_blocks.clear();
+  backup.moved_count = 0;
 
-  // The domain trades build cost (grids are O(domain area)) against
-  // rebuild frequency (a region drifting outside a module's domain
-  // forces its rebuild): region plus a slack ring, clipped to the canvas.
-  // Low-temperature annealing moves the bounding box a cell or two at a
-  // time, so the slack absorbs most drifts.
-  constexpr int kDomainSlack = 2;
   const Rect canvas{0, 0, placement.canvas_width(),
                     placement.canvas_height()};
-  const Rect domain =
-      region.inflated(kDomainSlack).intersection(canvas).united(region);
-
-  if (queries_.size() != static_cast<std::size_t>(count)) {
-    // First use: build everything.
+  // Full (re)builds happen on first use and when the region outgrows
+  // the shared domain — never on the steady-state proposal path, where
+  // the domain is the (fixed) canvas.
+  if (queries_.size() != static_cast<std::size_t>(count) ||
+      (!region.empty() && !domain_.contains(region))) {
     backup.full = true;
     backup.all = std::move(queries_);
-    queries_.clear();
-    queries_.reserve(static_cast<std::size_t>(count));
-    for (int i = 0; i < count; ++i) {
-      queries_.push_back(build(placement, i, domain));
+    backup.all_blocks = std::move(blocks_);
+    backup.grid = std::move(grid_);
+    backup.grid_bounds = grid_bounds_;
+    backup.domain = domain_;
+    backup.blocked = blocked_;
+
+    neighbors_.assign(static_cast<std::size_t>(count), {});
+    for (const auto& [i, j] : placement.conflicting_pairs()) {
+      neighbors_[static_cast<std::size_t>(i)].push_back(j);
+      neighbors_[static_cast<std::size_t>(j)].push_back(i);
     }
+    visit_stamp_.assign(static_cast<std::size_t>(count), 0);
+    stamp_ = 0;
+
     region_ = region;
+    domain_ = canvas.united(region);
+    queries_.assign(static_cast<std::size_t>(count), ModuleGrids{});
+    blocks_.assign(static_cast<std::size_t>(count), ModuleBlock{});
+    grid_ = Matrix<std::uint16_t>{};
+    grid_bounds_ = Rect{};
+    blocked_ = 0;
+    if (!region.empty()) grid_ensure(region);
+    for (int i = 0; i < count; ++i) {
+      build_module(placement, i);
+      ModuleBlock& block = blocks_[static_cast<std::size_t>(i)];
+      block = derive_stats(i);
+      clip_block(i, placement, block);
+      grid_add(block.block);
+    }
     return;
   }
 
-  backup.some.reserve(dirty.size());
-  for (const int index : dirty) {
-    auto& slot = queries_[static_cast<std::size_t>(index)];
-    backup.some.emplace_back(index, std::move(slot));
-    slot = build(placement, index, domain);
-  }
-  // A cached domain the region has drifted out of (it outgrew the slack
-  // ring since that module's last build) is rebuilt too. Modules rebuilt
-  // by the dirty loop above cannot re-trigger here: their fresh domain
-  // contains the region by construction.
-  for (int i = 0; i < count; ++i) {
-    auto& slot = queries_[static_cast<std::size_t>(i)];
-    if (slot.domain.contains(region) || region.empty()) continue;
-    backup.some.emplace_back(i, std::move(slot));
-    slot = build(placement, i, domain);
-  }
+  const Rect old_region = region_;
   region_ = region;
+  const bool region_changed = !(region == old_region);
+
+  backup.moved_count = moved_count;
+  const std::uint64_t touch_stamp = ++stamp_;
+  for (int c = 0; c < moved_count; ++c) {
+    backup.moved[c] = moved[c];
+    apply_move_delta(moved[c].index, moved[c].from, moved[c].to,
+                     touch_stamp);
+  }
+
+  const std::uint64_t refresh_stamp = ++stamp_;
+  // Dirtied neighbours whose occupancy actually crossed: their anchor
+  // sets changed, so re-derive their stats (one clamp scan per
+  // orientation). Neighbours the move patched without any crossing keep
+  // bit-identical grids and fall through to the region handling below.
+  for (int c = 0; c < moved_count; ++c) {
+    for (const int neighbor :
+         neighbors_[static_cast<std::size_t>(moved[c].index)]) {
+      const std::size_t n = static_cast<std::size_t>(neighbor);
+      if (visit_stamp_[n] != touch_stamp) continue;
+      visit_stamp_[n] = refresh_stamp;
+      ModuleBlock fresh = derive_stats(neighbor);
+      clip_block(neighbor, placement, fresh);
+      if (!(fresh == blocks_[n])) apply_block(neighbor, fresh, backup);
+    }
+  }
+
+  if (!region_changed) {
+    // Same region, same anchor sets: only the moved modules' coverage
+    // contribution can still change — their block follows their
+    // footprint under the cached core, no anchor queries at all.
+    for (int c = 0; c < moved_count; ++c) {
+      const std::size_t i = static_cast<std::size_t>(moved[c].index);
+      if (visit_stamp_[i] == refresh_stamp) continue;
+      visit_stamp_[i] = refresh_stamp;
+      ModuleBlock fresh = blocks_[i];
+      clip_block(moved[c].index, placement, fresh);
+      if (!(fresh == blocks_[i])) apply_block(moved[c].index, fresh, backup);
+    }
+    return;
+  }
+
+  // The region moved under everyone — but almost nobody's block
+  // actually changes, and two monotonicity certificates prove it
+  // without touching the anchor grids. Growth: a region containing the
+  // stats' reference region only gains anchors, and a gained anchor can
+  // only shrink the blocked-cell intersection — an empty core stays
+  // empty, so the (empty) block stands. Shrink: a region inside the
+  // reference whose clamp still contains every cached anchor bounding
+  // box leaves the anchor sets — and so the stats — exactly as derived;
+  // only the footprint clip can move the block. Everything else pays
+  // one derive (a clamp scan per orientation).
+  (void)old_region;
+  for (int index = 0; index < count; ++index) {
+    const std::size_t i = static_cast<std::size_t>(index);
+    if (visit_stamp_[i] == refresh_stamp) continue;
+    const ModuleBlock& current = blocks_[i];
+    const ModuleGrids& grids = queries_[i];
+
+    if (!current.unrelocatable && current.core.empty() &&
+        region.contains(current.stats_region)) {
+      continue;  // grown region, provably still-empty core: block empty
+    }
+    if (current.stats_region.contains(region)) {
+      bool sets_unchanged = true;
+      for (int o = 0; o < grids.orientation_count; ++o) {
+        if (current.anchors[o] == 0) continue;  // empty shrinks to empty
+        const OrientationGrid& grid = grids.orientations[o];
+        // Unknown (sentinel, -1) stats have an empty bbox, which
+        // contains() rejects — they always re-derive.
+        if (!anchor_clamp(region, grid.w, grid.h)
+                 .contains(current.anchor_bbox[o])) {
+          sets_unchanged = false;
+          break;
+        }
+      }
+      if (sets_unchanged) {
+        ModuleBlock fresh = current;
+        clip_block(index, placement, fresh);
+        if (!(fresh == current)) apply_block(index, fresh, backup);
+        continue;
+      }
+    }
+    ModuleBlock fresh = derive_stats(index);
+    clip_block(index, placement, fresh);
+    if (!(fresh == current)) apply_block(index, fresh, backup);
+  }
 }
 
 void FtiIncrementalEvaluator::restore(Backup& backup) {
   region_ = backup.region;
   if (backup.full) {
     queries_ = std::move(backup.all);
+    blocks_ = std::move(backup.all_blocks);
+    grid_ = std::move(backup.grid);
+    grid_bounds_ = backup.grid_bounds;
+    domain_ = backup.domain;
+    blocked_ = backup.blocked;
     return;
   }
-  for (auto& [index, saved] : backup.some) {
-    queries_[static_cast<std::size_t>(index)] = std::move(saved);
+  // The grid patches are exact integer increments: applying the swapped
+  // deltas in reverse order undoes them bit for bit.
+  for (int c = backup.moved_count - 1; c >= 0; --c) {
+    apply_move_delta(backup.moved[c].index, backup.moved[c].to,
+                     backup.moved[c].from);
+  }
+  backup.moved_count = 0;
+  for (auto& [index, saved] : backup.some_blocks) {
+    grid_remove(blocks_[static_cast<std::size_t>(index)].block);
+    grid_add(saved.block);
+    blocks_[static_cast<std::size_t>(index)] = saved;
   }
 }
 
-namespace {
-
-/// Valid anchors of orientation `q` (domain grid) that lie inside
-/// `region` — the same count evaluate_fti's region-built grid calls
-/// `total_positions`.
-long long anchors_in_region(const OrientationQuery& q, const Rect& domain,
-                            const Rect& region) {
-  const int bw = region.width - q.w + 1;
-  const int bh = region.height - q.h + 1;
-  if (bw <= 0 || bh <= 0) return 0;
-  return q.position_sums.occupied_in(
-      Rect{region.x - domain.x, region.y - domain.y, bw, bh});
-}
-
-/// Valid region-interior anchors whose footprint would contain `cell`
-/// (absolute coordinates).
-long long anchors_containing(const OrientationQuery& q, const Rect& domain,
-                             const Rect& region, Point cell) {
-  const int x1 = std::max(region.x, cell.x - q.w + 1);
-  const int y1 = std::max(region.y, cell.y - q.h + 1);
-  const int x2 = std::min(cell.x, region.right() - q.w);
-  const int y2 = std::min(cell.y, region.top() - q.h);
-  if (x2 < x1 || y2 < y1) return 0;
-  return q.position_sums.occupied_in(
-      Rect{x1 - domain.x, y1 - domain.y, x2 - x1 + 1, y2 - y1 + 1});
-}
-
-}  // namespace
-
-long long FtiIncrementalEvaluator::covered_cells(const Placement& placement) {
-  if (region_.empty()) return 0;
-  if (covered_scratch_.width() != region_.width ||
-      covered_scratch_.height() != region_.height) {
-    covered_scratch_ = Matrix<std::uint8_t>(region_.width, region_.height, 1);
-  } else {
-    covered_scratch_.fill(1);
-  }
-
-  // Same pass as evaluate_fti, with the per-module query build replaced
-  // by the cache lookup — the whole point of incremental evaluation.
-  for (int index = 0; index < placement.module_count(); ++index) {
-    const Rect fp = placement.module(index).footprint().intersection(region_);
-    if (fp.empty()) continue;
-    const ModuleQueries& queries = queries_[static_cast<std::size_t>(index)];
-
-    // Per-orientation totals over the region, once per module.
-    long long totals[2] = {0, 0};
-    const std::size_t orientation_count = queries.orientations.size();
-    for (std::size_t o = 0; o < orientation_count; ++o) {
-      totals[o] = anchors_in_region(queries.orientations[o], queries.domain,
-                                    region_);
-    }
-
-    for (int y = fp.y; y < fp.top(); ++y) {
-      for (int x = fp.x; x < fp.right(); ++x) {
-        const Point cell{x - region_.x, y - region_.y};
-        if (covered_scratch_.at(cell) == 0) continue;  // already uncovered
-        bool relocatable = false;
-        for (std::size_t o = 0; o < orientation_count; ++o) {
-          if (totals[o] - anchors_containing(queries.orientations[o],
-                                             queries.domain, region_,
-                                             Point{x, y}) >
-              0) {
-            relocatable = true;
-            break;
-          }
-        }
-        if (!relocatable) covered_scratch_.at(cell) = 0;
-      }
-    }
-  }
-
-  long long covered = 0;
-  for (const auto v : covered_scratch_) covered += v;
-  return covered;
+bool FtiIncrementalEvaluator::is_cell_covered(Point cell) const {
+  if (!region_.contains(cell)) return false;
+  if (!grid_bounds_.contains(Rect{cell.x, cell.y, 1, 1})) return true;
+  return grid_.at(cell.x - grid_bounds_.x, cell.y - grid_bounds_.y) == 0;
 }
 
 bool is_cell_covered_reference(const Placement& placement, Point cell,

@@ -98,11 +98,14 @@ struct OrientationQuery {
 
 /// Reusable intermediates of one relocation-query build (the retained
 /// OrientationQuery prefix sums are freshly allocated; everything else is
-/// recycled across builds).
+/// recycled across builds). The incremental evaluator reuses the
+/// occupancy grid and the sliding-window buffers; the public
+/// `build_relocation_queries` uses the occupancy prefix sums.
 struct FtiBuildScratch {
   Matrix<std::uint8_t> occupied;
   PrefixSum2D occupied_sums;
-  Matrix<std::uint8_t> valid;
+  Matrix<int> row_sums;        ///< horizontal footprint-window sums
+  std::vector<int> column_acc; ///< vertical sliding accumulator
 };
 
 /// Builds the queries (one or two orientations) for module `index` of
@@ -119,70 +122,182 @@ std::vector<OrientationQuery> build_relocation_queries(
     const Placement& placement, int index, const Rect& region,
     const FtiOptions& options, FtiBuildScratch& scratch);
 
-/// Caches per-module OrientationQuery data across annealing proposals.
+/// Caches per-module relocation state — and the per-cell coverage state
+/// derived from it — across annealing proposals.
 ///
-/// A module's queries are built over a region-independent *domain* (the
-/// canvas, united with the evaluation region for out-of-canvas
-/// placements) and depend only on the footprints of the modules it
+/// A module's relocation grids live over one shared, region-independent
+/// *domain* (the canvas, united with the evaluation region and grown on
+/// demand) and depend only on the footprints of the modules it
 /// time-overlaps — not on the region and not on the module's own
-/// position. A move therefore dirties exactly the moved modules'
-/// temporal neighbours; bounding-box changes (which happen on a large
-/// share of proposals in a compact low-temperature placement) invalidate
-/// nothing. Region bounds are applied at query time with clamped
-/// prefix-sum reads, which test_fti/test_incremental_cost pin to be
-/// cell-for-cell identical to `evaluate_fti` over the region.
-/// `update` returns the displaced cache entries so the caller's revert
-/// path can restore them without recomputation.
+/// position. They are never rebuilt on the hot path: a move patches
+/// exactly the cells of the moved footprints' symmetric difference into
+/// each temporal neighbour's occupancy counts and cascades 0-crossings
+/// into the per-anchor bad-cell counts beneath them — O(dirty) integer
+/// increments, all exactly invertible on revert. Region bounds are
+/// applied at derive time with clamped anchor scans, which
+/// test_fti/test_incremental_cost pin to be cell-for-cell identical to
+/// `evaluate_fti` over the region.
+///
+/// Coverage itself is maintained incrementally too: the cells a module
+/// *blocks* (cells of its footprint no relocation can avoid) form the
+/// intersection of every region-valid anchor's footprint — a rectangle,
+/// derivable from the anchor extremes, and empty as soon as those
+/// anchors spread wider than one footprint. A per-cell counter grid
+/// sums those rectangles; the covered count is region area minus its
+/// nonzero cells. A region (bounding-box) drift re-derives a module's
+/// block only when cheap anchor-count probes (new and intersected clamp
+/// rectangles) show its valid-anchor set actually changed. `update`
+/// records the displaced state so the caller's revert path can restore
+/// it without recomputation.
 class FtiIncrementalEvaluator {
  public:
   explicit FtiIncrementalEvaluator(FtiOptions options = {})
       : options_(options) {}
 
-  /// One module's cached relocation data.
-  struct ModuleQueries {
-    Rect domain;  ///< grid the orientations' prefix sums cover
-    std::vector<OrientationQuery> orientations;
+  /// One orientation's valid-anchor data over the shared domain: anchor
+  /// (x, y) is valid iff a w-by-h footprint there avoids every temporal
+  /// neighbour. `bad.at(x, y)` counts the occupied cells under that
+  /// footprint (0 = valid); a derive scans the region-clamped anchor
+  /// rectangle for count and extremes in one pass.
+  struct OrientationGrid {
+    int w = 0;
+    int h = 0;
+    Matrix<std::uint16_t> bad;  ///< occupied cells under each anchor
+  };
+
+  /// One module's cached relocation state: how many temporal-neighbour
+  /// footprints cover each domain cell, and the anchor grids derived
+  /// from the "covered by at least one" indicator.
+  struct ModuleGrids {
+    Matrix<std::uint16_t> occupancy;  ///< neighbour footprints per cell
+    int orientation_count = 0;
+    OrientationGrid orientations[2];
+  };
+
+  /// One module's contribution to a proposal: where it was and where it
+  /// is now. `update` patches its temporal neighbours' grids with the
+  /// difference; `restore` applies the exact inverse.
+  struct MovedModule {
+    int index = -1;
+    Rect from;
+    Rect to;
+  };
+
+
+  /// One module's cached coverage contribution: its region-valid anchor
+  /// stats per orientation (count and bounding box, valid for
+  /// `stats_region`) and the rectangle of cells it blocks (empty for
+  /// the overwhelmingly common can-always-relocate case). Plain data —
+  /// backed up by value.
+  struct ModuleBlock {
+    long long anchors[2] = {0, 0};  ///< region-valid anchors per orientation
+    Rect anchor_bbox[2];            ///< their bounding boxes (absolute)
+    Rect stats_region;              ///< region the stats were derived for
+    /// Intersection of every region-valid anchor's footprint, over the
+    /// orientations that have anchors (the cells those orientations
+    /// cannot avoid). Meaningless when `unrelocatable`.
+    Rect core;
+    bool unrelocatable = false;  ///< no orientation has a region-valid anchor
+    Rect block;  ///< cells currently contributed to the coverage grid
+
+    friend bool operator==(const ModuleBlock&, const ModuleBlock&) = default;
   };
 
   /// Displaced cache state from one `update`, restorable via `restore`.
   struct Backup {
     Rect region;
-    bool full = false;  ///< first build: `all` holds every module's data
-    std::vector<ModuleQueries> all;
-    std::vector<std::pair<int, ModuleQueries>> some;
+    bool full = false;  ///< full (re)build: `all*` hold every module's data
+    std::vector<ModuleGrids> all;
+    std::vector<ModuleBlock> all_blocks;
+    std::vector<std::pair<int, ModuleBlock>> some_blocks;
+    Matrix<std::uint16_t> grid;  ///< full-build coverage grid, wholesale
+    Rect grid_bounds;
+    Rect domain;
+    long long blocked = 0;
+    MovedModule moved[2];  ///< applied deltas, inverted by `restore`
+    int moved_count = 0;
   };
 
   const Rect& region() const { return region_; }
   const FtiOptions& options() const { return options_; }
 
-  /// Points the evaluator at `region` and re-derives the cached queries
-  /// of the modules listed in `dirty` (plus any module whose domain no
-  /// longer covers the region, e.g. after the region outgrew its slack).
-  /// Everything is built on first use. The displaced data lands in
-  /// `backup` (an out-param so its buffers recycle across proposals) for
-  /// undo via `restore`.
+  /// Points the evaluator at `region` and patches the cached grids with
+  /// the `moved` modules' footprint deltas (dirtying exactly their
+  /// temporal neighbours), then refreshes the coverage grid under those
+  /// footprints and — only when a region change is shown to have
+  /// changed their valid-anchor sets — anyone else's. Everything is
+  /// built on first use (or when the region outgrows the shared
+  /// domain). The displaced state lands in `backup` (an out-param so
+  /// its buffers recycle across proposals) for undo via `restore`.
   void update(const Placement& placement, const Rect& region,
-              const std::vector<int>& dirty, Backup& backup);
+              const MovedModule* moved, int moved_count, Backup& backup);
+
 
   /// Restores the cache to its state before the matching `update`,
   /// consuming `backup`'s entries (the container itself survives for
   /// reuse).
   void restore(Backup& backup);
 
-  /// Covered-cell count of `placement` over the cached region using the
-  /// cached queries — identical to
-  /// `covered_cell_count(placement, options, region())` whenever the cache
-  /// is in sync with the placement.
-  long long covered_cells(const Placement& placement);
+  /// Covered-cell count over the cached region — identical to
+  /// `covered_cell_count(placement, options, region())` whenever the
+  /// cache is in sync with the placement (pinned by
+  /// test_incremental_cost), read off the maintained tallies in O(1).
+  long long covered_cells() const {
+    return region_.empty() ? 0 : region_.area() - blocked_;
+  }
+
+  /// Per-cell coverage state (absolute coordinates) — what the audit
+  /// tests pin against `is_cell_covered_reference` / `evaluate_fti`.
+  /// Cells outside the region are uncovered, matching the reference.
+  bool is_cell_covered(Point cell) const;
 
  private:
-  ModuleQueries build(const Placement& placement, int index,
-                      const Rect& domain);
+  /// Builds module `index`'s grids over the shared domain from scratch
+  /// (full builds only; the hot path patches instead).
+  void build_module(const Placement& placement, int index);
+
+  /// Patches module `mover`'s temporal neighbours' grids with its
+  /// footprint change `from` -> `to` (the exact inverse of the swapped
+  /// call). Neighbours whose occupancy actually crossed between covered
+  /// and free are marked with `touch_stamp` in `visit_stamp_` — the
+  /// others' anchor grids are bit-identical and need no re-derive.
+  void apply_move_delta(int mover, const Rect& from, const Rect& to,
+                        std::uint64_t touch_stamp = 0);
+
+  /// Derives module `index`'s anchor stats, core and `unrelocatable`
+  /// flag against the current region from its cached grids (count and
+  /// extremes from one clamp scan per orientation).
+  ModuleBlock derive_stats(int index) const;
+
+  /// Fills `block` of `stats` from its core against module `index`'s
+  /// current footprint clipped to the region.
+  void clip_block(int index, const Placement& placement,
+                  ModuleBlock& stats) const;
+
+  /// Swaps module `index`'s grid contribution to `fresh`, recording the
+  /// old state in `backup`.
+  void apply_block(int index, const ModuleBlock& fresh, Backup& backup);
+
+  // Coverage-grid plumbing: counts of blocking modules per cell over
+  // `grid_bounds_`, with `blocked_` tracking its nonzero cells (all of
+  // which lie inside the current region by construction).
+  void grid_add(const Rect& rect);
+  void grid_remove(const Rect& rect);
+  void grid_ensure(const Rect& rect);
 
   FtiOptions options_;
   Rect region_;
-  std::vector<ModuleQueries> queries_;    ///< per module
-  Matrix<std::uint8_t> covered_scratch_;  ///< region-sized, reused per call
+  Rect domain_;  ///< shared grid extent (canvas ∪ regions seen)
+  std::vector<ModuleGrids> queries_;  ///< per module
+  std::vector<ModuleBlock> blocks_;   ///< per module
+  std::vector<std::vector<int>> neighbors_;  ///< temporal adjacency (fixed)
+  Matrix<std::uint16_t> grid_;  ///< blocking-module counts per cell
+  Rect grid_bounds_;            ///< absolute rect `grid_` covers
+  long long blocked_ = 0;       ///< nonzero grid cells (all inside region)
+  /// Per-module visit stamps for one update()/preview() pass (refresh
+  /// dedup).
+  std::vector<std::uint64_t> visit_stamp_;
+  std::uint64_t stamp_ = 0;
   FtiBuildScratch build_scratch_;
 };
 

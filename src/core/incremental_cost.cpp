@@ -46,7 +46,6 @@ IncrementalPlacementState::IncrementalPlacementState(
     }
   }
   pair_stamp_.assign(pairs.size(), 0);
-  module_stamp_.assign(static_cast<std::size_t>(count), 0);
 
   // Prefix-summed defect counts over the defects' bounding rect (the
   // evaluator already maintains the rect), so a footprint's hit count is
@@ -86,12 +85,6 @@ IncrementalPlacementState::IncrementalPlacementState(
     }
   }
   bbox_ = placement_.bounding_box();
-
-  temporal_neighbors_.assign(static_cast<std::size_t>(count), {});
-  for (const auto& [i, j] : pairs) {
-    temporal_neighbors_[static_cast<std::size_t>(i)].push_back(j);
-    temporal_neighbors_[static_cast<std::size_t>(j)].push_back(i);
-  }
 
   // Routing-pressure caches (gamma != 0 only): CSR adjacency of links by
   // incident module, built like the pair adjacency above.
@@ -141,8 +134,8 @@ IncrementalPlacementState::IncrementalPlacementState(
 
   if (weights_.beta != 0.0) {
     FtiIncrementalEvaluator::Backup scratch;
-    fti_.update(placement_, bbox_, {}, scratch);
-    covered_cells_ = fti_.covered_cells(placement_);
+    fti_.update(placement_, bbox_, nullptr, 0, scratch);
+    covered_cells_ = fti_.covered_cells();
   }
   value_ = value_from_tallies();
 }
@@ -153,7 +146,7 @@ CostBreakdown IncrementalPlacementState::breakdown() const {
   result.overlap_cells = overlap_total_;
   result.defect_cells = defect_total_;
   if (weights_.beta != 0.0) {
-    const long long total = fti_.region().area();
+    const long long total = bbox_.area();
     result.fti =
         total == 0 ? 0.0 : static_cast<double>(covered_cells_) / total;
   }
@@ -183,7 +176,7 @@ double IncrementalPlacementState::value_of(long long area_cells,
 double IncrementalPlacementState::value_from_tallies() const {
   double fti = 0.0;
   if (weights_.beta != 0.0) {
-    const long long total = fti_.region().area();
+    const long long total = bbox_.area();
     fti = total == 0 ? 0.0 : static_cast<double>(covered_cells_) / total;
   }
   return value_of(bbox_.area(), overlap_total_, defect_total_, fti,
@@ -242,12 +235,10 @@ void IncrementalPlacementState::insert_extents(const Rect& footprint) {
 }
 
 double IncrementalPlacementState::propose(const PlacementMove& move) {
-  assert(!pending_.active);
-
   // Clamped displacements frequently land exactly where the module
   // already is (window span 1 at low temperature); such a move changes
   // nothing, so the delta is 0 without touching a single cache — the FTI
-  // path in particular skips its whole rebuild.
+  // path in particular skips its whole patch.
   bool noop = true;
   for (int c = 0; c < move.count && noop; ++c) {
     const PlacedModule& m =
@@ -255,10 +246,83 @@ double IncrementalPlacementState::propose(const PlacementMove& move) {
     noop = m.anchor == move.changes[c].anchor &&
            m.rotated == move.changes[c].rotated;
   }
+  return propose_known(move, noop);
+}
+
+double IncrementalPlacementState::propose_random(int window_span,
+                                                 const MoveOptions& options,
+                                                 Rng& rng) {
+  // Exactly generate_random_move_with_span's draw order, fused with the
+  // no-op determination (anchors and orientations are at hand anyway).
+  PlacementMove move;
+  bool noop = true;
+  const int count = placement_.module_count();
+  if (count > 0) {
+    const bool single =
+        count < 2 || rng.next_bool(options.single_move_probability);
+    const bool rotate = rng.next_bool(options.rotate_probability);
+    if (single) {
+      const int index = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(count)));
+      const PlacedModule& m =
+          placement_.modules()[static_cast<std::size_t>(index)];
+      bool rotated = m.rotated;
+      const bool flipped =
+          rotate && detail::flipped_orientation(placement_, index, rotated);
+      const Point target{m.anchor.x + rng.next_int(-window_span, window_span),
+                         m.anchor.y + rng.next_int(-window_span, window_span)};
+      move.kind = flipped ? MoveKind::kDisplaceRotate : MoveKind::kDisplace;
+      move.count = 1;
+      move.changes[0] = ModuleMove{
+          index, detail::clamp_anchor(placement_, index, rotated, target),
+          rotated};
+      noop = move.changes[0].anchor == m.anchor && rotated == m.rotated;
+    } else {
+      const int i = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(count)));
+      int j = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(count - 1)));
+      if (j >= i) ++j;
+      const PlacedModule& mi =
+          placement_.modules()[static_cast<std::size_t>(i)];
+      const PlacedModule& mj =
+          placement_.modules()[static_cast<std::size_t>(j)];
+      bool rotated_i = mi.rotated;
+      bool rotated_j = mj.rotated;
+      bool flipped = false;
+      if (rotate) {
+        // Move (iv): at least one module of the pair changes orientation.
+        if (rng.next_bool(0.5)) {
+          flipped = detail::flipped_orientation(placement_, i, rotated_i);
+        } else {
+          flipped = detail::flipped_orientation(placement_, j, rotated_j);
+        }
+      }
+      move.kind = flipped ? MoveKind::kSwapRotate : MoveKind::kSwap;
+      move.count = 2;
+      move.changes[0] = ModuleMove{
+          i, detail::clamp_anchor(placement_, i, rotated_i, mj.anchor),
+          rotated_i};
+      move.changes[1] = ModuleMove{
+          j, detail::clamp_anchor(placement_, j, rotated_j, mi.anchor),
+          rotated_j};
+      noop = move.changes[0].anchor == mi.anchor &&
+             rotated_i == mi.rotated &&
+             move.changes[1].anchor == mj.anchor && rotated_j == mj.rotated;
+    }
+  }
+  return propose_known(move, noop);
+}
+
+double IncrementalPlacementState::propose_known(const PlacementMove& move,
+                                                bool noop) {
+  assert(!pending_.active);
+
   if (noop) {
     Pending& pending = pending_;
     pending.active = true;
     pending.eager = false;
+    pending.move.kind = move.kind;  // telemetry: last_move_kind()
     pending.move.count = 0;
     pending.new_pair_overlaps.clear();
     pending.new_link_costs.clear();
@@ -502,28 +566,20 @@ double IncrementalPlacementState::propose_eager(const PlacementMove& move) {
   bbox_ = bounding_box_from_extents();
 
   if (weights_.beta != 0.0) {
-    // Dirty = every module a touched module time-overlaps: a moved
-    // footprint invalidates exactly its temporal neighbours' occupancy.
-    // The mover's own queries depend only on its spec and its neighbours
-    // (which did not move), and region/bounding-box changes invalidate
-    // nothing because the cached grids cover the region-independent
-    // domain — so everything else's prefix sums survive the proposal.
-    dirty_scratch_.clear();
-    const auto mark = [&](int index) {
-      const std::size_t i = static_cast<std::size_t>(index);
-      if (module_stamp_[i] == stamp_) return;
-      module_stamp_[i] = stamp_;
-      dirty_scratch_.push_back(index);
-    };
+    // The evaluator patches exactly what the move touched: each moved
+    // footprint's symmetric difference dirties its temporal neighbours'
+    // occupancy/anchor grids, and the per-cell coverage state follows —
+    // O(dirty) integer increments, inverted bit-exactly by revert().
+    FtiIncrementalEvaluator::MovedModule fti_moves[2];
     for (int c = 0; c < move.count; ++c) {
-      for (const int neighbor :
-           temporal_neighbors_[static_cast<std::size_t>(
-               move.changes[c].index)]) {
-        mark(neighbor);
-      }
+      fti_moves[c].index = move.changes[c].index;
+      fti_moves[c].from = pending.old_modules[c].footprint;
+      fti_moves[c].to =
+          footprints_[static_cast<std::size_t>(move.changes[c].index)];
     }
-    fti_.update(placement_, bbox_, dirty_scratch_, pending.fti_backup);
-    covered_cells_ = fti_.covered_cells(placement_);
+    fti_.update(placement_, bbox_, fti_moves, move.count,
+                pending.fti_backup);
+    covered_cells_ = fti_.covered_cells();
   }
 
   value_ = value_from_tallies();

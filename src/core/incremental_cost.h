@@ -135,14 +135,34 @@ class IncrementalPlacementState {
   /// Module cells on defective electrodes (CostEvaluator::defect_usage).
   long long defect_cells() const { return defect_total_; }
 
+  /// The engaged FTI evaluator (nullptr at beta = 0, where the term is
+  /// never computed). Exposed so the coverage-audit tests can pin its
+  /// per-cell state against the reference evaluators.
+  const FtiIncrementalEvaluator* fti_evaluator() const {
+    return weights_.beta != 0.0 ? &fti_ : nullptr;
+  }
+
   /// Prices `move` and returns (new cost - old cost). With beta = 0 this
   /// mutates nothing — the touched cost terms are re-derived against
   /// hypothetical footprints, so a rejected proposal costs no writes at
   /// all; with beta != 0 the state is mutated eagerly (the FTI cache
-  /// rebuild needs the moved placement) and undone by revert(). A
+  /// patch needs the moved placement) and undone by revert(). A
   /// proposal must be resolved by commit() or revert() before the next
   /// propose().
   double propose(const PlacementMove& move);
+
+  /// Draws one random move and prices it in a single fused pass — the
+  /// kFused engine's proposal path. Consumes the same draws in the same
+  /// order as `generate_random_move_with_span` followed by `propose`,
+  /// but skips the intermediate PlacementMove hand-off and the separate
+  /// no-op rescan (generation already knows whether the move lands
+  /// where the module stands). The generated kind is readable via
+  /// `last_move_kind()` until the next proposal.
+  double propose_random(int window_span, const MoveOptions& options,
+                        Rng& rng);
+
+  /// Kind of the most recently proposed move (fused or explicit).
+  MoveKind last_move_kind() const { return pending_.move.kind; }
 
   /// Keeps the proposed move; returns the (new) absolute cost.
   double commit();
@@ -205,6 +225,10 @@ class IncrementalPlacementState {
   /// value_of over the committed tallies.
   double value_from_tallies() const;
 
+  /// Pricing shared by propose()/propose_random(): `noop` tells it the
+  /// move provably lands every touched module exactly where it stands.
+  double propose_known(const PlacementMove& move, bool noop);
+
   double propose_eager(const PlacementMove& move);
 
   long long defect_hits(const Rect& footprint) const;
@@ -259,9 +283,9 @@ class IncrementalPlacementState {
   std::vector<bool> outside_;  ///< per module: footprint leaves the canvas
   int outside_count_ = 0;
 
-  /// FTI caches; engaged only when weights_.beta != 0.
+  /// FTI caches; engaged only when weights_.beta != 0 (the evaluator
+  /// owns the temporal adjacency its patches fan out over).
   FtiIncrementalEvaluator fti_;
-  std::vector<std::vector<int>> temporal_neighbors_;
   long long covered_cells_ = 0;
 
   /// One demand edge with its cached weighted distance, mirroring
@@ -285,14 +309,12 @@ class IncrementalPlacementState {
   /// Weighted distance of one link under the current `footprints_`.
   long long link_cost(const LinkEntry& entry) const;
 
-  /// Proposal-scoped dedup stamps (pairs and modules) and scratch space,
-  /// reused so the hot path allocates nothing. 64-bit: a 32-bit stamp
-  /// would wrap within minutes at the delta engine's proposal rate and
-  /// silently skip pair re-pricing.
+  /// Proposal-scoped dedup stamps (pairs and links), reused so the hot
+  /// path allocates nothing. 64-bit: a 32-bit stamp would wrap within
+  /// minutes at the delta engine's proposal rate and silently skip pair
+  /// re-pricing.
   std::vector<std::uint64_t> pair_stamp_;
-  std::vector<std::uint64_t> module_stamp_;
   std::uint64_t stamp_ = 0;
-  std::vector<int> dirty_scratch_;
 
   double value_ = 0.0;
   Pending pending_;

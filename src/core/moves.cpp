@@ -45,13 +45,8 @@ std::istream& operator>>(std::istream& is, MoveKind& kind) {
   return is;
 }
 
-namespace {
+namespace detail {
 
-/// Clamps `anchor` so a footprint of the module's spec in the given
-/// orientation stays inside the canvas. A footprint too large for the
-/// canvas in one dimension (possible after a rotation on a non-square
-/// canvas) pins to anchor 0 rather than handing std::clamp an inverted
-/// range (UB).
 Point clamp_anchor(const Placement& placement, int index, bool rotated,
                    Point anchor) {
   // modules()[...] over module(): index is in range by construction and
@@ -64,9 +59,6 @@ Point clamp_anchor(const Placement& placement, int index, bool rotated,
   return Point{std::clamp(anchor.x, 0, max_x), std::clamp(anchor.y, 0, max_y)};
 }
 
-/// Orientation after a requested flip; square footprints are
-/// rotation-invariant so flipping them would be a null move. Returns
-/// whether the orientation actually changed.
 bool flipped_orientation(const Placement& placement, int index,
                          bool& rotated) {
   const auto& m = placement.module(index);
@@ -76,7 +68,10 @@ bool flipped_orientation(const Placement& placement, int index,
   return true;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::clamp_anchor;
+using detail::flipped_orientation;
 
 Point max_anchor(const Placement& placement, int index) {
   const auto& m = placement.module(index);
@@ -101,6 +96,16 @@ int controlling_window_span(const Placement& placement,
 PlacementMove generate_random_move(const Placement& placement,
                                    double temperature_fraction,
                                    const MoveOptions& options, Rng& rng) {
+  return generate_random_move_with_span(
+      placement,
+      controlling_window_span(placement, temperature_fraction, options),
+      options, rng);
+}
+
+PlacementMove generate_random_move_with_span(const Placement& placement,
+                                             int window_span,
+                                             const MoveOptions& options,
+                                             Rng& rng) {
   PlacementMove move;
   const int count = placement.module_count();
   if (count == 0) return move;
@@ -111,8 +116,7 @@ PlacementMove generate_random_move(const Placement& placement,
 
   if (single) {
     const int index = static_cast<int>(rng.next_below(count));
-    const int span =
-        controlling_window_span(placement, temperature_fraction, options);
+    const int span = window_span;
     const PlacedModule& m =
         placement.modules()[static_cast<std::size_t>(index)];
     const Point current = m.anchor;

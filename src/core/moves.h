@@ -75,6 +75,16 @@ PlacementMove generate_random_move(const Placement& placement,
                                    double temperature_fraction,
                                    const MoveOptions& options, Rng& rng);
 
+/// Same, with the controlling-window half-span precomputed (it depends
+/// only on the canvas and the temperature fraction, so the annealing
+/// loop hoists it per temperature step instead of re-deriving it per
+/// proposal). Consumes the exact same random draws in the same order as
+/// `generate_random_move`, so both stay stream-identical.
+PlacementMove generate_random_move_with_span(const Placement& placement,
+                                             int window_span,
+                                             const MoveOptions& options,
+                                             Rng& rng);
+
 /// Applies a generated move to `placement` (the caller re-evaluates cost).
 void apply_move(Placement& placement, const PlacementMove& move);
 
@@ -86,6 +96,25 @@ MoveKind apply_random_move(Placement& placement, double temperature_fraction,
 
 /// Largest legal anchor for module `index` given its current orientation.
 Point max_anchor(const Placement& placement, int index);
+
+namespace detail {
+
+/// Clamps `anchor` so a footprint of module `index`'s spec in the given
+/// orientation stays inside the canvas (a footprint too large for the
+/// canvas pins to 0 instead of handing std::clamp an inverted range).
+/// Shared by the move generator and the fused proposal path
+/// (IncrementalPlacementState::propose_random) so both clamp
+/// identically.
+Point clamp_anchor(const Placement& placement, int index, bool rotated,
+                   Point anchor);
+
+/// Orientation after a requested flip; square footprints are
+/// rotation-invariant so flipping them would be a null move. Returns
+/// whether the orientation actually changed.
+bool flipped_orientation(const Placement& placement, int index,
+                         bool& rotated);
+
+}  // namespace detail
 
 /// Half-span of the controlling window for the given temperature fraction:
 /// from the full canvas extent at T = T0 down to options.min_window.

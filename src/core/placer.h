@@ -76,7 +76,8 @@ struct PlacerContext {
   CostWeights weights;  ///< beta = 0 keeps the objective area-only
   FtiOptions fti_options;
   /// Proposal-evaluation engine (both annealing stages); kDelta and kCopy
-  /// give identical results, kDelta is the fast path.
+  /// give identical results (kDelta the fast path), kFused trades the
+  /// legacy random stream for the fastest proposal loop.
   AnnealingEngine engine = AnnealingEngine::kDelta;
 
   // "two-stage" refinement (§6.2).

@@ -17,6 +17,8 @@ const char* to_string(AnnealingEngine engine) {
       return "delta";
     case AnnealingEngine::kCopy:
       return "copy";
+    case AnnealingEngine::kFused:
+      return "fused";
   }
   return "?";
 }
@@ -25,9 +27,10 @@ template <>
 AnnealingEngine from_string<AnnealingEngine>(std::string_view text) {
   if (text == "delta") return AnnealingEngine::kDelta;
   if (text == "copy") return AnnealingEngine::kCopy;
+  if (text == "fused") return AnnealingEngine::kFused;
   throw std::invalid_argument("unknown AnnealingEngine \"" +
                               std::string(text) +
-                              "\" (expected one of: delta, copy)");
+                              "\" (expected one of: delta, copy, fused)");
 }
 
 std::ostream& operator<<(std::ostream& os, AnnealingEngine engine) {
@@ -56,18 +59,27 @@ namespace {
 Placement anneal_copy(const Placement& initial, const CostEvaluator& evaluator,
                       const SaPlacerOptions& options, Rng& rng,
                       AnnealingStats* stats) {
+  long long proposals_by_kind[AnnealingStats::kMoveKindSlots] = {0, 0, 0, 0};
   AnnealingProblem<Placement> problem;
   problem.cost = [&](const Placement& p) { return evaluator.cost(p); };
   problem.neighbor = [&](const Placement& p, double fraction, Rng& move_rng) {
     Placement next = p;
-    apply_random_move(next, fraction, options.moves, move_rng);
+    const MoveKind kind =
+        apply_random_move(next, fraction, options.moves, move_rng);
+    ++proposals_by_kind[static_cast<int>(kind)];
     return next;
   };
   problem.recordable = [&](const Placement& p) {
     return p.feasible() && evaluator.defect_usage(p) == 0;
   };
-  return anneal(initial, problem, options.schedule, initial.module_count(),
-                rng, stats);
+  Placement best = anneal(initial, problem, options.schedule,
+                          initial.module_count(), rng, stats);
+  if (stats) {
+    for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+      stats->proposals_by_kind[k] = proposals_by_kind[k];
+    }
+  }
+  return best;
 }
 
 /// Concrete (non-type-erased) delta problem, so the annealing loop inlines
@@ -84,13 +96,18 @@ struct InlineDeltaProblem {
 template <typename P, typename C, typename R, typename Q, typename B>
 InlineDeltaProblem(P, C, R, Q, B) -> InlineDeltaProblem<P, C, R, Q, B>;
 
-/// The incremental engine: one IncrementalPlacementState mutated in place,
-/// each proposal priced by the delta of the cost terms it touched. The
-/// placement is only ever copied when a new best is recorded.
-Placement anneal_delta_engine(const Placement& initial,
-                              const CostEvaluator& evaluator,
-                              const SaPlacerOptions& options, Rng& rng,
-                              AnnealingStats* stats) {
+/// Shared scaffolding of the delta and fused engines: one
+/// IncrementalPlacementState mutated in place, each proposal priced by
+/// the delta of the cost terms it touched; the placement is only ever
+/// copied when a new best is recorded. `generate` turns (state, cached
+/// window span, rng) into one priced proposal and reports its kind;
+/// `loop` is anneal_delta or anneal_fused.
+template <typename Generate, typename Loop>
+Placement anneal_incremental_engine(const Placement& initial,
+                                    const CostEvaluator& evaluator,
+                                    const SaPlacerOptions& options, Rng& rng,
+                                    AnnealingStats* stats,
+                                    Generate&& generate, Loop&& loop) {
   IncrementalPlacementState state(initial, evaluator);
 
   // Best-so-far as a pose list, not a Placement copy: the early
@@ -104,12 +121,34 @@ Placement anneal_delta_engine(const Placement& initial,
   std::vector<Pose> best_pose(
       static_cast<std::size_t>(initial.module_count()));
 
+  // Controlling-window span cached per temperature step (it depends only
+  // on the canvas and the fraction, which is constant within a step) —
+  // stream-identical to re-deriving it per proposal. Kind tallies feed
+  // AnnealingStats' telemetry; commit() fires once per accepted move.
+  long long proposals_by_kind[AnnealingStats::kMoveKindSlots] = {0, 0, 0, 0};
+  long long accepted_by_kind[AnnealingStats::kMoveKindSlots] = {0, 0, 0, 0};
+  double cached_fraction = -1.0;
+  int cached_span = 0;
+  int last_kind = 0;
+
   const InlineDeltaProblem problem{
       /*propose_delta=*/[&](double fraction, Rng& move_rng) {
-        return state.propose(generate_random_move(state.placement(), fraction,
-                                                  options.moves, move_rng));
+        if (fraction != cached_fraction) {
+          cached_fraction = fraction;
+          cached_span = controlling_window_span(state.placement(), fraction,
+                                                options.moves);
+        }
+        MoveKind kind = MoveKind::kDisplace;
+        const double delta = generate(state, cached_span, move_rng, kind);
+        last_kind = static_cast<int>(kind);
+        ++proposals_by_kind[last_kind];
+        return delta;
       },
-      /*commit=*/[&] { return state.commit(); },
+      /*commit=*/
+      [&] {
+        ++accepted_by_kind[last_kind];
+        return state.commit();
+      },
       /*revert=*/[&] { state.revert(); },
       /*recordable=*/
       [&] { return state.feasible() && state.defect_cells() == 0; },
@@ -121,9 +160,14 @@ Placement anneal_delta_engine(const Placement& initial,
         }
       }};
 
-  const double best_cost =
-      anneal_delta(state.cost(), problem, options.schedule,
-                   initial.module_count(), rng, stats);
+  const double best_cost = loop(state.cost(), problem, options.schedule,
+                                initial.module_count(), rng, stats);
+  if (stats) {
+    for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+      stats->proposals_by_kind[k] = proposals_by_kind[k];
+      stats->accepted_by_kind[k] = accepted_by_kind[k];
+    }
+  }
   // No recordable state seen: fall back to the final current state, as the
   // copying engine does.
   if (!std::isfinite(best_cost)) return state.placement();
@@ -133,6 +177,52 @@ Placement anneal_delta_engine(const Placement& initial,
                       best_pose[i].rotated);
   }
   return best;
+}
+
+/// The delta engine: legacy-stream generation (the copy engine's exact
+/// trajectory) through the shared incremental scaffolding.
+Placement anneal_delta_engine(const Placement& initial,
+                              const CostEvaluator& evaluator,
+                              const SaPlacerOptions& options, Rng& rng,
+                              AnnealingStats* stats) {
+  return anneal_incremental_engine(
+      initial, evaluator, options, rng, stats,
+      [&options](IncrementalPlacementState& state, int span, Rng& move_rng,
+                 MoveKind& kind) {
+        const PlacementMove move = generate_random_move_with_span(
+            state.placement(), span, options.moves, move_rng);
+        kind = move.kind;
+        return state.propose(move);
+      },
+      [](double cost, const auto& problem, const AnnealingSchedule& schedule,
+         int module_count, Rng& loop_rng, AnnealingStats* loop_stats) {
+        return anneal_delta(cost, problem, schedule, module_count, loop_rng,
+                            loop_stats);
+      });
+}
+
+/// The fused engine: move generation fused into the proposal
+/// (propose_random) driven by anneal_fused's batched-draw loop. Fastest
+/// path; deterministic per seed, but intentionally not the legacy
+/// kDelta/kCopy stream.
+Placement anneal_fused_engine(const Placement& initial,
+                              const CostEvaluator& evaluator,
+                              const SaPlacerOptions& options, Rng& rng,
+                              AnnealingStats* stats) {
+  return anneal_incremental_engine(
+      initial, evaluator, options, rng, stats,
+      [&options](IncrementalPlacementState& state, int span, Rng& move_rng,
+                 MoveKind& kind) {
+        const double delta = state.propose_random(span, options.moves,
+                                                  move_rng);
+        kind = state.last_move_kind();
+        return delta;
+      },
+      [](double cost, const auto& problem, const AnnealingSchedule& schedule,
+         int module_count, Rng& loop_rng, AnnealingStats* loop_stats) {
+        return anneal_fused(cost, problem, schedule, module_count, loop_rng,
+                            loop_stats);
+      });
 }
 
 }  // namespace
@@ -147,11 +237,20 @@ PlacementOutcome anneal_from(const Placement& initial,
   Rng rng(options.seed);
 
   PlacementOutcome outcome;
-  outcome.placement =
-      options.engine == AnnealingEngine::kCopy
-          ? anneal_copy(initial, evaluator, options, rng, &outcome.stats)
-          : anneal_delta_engine(initial, evaluator, options, rng,
-                                &outcome.stats);
+  switch (options.engine) {
+    case AnnealingEngine::kCopy:
+      outcome.placement =
+          anneal_copy(initial, evaluator, options, rng, &outcome.stats);
+      break;
+    case AnnealingEngine::kFused:
+      outcome.placement = anneal_fused_engine(initial, evaluator, options,
+                                              rng, &outcome.stats);
+      break;
+    case AnnealingEngine::kDelta:
+      outcome.placement = anneal_delta_engine(initial, evaluator, options,
+                                              rng, &outcome.stats);
+      break;
+  }
   outcome.cost = evaluator.evaluate(outcome.placement);
   outcome.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -27,10 +27,19 @@ enum class AnnealingEngine {
   /// Per-proposal Placement copy + full cost re-evaluation — the original
   /// engine, kept as the cross-check oracle and for custom problem forms.
   kCopy,
+  /// kDelta plus a fused proposal loop (anneal_fused): move generation
+  /// fused into the delta pricing, the controlling-window span hoisted
+  /// per temperature step, and the Metropolis draws batched from a
+  /// dedicated stream split off the run seed. Deterministic per seed and
+  /// same acceptance rule, but a *different* (versioned) random
+  /// discipline — results are NOT the kDelta/kCopy placement. Pinned by
+  /// tests/test_sa_placer.cpp and test_annealer.cpp.
+  kFused,
 };
 
-/// Textual round-trip ("delta", "copy") for logs and bench JSON;
-/// `from_string` and `>>` throw std::invalid_argument on unknown text.
+/// Textual round-trip ("delta", "copy", "fused") for logs and bench
+/// JSON; `from_string` and `>>` throw std::invalid_argument on unknown
+/// text.
 const char* to_string(AnnealingEngine engine);
 template <>
 AnnealingEngine from_string<AnnealingEngine>(std::string_view text);
@@ -54,8 +63,9 @@ struct SaPlacerOptions {
   /// gamma = 0.
   std::vector<RouteLink> route_links;
   std::uint64_t seed = 0xDA7E2005ULL;
-  /// Proposal-evaluation engine; results are identical either way, kDelta
-  /// is just (much) faster.
+  /// Proposal-evaluation engine; kDelta and kCopy produce identical
+  /// results (kDelta just much faster), kFused trades the legacy random
+  /// stream for the fastest proposal loop.
   AnnealingEngine engine = AnnealingEngine::kDelta;
 };
 

@@ -30,14 +30,23 @@ class PrefixSum2D {
   /// the table's capacity — scratch tables in the annealer's FTI path
   /// are rebuilt thousands of times per second.
   void rebuild(const Matrix<std::uint8_t>& occupied) {
-    width_ = occupied.width();
-    height_ = occupied.height();
+    rebuild_from(occupied.width(), occupied.height(),
+                 [&](int x, int y) { return occupied.at(x, y) != 0; });
+  }
+
+  /// Rebuilds over a width-by-height grid whose occupancy is given by
+  /// `cell(x, y) -> bool`, fused into the prefix pass — the FTI
+  /// relocation-query build derives its valid-anchor table this way
+  /// without materializing the intermediate grid.
+  template <typename CellFn>
+  void rebuild_from(int width, int height, CellFn&& cell) {
+    width_ = width;
+    height_ = height;
     sums_.reset(width_ + 1, height_ + 1, 0);
     for (int y = 0; y < height_; ++y) {
       for (int x = 0; x < width_; ++x) {
         sums_.at(x + 1, y + 1) = sums_.at(x, y + 1) + sums_.at(x + 1, y) -
-                                 sums_.at(x, y) +
-                                 (occupied.at(x, y) != 0 ? 1 : 0);
+                                 sums_.at(x, y) + (cell(x, y) ? 1 : 0);
       }
     }
   }

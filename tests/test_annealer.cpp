@@ -119,6 +119,91 @@ TEST(AnnealerTest, NoRecordableStateFallsBackToCurrent) {
   SUCCEED();
 }
 
+/// Minimal in-place state for the fused loop: an integer walker with
+/// propose/commit/revert semantics over the quadratic objective.
+struct FusedQuadratic {
+  int current = 1000;
+  int pending = 1000;
+
+  static double cost_of(int x) {
+    const double d = x - 17.0;
+    return d * d;
+  }
+
+  struct Problem {
+    FusedQuadratic* state;
+    double (*propose_delta_fn)(FusedQuadratic&, double, Rng&);
+
+    double propose_delta(double fraction, Rng& rng) const {
+      return propose_delta_fn(*state, fraction, rng);
+    }
+    double commit() const {
+      state->current = state->pending;
+      return cost_of(state->current);
+    }
+    void revert() const {}
+    bool recordable() const { return true; }
+    void record_best(double) const {}
+  };
+
+  Problem problem() {
+    return Problem{this, [](FusedQuadratic& s, double fraction, Rng& rng) {
+                     const int span =
+                         std::max(1, static_cast<int>(100 * fraction));
+                     s.pending = s.current + rng.next_int(-span, span);
+                     return cost_of(s.pending) - cost_of(s.current);
+                   }};
+  }
+};
+
+TEST(AnnealerTest, FusedFindsQuadraticMinimum) {
+  FusedQuadratic state;
+  Rng rng(1);
+  AnnealingSchedule schedule;
+  schedule.initial_temperature = 1000.0;
+  schedule.min_temperature = 0.01;
+  AnnealingStats stats;
+  const double best =
+      anneal_fused(FusedQuadratic::cost_of(state.current), state.problem(),
+                   schedule, 1, rng, &stats);
+  EXPECT_DOUBLE_EQ(best, 0.0);
+  EXPECT_DOUBLE_EQ(stats.best_cost, 0.0);
+}
+
+TEST(AnnealerTest, FusedDeterministicForSeed) {
+  AnnealingSchedule schedule;
+  schedule.initial_temperature = 100.0;
+  schedule.iterations_per_module = 50;
+  FusedQuadratic a;
+  FusedQuadratic b;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  EXPECT_EQ(anneal_fused(FusedQuadratic::cost_of(a.current), a.problem(),
+                         schedule, 2, rng_a),
+            anneal_fused(FusedQuadratic::cost_of(b.current), b.problem(),
+                         schedule, 2, rng_b));
+  EXPECT_EQ(a.current, b.current);
+}
+
+TEST(AnnealerTest, FusedStatsAreConsistent) {
+  FusedQuadratic state;
+  Rng rng(3);
+  AnnealingSchedule schedule;
+  schedule.initial_temperature = 100.0;
+  schedule.cooling_rate = 0.5;
+  schedule.iterations_per_module = 10;
+  schedule.min_temperature = 1.0;
+  AnnealingStats stats;
+  anneal_fused(FusedQuadratic::cost_of(state.current), state.problem(),
+               schedule, 3, rng, &stats);
+  // Same schedule shape as the legacy loop: 7 halvings from 100 to > 1.
+  EXPECT_EQ(stats.temperature_steps, 7);
+  EXPECT_EQ(stats.proposals, 7LL * 10 * 3);
+  EXPECT_LE(stats.accepted, stats.proposals);
+  EXPECT_LE(stats.uphill_accepted, stats.accepted);
+  EXPECT_GT(stats.accepted, 0);
+}
+
 TEST(AnnealerTest, PaperDefaultsMatchSection4d) {
   const AnnealingSchedule schedule;
   EXPECT_DOUBLE_EQ(schedule.initial_temperature, 10000.0);

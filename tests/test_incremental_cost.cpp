@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fti.h"
 #include "core/moves.h"
 #include "core/sa_placer.h"
 #include "util/rng.h"
@@ -52,6 +53,7 @@ void expect_matches_evaluator(const IncrementalPlacementState& state,
   EXPECT_EQ(tracked.overlap_cells, fresh.overlap_cells);
   EXPECT_EQ(tracked.defect_cells, fresh.defect_cells);
   EXPECT_DOUBLE_EQ(tracked.fti, fresh.fti);
+  EXPECT_EQ(tracked.route_pressure, fresh.route_pressure);
   EXPECT_DOUBLE_EQ(tracked.value, fresh.value);
   EXPECT_DOUBLE_EQ(state.cost(), fresh.value);
   EXPECT_EQ(state.feasible(), state.placement().feasible());
@@ -117,6 +119,12 @@ void expect_identical_outcomes(const PlacementOutcome& copy,
   EXPECT_EQ(copy.stats.proposals, delta.stats.proposals);
   EXPECT_EQ(copy.stats.accepted, delta.stats.accepted);
   EXPECT_EQ(copy.stats.uphill_accepted, delta.stats.uphill_accepted);
+  for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+    // Identical trajectories draw identical move kinds.
+    EXPECT_EQ(copy.stats.proposals_by_kind[k],
+              delta.stats.proposals_by_kind[k])
+        << "kind " << k;
+  }
   EXPECT_DOUBLE_EQ(copy.stats.best_cost, delta.stats.best_cost);
   EXPECT_DOUBLE_EQ(copy.cost.value, delta.cost.value);
   ASSERT_EQ(copy.placement.module_count(), delta.placement.module_count());
@@ -193,6 +201,147 @@ TEST(IncrementalCostTest, GenerateThenApplyEqualsApplyRandomMove) {
     }
   }
   EXPECT_EQ(rng_a.next(), rng_b.next());  // identical stream consumption
+}
+
+/// The coverage-grid audit (the per-cell counterpart of
+/// run_cross_check): 300+ random moves with random commit/revert
+/// decisions, pinning the incremental evaluator's per-cell coverage
+/// state against BOTH reference evaluators after every operation —
+/// `evaluate_fti`'s mask and the definition-faithful
+/// `is_cell_covered_reference` — including mid-proposal, where the
+/// eager state reflects the proposed placement.
+void run_coverage_audit(double beta, double gamma, std::uint64_t seed) {
+  Rng rng(seed);
+  const Schedule schedule = mixed_schedule(6, rng);
+  const Placement initial = random_placement(schedule, 12, rng);
+
+  CostWeights weights;
+  weights.beta = beta;
+  weights.gamma = gamma;
+  CostEvaluator evaluator(weights);
+  if (gamma != 0.0) {
+    std::vector<RouteLink> links;
+    for (int i = 0; i < initial.module_count(); ++i) {
+      links.push_back(RouteLink{i > 0 ? i - 1 : -1, i, 1 + i % 3});
+    }
+    evaluator.set_route_links(std::move(links));
+  }
+
+  IncrementalPlacementState state(initial, evaluator);
+
+  const auto audit_coverage = [&](const char* when, int step) {
+    const FtiIncrementalEvaluator* fti = state.fti_evaluator();
+    if (fti == nullptr) return;  // beta == 0: the term is never engaged
+    const Rect region = state.placement().bounding_box();
+    ASSERT_EQ(fti->region(), region) << when << " step " << step;
+    const FtiResult reference =
+        evaluate_fti(state.placement(), fti->options(), region);
+    EXPECT_EQ(fti->covered_cells(), reference.covered_cells)
+        << when << " step " << step;
+    // Every region cell plus a one-cell ring outside (uncovered by
+    // definition on both sides).
+    for (int y = region.y - 1; y <= region.top(); ++y) {
+      for (int x = region.x - 1; x <= region.right(); ++x) {
+        const Point cell{x, y};
+        const bool incremental = fti->is_cell_covered(cell);
+        const bool in_region = region.contains(cell);
+        const bool fast = in_region && reference.covered.at(
+                                           x - region.x, y - region.y) != 0;
+        ASSERT_EQ(incremental, fast)
+            << when << " step " << step << " cell (" << x << "," << y << ")";
+        const bool definition = is_cell_covered_reference(
+            state.placement(), cell, fti->options(), region);
+        ASSERT_EQ(incremental, definition)
+            << when << " step " << step << " cell (" << x << "," << y << ")";
+      }
+    }
+  };
+
+  MoveOptions moves;  // defaults: displacements, swaps and rotations
+  audit_coverage("initial", -1);
+  const int kSteps = 320;
+  for (int step = 0; step < kSteps; ++step) {
+    const double fraction =
+        1.0 - static_cast<double>(step) / static_cast<double>(kSteps);
+    const PlacementMove move =
+        generate_random_move(state.placement(), fraction, moves, rng);
+    const double before = state.cost();
+    const double delta = state.propose(move);
+    ASSERT_TRUE(state.has_pending());
+    audit_coverage("proposed", step);
+
+    if (rng.next_bool(0.5)) {
+      EXPECT_DOUBLE_EQ(state.commit(), before + delta);
+    } else {
+      state.revert();
+      EXPECT_DOUBLE_EQ(state.cost(), before);
+    }
+    audit_coverage("resolved", step);
+    expect_matches_evaluator(state, evaluator);
+  }
+}
+
+TEST(IncrementalCostTest, CoverageAuditAreaOnly) {
+  run_coverage_audit(/*beta=*/0.0, /*gamma=*/0.0, /*seed=*/401);
+}
+
+TEST(IncrementalCostTest, CoverageAuditWithFti) {
+  run_coverage_audit(/*beta=*/30.0, /*gamma=*/0.0, /*seed=*/402);
+}
+
+TEST(IncrementalCostTest, CoverageAuditWithFtiAndRoutePressure) {
+  run_coverage_audit(/*beta=*/30.0, /*gamma=*/0.05, /*seed=*/403);
+}
+
+TEST(IncrementalCostTest, CoverageAuditRoutePressureOnly) {
+  run_coverage_audit(/*beta=*/0.0, /*gamma=*/0.05, /*seed=*/404);
+}
+
+TEST(IncrementalCostTest, ProposeRandomMatchesGenerateThenPropose) {
+  // The fused proposal path re-implements the generator; this pins its
+  // documented contract: same draws in the same order, same move, same
+  // delta as generate_random_move_with_span + propose — the kFused
+  // analogue of MovesTest.WithSpanOverloadIsStreamIdentical (kFused
+  // results may differ from kDelta, so a drift between the two
+  // generators would otherwise go unnoticed).
+  Rng seed_rng(55);
+  const Schedule schedule = mixed_schedule(7, seed_rng);
+  const Placement initial = random_placement(schedule, 16, seed_rng);
+  CostWeights weights;
+  weights.beta = 30.0;
+  CostEvaluator evaluator(weights);
+  IncrementalPlacementState fused(initial, evaluator);
+  IncrementalPlacementState split(initial, evaluator);
+
+  MoveOptions moves;  // defaults: displacements, swaps and rotations
+  Rng rng_fused(99);
+  Rng rng_split(99);
+  for (int step = 0; step < 200; ++step) {
+    const double fraction = 1.0 - static_cast<double>(step) / 200.0;
+    const int span =
+        controlling_window_span(fused.placement(), fraction, moves);
+    const double delta_fused = fused.propose_random(span, moves, rng_fused);
+    const PlacementMove move = generate_random_move_with_span(
+        split.placement(), span, moves, rng_split);
+    const double delta_split = split.propose(move);
+    ASSERT_DOUBLE_EQ(delta_fused, delta_split) << "step " << step;
+    ASSERT_EQ(fused.last_move_kind(), move.kind) << "step " << step;
+    if (step % 3 != 0) {
+      ASSERT_DOUBLE_EQ(fused.commit(), split.commit()) << "step " << step;
+    } else {
+      fused.revert();
+      split.revert();
+    }
+  }
+  EXPECT_EQ(rng_fused.next(), rng_split.next());  // identical consumption
+  for (int i = 0; i < fused.placement().module_count(); ++i) {
+    ASSERT_EQ(fused.placement().module(i).anchor,
+              split.placement().module(i).anchor)
+        << "module " << i;
+    ASSERT_EQ(fused.placement().module(i).rotated,
+              split.placement().module(i).rotated)
+        << "module " << i;
+  }
 }
 
 TEST(IncrementalCostTest, EmptyPlacementProposalsAreNoOps) {

@@ -158,5 +158,32 @@ TEST(MovesTest, MoveMixMatchesProbability) {
   EXPECT_NEAR(single_fraction, 0.8, 0.02);
 }
 
+TEST(MovesTest, WithSpanOverloadIsStreamIdentical) {
+  // The annealing loop hoists the controlling-window span per
+  // temperature step; the precomputed-span overload must consume the
+  // same draws in the same order and produce the same moves.
+  const Schedule schedule = schedule_with(5);
+  Placement p(schedule, 14, 14);
+  MoveOptions options;
+  Rng rng_a(123);
+  Rng rng_b(123);
+  for (int step = 0; step < 200; ++step) {
+    const double fraction = 1.0 - static_cast<double>(step) / 200.0;
+    const int span = controlling_window_span(p, fraction, options);
+    const PlacementMove a = generate_random_move(p, fraction, options, rng_a);
+    const PlacementMove b =
+        generate_random_move_with_span(p, span, options, rng_b);
+    ASSERT_EQ(a.kind, b.kind) << "step " << step;
+    ASSERT_EQ(a.count, b.count) << "step " << step;
+    for (int c = 0; c < a.count; ++c) {
+      ASSERT_EQ(a.changes[c].index, b.changes[c].index);
+      ASSERT_EQ(a.changes[c].anchor, b.changes[c].anchor);
+      ASSERT_EQ(a.changes[c].rotated, b.changes[c].rotated);
+    }
+    apply_move(p, a);
+  }
+  EXPECT_EQ(rng_a.next(), rng_b.next());  // identical stream consumption
+}
+
 }  // namespace
 }  // namespace dmfb

@@ -125,5 +125,65 @@ TEST(SaPlacerTest, PaperDefaultsPreserved) {
   EXPECT_DOUBLE_EQ(options.weights.beta, 0.0);
 }
 
+TEST(SaPlacerTest, FusedEngineProducesFeasiblePlacement) {
+  const Schedule schedule = pcr_schedule();
+  SaPlacerOptions options = fast_options();
+  options.engine = AnnealingEngine::kFused;
+  const auto outcome = place_simulated_annealing(schedule, options);
+  EXPECT_TRUE(outcome.placement.feasible());
+  EXPECT_EQ(outcome.cost.overlap_cells, 0);
+  EXPECT_GE(outcome.cost.area_cells, schedule.peak_concurrent_cells());
+}
+
+TEST(SaPlacerTest, FusedEngineDeterministicForSeed) {
+  const Schedule schedule = pcr_schedule();
+  SaPlacerOptions options = fast_options();
+  options.engine = AnnealingEngine::kFused;
+  options.seed = 77;
+  const auto a = place_simulated_annealing(schedule, options);
+  const auto b = place_simulated_annealing(schedule, options);
+  EXPECT_EQ(a.stats.proposals, b.stats.proposals);
+  EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+  EXPECT_DOUBLE_EQ(a.cost.value, b.cost.value);
+  for (int i = 0; i < a.placement.module_count(); ++i) {
+    EXPECT_EQ(a.placement.module(i).anchor, b.placement.module(i).anchor);
+    EXPECT_EQ(a.placement.module(i).rotated, b.placement.module(i).rotated);
+  }
+}
+
+TEST(SaPlacerTest, EnginesRecordMoveKindTallies) {
+  const Schedule schedule = pcr_schedule();
+  SaPlacerOptions options = fast_options();
+  for (const AnnealingEngine engine :
+       {AnnealingEngine::kDelta, AnnealingEngine::kCopy,
+        AnnealingEngine::kFused}) {
+    options.engine = engine;
+    const auto outcome = place_simulated_annealing(schedule, options);
+    long long proposals = 0;
+    long long accepted = 0;
+    for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+      proposals += outcome.stats.proposals_by_kind[k];
+      accepted += outcome.stats.accepted_by_kind[k];
+    }
+    EXPECT_EQ(proposals, outcome.stats.proposals) << to_string(engine);
+    if (engine == AnnealingEngine::kCopy) {
+      // The copying engine's accept decision is invisible to the placer;
+      // it records proposal kinds only.
+      EXPECT_EQ(accepted, 0);
+    } else {
+      EXPECT_EQ(accepted, outcome.stats.accepted) << to_string(engine);
+    }
+  }
+}
+
+TEST(SaPlacerTest, EngineTextRoundTrip) {
+  for (const AnnealingEngine engine :
+       {AnnealingEngine::kDelta, AnnealingEngine::kCopy,
+        AnnealingEngine::kFused}) {
+    EXPECT_EQ(from_string<AnnealingEngine>(to_string(engine)), engine);
+  }
+  EXPECT_THROW(from_string<AnnealingEngine>("warp"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dmfb
