@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
       const bool selected = round.round == result.selected_round;
       table.add_row({scenario.name, std::to_string(round.round),
                      round.routed ? "yes" : "NO",
-                     format_double(result.makespan_s, 2),
+                     format_double(result.schedule.makespan_s(), 2),
                      format_double(round.transport_makespan_s, 2),
                      format_double(round.placement_cost, 1),
                      selected ? "*" : ""});

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     }
 
     table.add_row({std::to_string(max_mixers),
-                   format_double(result.makespan_s, 1),
+                   format_double(result.transport_makespan_s, 1),
                    std::to_string(result.peak_concurrent_cells),
                    std::to_string(result.cost().area_cells),
                    format_mm2(result.cost().area_mm2()),

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const PipelineResult result = SynthesisPipeline(options).run(assay);
   std::cout << "serial dilution, " << levels << " levels: "
             << assay.graph.operation_count() << " operations, makespan "
-            << result.makespan_s << " s\n"
+            << result.transport_makespan_s << " s (incl. transport)\n"
             << "placed: " << result.cost().area_cells << " cells ("
             << result.cost().area_mm2() << " mm^2), FTI "
             << result.fti.fti() << "\n\n";

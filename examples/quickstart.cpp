@@ -37,7 +37,7 @@ int main() {
 
   std::cout << "\nassay '" << result.assay_name << "': "
             << result.binding.size() << " bound operations, makespan "
-            << result.makespan_s << " s\n"
+            << result.transport_makespan_s << " s (incl. transport)\n"
             << "placed on a " << result.fti.array.width << "x"
             << result.fti.array.height << " array: "
             << result.cost().area_mm2() << " mm^2, FTI " << result.fti.fti()

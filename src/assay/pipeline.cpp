@@ -133,6 +133,12 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
   const bool use_links = options_.placer_context.weights.gamma != 0.0;
   std::vector<RouteLink> links;
   if (use_links) links = routing::extract_links(graph, result.schedule);
+  // The service's cross-request ledger, when present, replaces the
+  // demand-only weights for round 0; this run's own feedback rounds still
+  // reweight from the fresh demand links.
+  const std::vector<RouteLink>& round0_links =
+      (use_links && !options_.warm_links.empty()) ? options_.warm_links
+                                                  : links;
 
   // One synthesis round: place (+ FTI), then route. Rounds differ only in
   // seed and link weights; round 0 with the master seed and demand-only
@@ -158,6 +164,9 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
       PlacerContext context = options_.placer_context;
       context.seed = round_seed;
       if (use_links) context.route_links = round_links;
+      if (options_.initial_placement) {
+        context.initial_placement = options_.initial_placement;
+      }
       r.placement = placer->place(result.schedule, context);
       if (options_.evaluate_fault_tolerance) {
         r.fti = evaluate_fti(r.placement.placement, context.fti_options);
@@ -237,14 +246,23 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
                                r.transport_makespan_s, comparable_cost(r)};
   };
 
-  Round best = run_round(0, seed, links);
+  // Deadline budget: once the best round routed at or under the caller's
+  // deadline, further feedback rounds buy nothing the caller asked for.
+  // deadline_s <= 0 never satisfies this, leaving the loop untouched.
+  const auto deadline_met = [&](const Round& r) {
+    return options_.deadline_s > 0.0 && r.routes.success &&
+           r.transport_makespan_s <= options_.deadline_s;
+  };
+
+  Round best = run_round(0, seed, round0_links);
   if (closed_loop) {
     result.feedback_history.push_back(history_of(0, seed, best));
     // Round seeds split off the master seed (run_many items already get
     // distinct `seed`s, so batches stay reproducible from one number).
     SplitMix64 round_seeds(seed ^ 0xFEEDBAC4C105EDULL);
     Round previous = best;  // feedback reads the latest round's measurements
-    for (int round = 1; round <= options_.feedback_rounds; ++round) {
+    for (int round = 1;
+         round <= options_.feedback_rounds && !deadline_met(best); ++round) {
       const std::vector<RouteLink> weighted =
           use_links ? routing::reweight_links(links, previous.routes)
                     : std::vector<RouteLink>{};

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "core/placer.h"
 #include "sim/route_planner.h"
 #include "sim/simulator.h"
+#include "util/deprecation.h"
 
 namespace dmfb {
 
@@ -97,6 +99,29 @@ struct PipelineOptions {
   /// for the measured costs to flow into, so rounds degrade to
   /// seed-diverse multi-start placement (best round still wins).
   int feedback_rounds = 0;
+
+  /// Deadline-driven round budget: when positive, the closed loop stops
+  /// spending feedback rounds as soon as the best round so far routed
+  /// successfully with `transport_makespan_s` at or under this many
+  /// seconds — the assay is fast enough, further rounds are wasted work.
+  /// 0 (default) = no deadline; the loop is then bit-identical to
+  /// previous releases (pinned by tests/test_closed_loop.cpp).
+  double deadline_s = 0.0;
+
+  /// Warm-start placement (the synthesis service's memo): handed to the
+  /// placement backend on every round via
+  /// PlacerContext::initial_placement. Annealing backends seed from it
+  /// when compatible instead of the greedy constructive initial; null
+  /// (default) = the classic cold start.
+  std::shared_ptr<const Placement> initial_placement;
+
+  /// Warm link weights (the service's cross-request route-pressure
+  /// ledger): when non-empty and `placer_context.weights.gamma != 0`,
+  /// round 0 prices these instead of the schedule's demand-only links, so
+  /// a fresh compile starts from congestion measured by earlier compiles
+  /// on the same layout. Feedback rounds still reweight from this run's
+  /// own measurements. Empty (default) = demand-only links as before.
+  std::vector<RouteLink> warm_links;
 
   /// Plan concurrent droplet routes at every configuration changeover.
   bool plan_droplet_routes = true;
@@ -164,7 +189,11 @@ struct PipelineResult {
   /// instantaneous. Deprecated as a chip-time estimate: droplet transport
   /// at changeovers is real time — read `transport_makespan_s` (or
   /// `transported_schedule.makespan_s()`) for the makespan the chip
-  /// actually needs.
+  /// actually needs; `schedule.makespan_s()` still gives the
+  /// changeover-free value when that is what you mean.
+  DMFB_DEPRECATED(
+      "read transport_makespan_s (or schedule.makespan_s() for the "
+      "changeover-free value)")
   double makespan_s = 0.0;
   long long peak_concurrent_cells = 0;
 

@@ -179,6 +179,7 @@ SaPlacerOptions sa_options_from(const PlacerContext& context) {
   options.route_links = context.route_links;
   options.seed = context.seed;
   options.engine = context.engine;
+  options.initial = context.initial_placement;
   return options;
 }
 

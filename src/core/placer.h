@@ -68,6 +68,11 @@ struct PlacerContext {
   /// fills these from routing::extract_links and, on feedback rounds,
   /// re-weights them with measured route costs. Ignored at gamma = 0.
   std::vector<RouteLink> route_links;
+  /// Optional warm-start placement (module poses copied onto the new
+  /// schedule when compatible; see SaPlacerOptions::initial). Honoured by
+  /// the annealing backends ("sa" and stage 1 of "two-stage"); the others
+  /// ignore it.
+  std::shared_ptr<const Placement> initial_placement;
   std::uint64_t seed = 0xDA7E2005ULL;
 
   // Annealing backends ("sa", stage 1 of "two-stage").

@@ -44,8 +44,37 @@ std::istream& operator>>(std::istream& is, AnnealingEngine& engine) {
   return is;
 }
 
+namespace {
+
+/// Transfers module poses from a warm-start placement onto `seeded` (built
+/// from the *current* schedule) and validates the result. Returns false —
+/// leaving the caller to fall back to the greedy initial — when the counts
+/// differ or the transferred poses are infeasible or touch a defect.
+bool seed_from_warm_start(Placement& seeded, const Placement& warm,
+                          const SaPlacerOptions& options) {
+  if (warm.module_count() != seeded.module_count()) return false;
+  for (int i = 0; i < seeded.module_count(); ++i) {
+    seeded.set_position(i, warm.module(i).anchor, warm.module(i).rotated);
+  }
+  if (!seeded.feasible()) return false;
+  if (!options.defects.empty()) {
+    CostEvaluator evaluator(options.weights, options.fti_options);
+    evaluator.set_defects(options.defects);
+    if (evaluator.defect_usage(seeded) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 PlacementOutcome place_simulated_annealing(const Schedule& schedule,
                                            const SaPlacerOptions& options) {
+  if (options.initial) {
+    Placement seeded(schedule, options.canvas_width, options.canvas_height);
+    if (seed_from_warm_start(seeded, *options.initial, options)) {
+      return anneal_from(seeded, options);
+    }
+  }
   const Placement initial =
       place_greedy(schedule, options.canvas_width, options.canvas_height,
                    options.defects);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 
 #include "assay/schedule.h"
 #include "core/annealer.h"
@@ -67,6 +68,14 @@ struct SaPlacerOptions {
   /// results (kDelta just much faster), kFused trades the legacy random
   /// stream for the fastest proposal loop.
   AnnealingEngine engine = AnnealingEngine::kDelta;
+  /// Optional warm start (the synthesis service's placement memo): module
+  /// poses are copied index-by-index onto the new schedule's placement and
+  /// annealed from there instead of the greedy constructive initial. Used
+  /// only when compatible — same module count and the seeded placement is
+  /// feasible and defect-free — otherwise silently falls back to greedy.
+  /// Poses only; the time structure always comes from the schedule given
+  /// to place_simulated_annealing.
+  std::shared_ptr<const Placement> initial;
 };
 
 /// Result of a placement run.

@@ -1,10 +1,14 @@
 #include "io/assay_format.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "util/hash.h"
 
 namespace dmfb {
 namespace {
@@ -75,6 +79,83 @@ std::string assay_to_string(const AssayCase& assay) {
   std::ostringstream os;
   write_assay(os, assay);
   return os.str();
+}
+
+namespace {
+
+/// Deterministic decimal rendering of a double (shortest %.17g form), so
+/// canonical texts never depend on locale or stream state.
+std::string canonical_double(double value) {
+  if (value == 0.0) value = 0.0;  // collapse -0.0
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void append_spec(std::ostream& os, const ModuleSpec& spec) {
+  os << spec.name << ' ' << to_string(spec.kind) << ' '
+     << spec.functional_width << 'x' << spec.functional_height << ' '
+     << canonical_double(spec.duration_s);
+}
+
+}  // namespace
+
+std::string canonical_assay_text(const AssayCase& assay) {
+  std::ostringstream os;
+  os << "canonical-assay-v1\n";
+  os << "name " << assay.name << '\n';
+  os << "graph " << assay.graph.name() << '\n';
+
+  // Operations are already canonical: ids are dense and the graph stores
+  // them in id order.
+  for (const auto& op : assay.graph.operations()) {
+    os << "op " << op.id << ' ' << to_string(op.type) << ' ' << op.label;
+    if (!op.reagent.empty()) os << ' ' << op.reagent;
+    os << '\n';
+  }
+
+  // Edges sorted (from, to) — successor lists keep insertion order, which
+  // is exactly the non-determinism this form must erase.
+  std::vector<std::pair<int, int>> deps;
+  for (const auto& op : assay.graph.operations()) {
+    for (const OperationId succ : assay.graph.successors(op.id)) {
+      deps.emplace_back(op.id, succ);
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  for (const auto& [from, to] : deps) {
+    os << "dep " << from << ' ' << to << '\n';
+  }
+
+  // Binding is a std::map, so iteration is already sorted by operation id;
+  // spell out the full spec so library drift changes the fingerprint.
+  for (const auto& [id, spec] : assay.binding) {
+    os << "bind " << id << ' ';
+    append_spec(os, spec);
+    os << '\n';
+  }
+
+  const SchedulerOptions& sched = assay.scheduler_options;
+  const ResourceConstraints& constraints = sched.constraints;
+  os << "max_concurrent_modules " << constraints.max_concurrent_modules
+     << '\n';
+  for (const auto& [kind, limit] : constraints.max_concurrent_by_kind) {
+    os << "max_concurrent_kind " << to_string(kind) << ' ' << limit << '\n';
+  }
+  os << "dispense_duration_s "
+     << canonical_double(constraints.dispense_duration_s) << '\n';
+  os << "max_concurrent_dispenses " << constraints.max_concurrent_dispenses
+     << '\n';
+  os << "insert_storage " << (sched.insert_storage ? "on" : "off") << '\n';
+  os << "storage_spec ";
+  append_spec(os, sched.storage_spec);
+  os << '\n';
+  os << "end\n";
+  return os.str();
+}
+
+std::uint64_t assay_fingerprint(const AssayCase& assay) {
+  return stable_hash64(canonical_assay_text(assay));
 }
 
 AssayCase read_assay(std::istream& is, const ModuleLibrary& library) {

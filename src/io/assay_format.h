@@ -21,6 +21,7 @@
 //   end
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -46,6 +47,20 @@ class ParseError : public std::runtime_error {
 /// Serializes an assay (graph + binding + scheduler options).
 void write_assay(std::ostream& os, const AssayCase& assay);
 std::string assay_to_string(const AssayCase& assay);
+
+/// Canonical form for content addressing: structurally identical assays
+/// produce byte-identical text regardless of the order operations, deps or
+/// binds were inserted. Unlike write_assay it spells out every field that
+/// influences synthesis — full ModuleSpec details per bind (kind, dims,
+/// duration), every ResourceConstraints member including the by-kind map,
+/// and the storage spec — so two assays canonicalize equal only when the
+/// compiler would treat them identically. Not meant to be parsed back;
+/// feed it to stable_hash64 (util/hash.h) or use assay_fingerprint.
+std::string canonical_assay_text(const AssayCase& assay);
+
+/// stable_hash64 of canonical_assay_text: the assay half of the synthesis
+/// service's compile-cache key. Stable across runs and platforms.
+std::uint64_t assay_fingerprint(const AssayCase& assay);
 
 /// Parses an assay; module names in `bind` lines are resolved against
 /// `library`. Throws ParseError on malformed input.

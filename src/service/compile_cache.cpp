@@ -1,0 +1,177 @@
+#include "service/compile_cache.h"
+
+#include <string_view>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace dmfb {
+namespace {
+
+void mix_string(HashStream& h, std::string_view s) { h.mix_bytes(s); }
+
+void mix_weights(HashStream& h, const CostWeights& w) {
+  h.mix(w.alpha).mix(w.beta).mix(w.lambda_overlap).mix(w.lambda_defect).mix(
+      w.gamma);
+}
+
+void mix_annealing(HashStream& h, const AnnealingSchedule& s) {
+  h.mix(s.initial_temperature)
+      .mix(s.cooling_rate)
+      .mix(s.iterations_per_module)
+      .mix(s.min_temperature);
+}
+
+void mix_placer_context(HashStream& h, const PlacerContext& c) {
+  h.mix(c.canvas_width).mix(c.canvas_height);
+  h.mix(static_cast<std::uint64_t>(c.defects.size()));
+  for (const Point& p : c.defects) h.mix(p.x).mix(p.y);
+  // route_links / initial_placement are warm-start inputs, not identity.
+  mix_annealing(h, c.annealing);
+  h.mix(c.moves.single_move_probability)
+      .mix(c.moves.rotate_probability)
+      .mix(c.moves.use_controlling_window)
+      .mix(c.moves.min_window);
+  mix_weights(h, c.weights);
+  h.mix(c.fti_options.allow_rotation);
+  h.mix(static_cast<int>(c.engine));
+  h.mix(c.two_stage_beta);
+  mix_annealing(h, c.ltsa);
+  h.mix(c.optimal.max_modules)
+      .mix(c.optimal.allow_rotation)
+      .mix(static_cast<std::int64_t>(c.optimal.max_nodes));
+  h.mix(static_cast<int>(c.kamer_policy));
+  h.mix(c.allow_rotation);
+}
+
+void mix_routing(HashStream& h, const RoutePlannerOptions& r) {
+  h.mix(r.step_horizon)
+      .mix(r.separation_cells)
+      .mix(r.negotiation_rounds)
+      .mix(r.present_congestion_weight)
+      .mix(r.history_congestion_weight)
+      .mix(r.persist_congestion_history)
+      .mix(r.max_restarts);
+  // r.seed is overridden by the pipeline's master seed; r.threads and
+  // r.congestion_ledger do not change the plan (thread-count invariance is
+  // pinned by test_parallel_routing; the ledger is warm-start state).
+}
+
+}  // namespace
+
+std::uint64_t options_fingerprint(const PipelineOptions& options) {
+  HashStream h(/*seed=*/0x5EF1CE00000001ULL);  // versioned domain tag
+  h.mix(static_cast<int>(options.binding_policy));
+  // options.scheduler: AssayCase runs use the case's own scheduler
+  // options, which the canonical assay text covers; graph/binding runs
+  // use these. Mix them so both paths are safe.
+  h.mix(options.scheduler.constraints.max_concurrent_modules);
+  for (const auto& [kind, limit] :
+       options.scheduler.constraints.max_concurrent_by_kind) {
+    h.mix(static_cast<int>(kind)).mix(limit);
+  }
+  h.mix(options.scheduler.constraints.dispense_duration_s)
+      .mix(options.scheduler.constraints.max_concurrent_dispenses)
+      .mix(options.scheduler.insert_storage);
+  mix_string(h, options.scheduler.storage_spec.name);
+  h.mix(static_cast<int>(options.scheduler.storage_spec.kind))
+      .mix(options.scheduler.storage_spec.functional_width)
+      .mix(options.scheduler.storage_spec.functional_height)
+      .mix(options.scheduler.storage_spec.duration_s);
+
+  mix_string(h, options.placer);
+  mix_placer_context(h, options.placer_context);
+  h.mix(options.place);
+  h.mix(options.feedback_rounds);
+  h.mix(options.deadline_s);
+  h.mix(options.plan_droplet_routes);
+  mix_string(h, options.router);
+  mix_routing(h, options.routing);
+  h.mix(options.chip_width).mix(options.chip_height);
+  h.mix(options.simulate);
+  h.mix(options.simulation.droplet_speed_cells_per_s)
+      .mix(options.simulation.verify_routing);
+  h.mix(options.evaluate_fault_tolerance);
+  h.mix(options.seed);
+  return h.value();
+}
+
+std::uint64_t schedule_signature(const Schedule& schedule) {
+  HashStream h(/*seed=*/0x51614A7012345ULL);  // domain tag
+  const auto& modules = schedule.modules();
+  h.mix(static_cast<std::uint64_t>(modules.size()));
+  for (const auto& m : modules) {
+    h.mix(m.spec.footprint_width()).mix(m.spec.footprint_height());
+  }
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    for (std::size_t j = i + 1; j < modules.size(); ++j) {
+      if (modules[i].time_overlaps(modules[j])) {
+        h.mix(static_cast<std::uint64_t>(i)).mix(
+            static_cast<std::uint64_t>(j));
+      }
+    }
+  }
+  return h.value();
+}
+
+CompileCache::Lookup CompileCache::lookup(std::uint64_t assay_fp,
+                                          std::uint64_t options_fp,
+                                          std::uint64_t signature) {
+  std::lock_guard lock(mutex_);
+  Lookup result;
+
+  if (const auto exact = exact_.find({assay_fp, options_fp});
+      exact != exact_.end()) {
+    result.exact = exact->second;
+    ++stats_.exact_hits;
+    return result;
+  }
+
+  if (const auto layout = layouts_.find(options_fp);
+      layout != layouts_.end()) {
+    if (const auto warm = layout->second.placements.find(signature);
+        warm != layout->second.placements.end()) {
+      result.warm_placement = warm->second;
+    }
+    result.warm_links = layout->second.links;
+    if (layout->second.congestion) {
+      // Private copy: the compile mutates it off-lock; store() merges it
+      // back last-writer-wins.
+      result.congestion =
+          std::make_shared<std::vector<double>>(*layout->second.congestion);
+    }
+  }
+  if (result.warm_placement) {
+    ++stats_.warm_hits;
+  } else {
+    ++stats_.misses;
+  }
+  return result;
+}
+
+void CompileCache::store(std::uint64_t assay_fp, std::uint64_t options_fp,
+                         std::uint64_t signature,
+                         std::shared_ptr<const PipelineResult> result,
+                         std::vector<RouteLink> links,
+                         std::shared_ptr<std::vector<double>> congestion) {
+  if (!result) return;
+  std::lock_guard lock(mutex_);
+  const auto [it, inserted] =
+      exact_.insert_or_assign({assay_fp, options_fp}, result);
+  if (inserted) ++stats_.entries;
+
+  Layout& layout = layouts_[options_fp];
+  if (result->placement.placement.module_count() > 0) {
+    layout.placements[signature] = std::shared_ptr<const Placement>(
+        result, &result->placement.placement);
+  }
+  if (!links.empty()) layout.links = std::move(links);
+  if (congestion) layout.congestion = std::move(congestion);
+}
+
+CacheStats CompileCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dmfb

@@ -1,0 +1,104 @@
+// compile_cache.h — the content-hashed placement memo at the heart of the
+// synthesis service (service/service.h).
+//
+// A compile is addressed by two stable fingerprints: the canonical assay
+// form (io/assay_format.h assay_fingerprint) and the options fingerprint
+// below, which covers everything that changes what the compiler produces —
+// chip geometry, defect map, placer/router selection, every weight and
+// schedule, and the seed. An exact hit returns the stored PipelineResult
+// verbatim (bit-identical by construction). A miss on the assay but a hit
+// on the layout (same options fingerprint) can still *warm-start*: per
+// layout the cache remembers, keyed by schedule structure, the best
+// placement seen, plus the cross-request route-pressure ledger
+// (reweighted RouteLinks) and the persisted Pathfinder congestion grid —
+// so a perturbed assay on a known layout anneals from a near-solution
+// instead of cold.
+//
+// All methods are thread-safe; the congestion grid is handed out as a
+// private copy per compile and merged back last-writer-wins, so compiles
+// on the same layout never serialize on the grid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "assay/pipeline.h"
+
+namespace dmfb {
+
+/// Stable fingerprint of every PipelineOptions field that affects compile
+/// output. Excluded by design: `observer` and `threads` (execution-only),
+/// plus the warm-start seams themselves (`initial_placement`,
+/// `warm_links`, `routing.congestion_ledger`) — those carry cached state
+/// *into* a run and must not fork the key space of the cache feeding them.
+std::uint64_t options_fingerprint(const PipelineOptions& options);
+
+/// Structure signature of a schedule: module count, each module's
+/// footprint (dims in index order) and which index pairs overlap in time.
+/// Equal signatures mean placements transfer index-by-index — the warm-
+/// start compatibility test. Labels and absolute times are excluded, so
+/// a perturbed assay with the same shape signature-matches.
+std::uint64_t schedule_signature(const Schedule& schedule);
+
+/// Hit/miss counters (monotonic; snapshot via CompileCache::stats()).
+struct CacheStats {
+  long long exact_hits = 0;
+  long long warm_hits = 0;
+  long long misses = 0;
+  long long entries = 0;  ///< stored exact results
+};
+
+class CompileCache {
+ public:
+  /// What the cache can contribute to one compile.
+  struct Lookup {
+    /// Exact hit: the stored result; return it, skip the compile.
+    std::shared_ptr<const PipelineResult> exact;
+    /// Warm start: a structure-compatible placement on this layout.
+    std::shared_ptr<const Placement> warm_placement;
+    /// The layout's route-pressure ledger (empty when none recorded).
+    std::vector<RouteLink> warm_links;
+    /// Private copy of the layout's Pathfinder congestion grid (null when
+    /// none recorded) — mutate freely, hand back through store().
+    std::shared_ptr<std::vector<double>> congestion;
+  };
+
+  /// Consults the cache for (assay, options, structure). Bumps exactly
+  /// one stats counter: exact_hits, warm_hits (warm_placement set) or
+  /// misses.
+  Lookup lookup(std::uint64_t assay_fp, std::uint64_t options_fp,
+                std::uint64_t signature);
+
+  /// Records a finished compile: the exact entry, the layout's warm
+  /// placement for `signature`, the layout ledger rebuilt from the run's
+  /// routes (only when routing succeeded), and the (possibly mutated)
+  /// congestion grid. Last writer wins throughout.
+  void store(std::uint64_t assay_fp, std::uint64_t options_fp,
+             std::uint64_t signature,
+             std::shared_ptr<const PipelineResult> result,
+             std::vector<RouteLink> links,
+             std::shared_ptr<std::vector<double>> congestion);
+
+  CacheStats stats() const;
+
+ private:
+  /// Everything remembered about one layout (= one options fingerprint).
+  struct Layout {
+    /// Best-known placement per schedule structure.
+    std::map<std::uint64_t, std::shared_ptr<const Placement>> placements;
+    std::vector<RouteLink> links;
+    std::shared_ptr<const std::vector<double>> congestion;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::shared_ptr<const PipelineResult>>
+      exact_;
+  std::map<std::uint64_t, Layout> layouts_;
+  CacheStats stats_;
+};
+
+}  // namespace dmfb

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -172,6 +173,15 @@ struct RoutePlannerOptions {
   /// previous changeover's outcome; the resulting plan is still
   /// deterministic.
   bool persist_congestion_history = false;
+  /// Cross-run congestion ledger (the synthesis service's per-layout
+  /// Pathfinder memory): when set together with
+  /// persist_congestion_history, the negotiated backend warm-starts from
+  /// and updates *this* history grid in place instead of a per-plan local
+  /// one, so later compiles on the same layout inherit earlier compiles'
+  /// conflict record. The router resizes the grid when its dimensions do
+  /// not match the current problem. Not thread-safe across concurrent
+  /// plan() calls sharing one ledger — callers serialize or copy.
+  std::shared_ptr<std::vector<double>> congestion_ledger;
 
   // "restart" backend (seeded random-restart over transfer orderings).
   /// Shuffled orderings tried per changeover beyond the deterministic one.

@@ -245,7 +245,13 @@ class NegotiatedRouter final : public Router {
       // by construction — the warm start consumes the previous
       // changeover's outcome — so the solves run inline (threads = 1
       // puts solve_changeovers on its deterministic fail-fast path).
-      std::vector<double> history;
+      // The history grid is local per plan unless the caller supplied a
+      // cross-run ledger (RoutePlannerOptions::congestion_ledger), in
+      // which case this plan continues — and extends — that record.
+      std::vector<double> local_history;
+      std::vector<double>& history =
+          options.congestion_ledger ? *options.congestion_ledger
+                                    : local_history;
       return routing::solve_changeovers(
           problems, /*threads=*/1,
           [&](const ChangeoverProblem& problem, std::size_t,

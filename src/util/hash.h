@@ -1,0 +1,83 @@
+// hash.h — stable (process- and platform-independent) 64-bit hashing for
+// content-addressed caching.
+//
+// std::hash makes no cross-run guarantees, so anything persisted or
+// compared across processes (the synthesis service's compile-cache keys)
+// hashes through these helpers instead: FNV-1a over bytes, plus a small
+// accumulator for mixing heterogeneous fields. The constants are the
+// standard 64-bit FNV parameters; values are stable forever by contract
+// (changing them would silently invalidate every cached fingerprint).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dmfb {
+
+/// 64-bit FNV-1a over a byte string. Deterministic across runs, platforms
+/// and build modes — the property std::hash does not promise.
+inline std::uint64_t stable_hash64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+/// Field-by-field hash accumulator over the same FNV-1a stream, so
+/// composite keys (geometry + options + defect maps) mix without building
+/// an intermediate string. Field order matters; adjacent variable-length
+/// fields should be separated by a fixed tag or length (mix_bytes of a
+/// string does both via its length prefix).
+class HashStream {
+ public:
+  HashStream() = default;
+  explicit HashStream(std::uint64_t seed) { mix(seed); }
+
+  HashStream& mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= static_cast<unsigned char>(value >> (8 * i));
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  HashStream& mix(std::int64_t value) {
+    return mix(static_cast<std::uint64_t>(value));
+  }
+  HashStream& mix(int value) {
+    return mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(value)));
+  }
+  HashStream& mix(bool value) {
+    return mix(static_cast<std::uint64_t>(value ? 1 : 0));
+  }
+
+  /// Doubles hash by bit pattern (canonicalizing -0.0 to 0.0 so the two
+  /// textual spellings of zero agree).
+  HashStream& mix(double value) {
+    if (value == 0.0) value = 0.0;  // collapse -0.0
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return mix(bits);
+  }
+
+  /// Length-prefixed, so consecutive strings cannot alias each other.
+  HashStream& mix_bytes(std::string_view bytes) {
+    mix(static_cast<std::uint64_t>(bytes.size()));
+    for (const char c : bytes) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,75 @@
+// request_queue.h — the bounded blocking queue between the synthesis
+// server's request reader and its compile workers.
+//
+// Classic mutex + two-condition-variable MPMC queue with close()
+// semantics: push blocks while the queue is full (backpressure toward the
+// client instead of unbounded buffering), pop blocks while it is empty,
+// and close() wakes everyone — pending items still drain, then pop
+// returns false so workers exit cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dmfb::detail {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1; it bounds memory and applies backpressure.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and drops the item — when the queue was closed first.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives (returns true) or the queue is closed
+  /// and drained (returns false).
+  bool pop(T& item) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No new pushes are accepted; queued items still drain through pop.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dmfb::detail

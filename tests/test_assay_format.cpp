@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "assay/synthesis.h"
 #include "core/greedy_placer.h"
 
@@ -142,6 +146,78 @@ TEST(AssayFormatTest, PlacementRejectsBadIndex) {
   EXPECT_THROW(apply_placement_from_string(
                    "placement 20 20\nplace 99 0 0 0\nend\n", placement),
                ParseError);
+}
+
+// --- canonical form + fingerprint (the service's cache key) -----------
+
+/// Two dispenses fanning out to two mixes that join at an output, with
+/// the dependency edges inserted in a caller-chosen order. Fan-out is the
+/// point: an operation with several successors enumerates them in
+/// insertion order, so the two variants are structurally identical assays
+/// whose graphs (and serializations) enumerate differently.
+AssayCase branching_assay(bool reversed) {
+  SequencingGraph graph("branching");
+  const OperationId d1 =
+      graph.add_operation(OperationType::kDispense, "D1", "sample");
+  const OperationId d2 =
+      graph.add_operation(OperationType::kDispense, "D2", "buffer");
+  const OperationId m1 = graph.add_operation(OperationType::kMix, "M1");
+  const OperationId m2 = graph.add_operation(OperationType::kMix, "M2");
+  const OperationId out =
+      graph.add_operation(OperationType::kOutput, "Out");
+  std::vector<std::pair<OperationId, OperationId>> edges = {
+      {d1, m1}, {d1, m2}, {d2, m1}, {d2, m2}, {m1, out}, {m2, out}};
+  if (reversed) std::reverse(edges.begin(), edges.end());
+  for (const auto& [from, to] : edges) graph.add_dependency(from, to);
+  AssayCase assay;
+  assay.name = "branching";
+  assay.graph = std::move(graph);
+  return assay;
+}
+
+TEST(AssayFormatTest, CanonicalTextIgnoresInsertionOrder) {
+  const AssayCase a = branching_assay(/*reversed=*/false);
+  const AssayCase b = branching_assay(/*reversed=*/true);
+  // The graphs really do enumerate differently...
+  EXPECT_NE(a.graph.successors(0), b.graph.successors(0));
+  // ...which is exactly what the canonical form must erase.
+  EXPECT_EQ(canonical_assay_text(a), canonical_assay_text(b));
+  EXPECT_EQ(assay_fingerprint(a), assay_fingerprint(b));
+}
+
+TEST(AssayFormatTest, CanonicalTextSurvivesSerializationRoundTrip) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  const AssayCase original = pcr_mixing_assay();
+  const AssayCase parsed =
+      assay_from_string(assay_to_string(original), library);
+  EXPECT_EQ(assay_fingerprint(original), assay_fingerprint(parsed));
+}
+
+TEST(AssayFormatTest, FingerprintSeesEveryStructuralField) {
+  const AssayCase base = pcr_mixing_assay();
+  const std::uint64_t fp = assay_fingerprint(base);
+
+  AssayCase renamed = base;
+  renamed.name = "pcr-variant";
+  EXPECT_NE(assay_fingerprint(renamed), fp);
+
+  AssayCase rebound = base;
+  ASSERT_FALSE(rebound.binding.empty());
+  rebound.binding.begin()->second.duration_s += 1.0;
+  EXPECT_NE(assay_fingerprint(rebound), fp);
+
+  AssayCase constrained = base;
+  constrained.scheduler_options.constraints.max_concurrent_modules = 3;
+  EXPECT_NE(assay_fingerprint(constrained), fp);
+
+  AssayCase no_storage = base;
+  no_storage.scheduler_options.insert_storage = false;
+  EXPECT_NE(assay_fingerprint(no_storage), fp);
+
+  AssayCase limited = base;
+  limited.scheduler_options.constraints
+      .max_concurrent_by_kind[ModuleKind::kMixer] = 1;
+  EXPECT_NE(assay_fingerprint(limited), fp);
 }
 
 }  // namespace

@@ -36,7 +36,7 @@ TEST(PipelineTest, QuickstartAssayEndToEnd) {
   EXPECT_EQ(result.binding.size(), 7u);  // M1..M7
   EXPECT_TRUE(result.schedule.validate_against(
                   pcr_mixing_assay().graph).empty());
-  EXPECT_GT(result.makespan_s, 0.0);
+  EXPECT_GT(result.transport_makespan_s, 0.0);
 
   // Placement: overlap-free, in canvas, FTI evaluated.
   EXPECT_TRUE(result.placement.placement.feasible());

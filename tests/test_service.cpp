@@ -1,0 +1,404 @@
+// Tests for the synthesis service (service/): the content-hashed compile
+// cache's key covers everything that changes compile output and nothing
+// that doesn't, exact hits are bit-identical to the original compile,
+// warm starts are deterministic and never worse than cold, the deadline
+// round budget leaves no-deadline runs bit-identical, and the JSON-line
+// wire protocol round-trips through an in-process serve().
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "assay/assay_library.h"
+#include "assay/scheduler.h"
+#include "io/assay_format.h"
+#include "io/json.h"
+
+namespace dmfb {
+namespace {
+
+/// Short annealing runs so the whole suite stays fast (mirrors
+/// test_pipeline's fast_options).
+PipelineOptions fast_options() {
+  PipelineOptions options;
+  options.placer_context.annealing.initial_temperature = 1000.0;
+  options.placer_context.annealing.cooling_rate = 0.8;
+  options.placer_context.annealing.iterations_per_module = 60;
+  options.placer_context.ltsa.iterations_per_module = 60;
+  return options;
+}
+
+/// The PCR assay with only its name changed: different cache key
+/// (assay_fingerprint sees the name), identical schedule structure — the
+/// canonical near-miss that should warm-start.
+AssayCase renamed_pcr() {
+  AssayCase assay = pcr_mixing_assay();
+  assay.name = "pcr-variant";
+  return assay;
+}
+
+CompileRequest make_request(std::string id, AssayCase assay,
+                            PipelineOptions options) {
+  CompileRequest request;
+  request.id = std::move(id);
+  request.assay = std::move(assay);
+  request.options = std::move(options);
+  return request;
+}
+
+// --- cache key -------------------------------------------------------
+
+TEST(CompileCacheTest, OptionsFingerprintSeesCompileRelevantFields) {
+  const PipelineOptions base = fast_options();
+  const std::uint64_t fp = options_fingerprint(base);
+  EXPECT_EQ(options_fingerprint(fast_options()), fp);  // stable
+
+  const auto differs = [&](auto mutate, const char* what) {
+    PipelineOptions changed = fast_options();
+    mutate(changed);
+    EXPECT_NE(options_fingerprint(changed), fp) << what;
+  };
+  differs([](PipelineOptions& o) { o.seed = 1; }, "seed");
+  differs([](PipelineOptions& o) { o.placer = "greedy"; }, "placer");
+  differs([](PipelineOptions& o) { o.router = "negotiated"; }, "router");
+  differs([](PipelineOptions& o) { o.placer_context.canvas_width = 28; },
+          "canvas");
+  differs(
+      [](PipelineOptions& o) {
+        o.placer_context.defects.push_back(Point{3, 4});
+      },
+      "defect map");
+  differs([](PipelineOptions& o) { o.placer_context.weights.gamma = 0.1; },
+          "gamma");
+  differs(
+      [](PipelineOptions& o) {
+        o.placer_context.annealing.iterations_per_module = 61;
+      },
+      "annealing schedule");
+  differs([](PipelineOptions& o) { o.feedback_rounds = 2; },
+          "feedback rounds");
+  differs([](PipelineOptions& o) { o.deadline_s = 30.0; }, "deadline");
+  differs([](PipelineOptions& o) { o.chip_width = 16; }, "chip geometry");
+  differs([](PipelineOptions& o) { o.plan_droplet_routes = false; },
+          "routing toggle");
+  differs([](PipelineOptions& o) { o.simulate = true; }, "simulate");
+}
+
+TEST(CompileCacheTest, OptionsFingerprintIgnoresExecutionOnlyFields) {
+  const PipelineOptions base = fast_options();
+  const std::uint64_t fp = options_fingerprint(base);
+
+  // Execution-only knobs and the warm-start seams themselves must not
+  // fork the key space of the cache that feeds them.
+  PipelineOptions changed = fast_options();
+  changed.threads = 8;
+  changed.observer = [](PipelineStage, double, const std::string&) {};
+  changed.warm_links.push_back(RouteLink{});
+  changed.routing.congestion_ledger =
+      std::make_shared<std::vector<double>>(10, 1.0);
+  EXPECT_EQ(options_fingerprint(changed), fp);
+}
+
+TEST(CompileCacheTest, ScheduleSignatureIgnoresLabels) {
+  const AssayCase a = pcr_mixing_assay();
+  const AssayCase b = renamed_pcr();
+  const Schedule sa = list_schedule(a.graph, a.binding, a.scheduler_options);
+  const Schedule sb = list_schedule(b.graph, b.binding, b.scheduler_options);
+  EXPECT_EQ(schedule_signature(sa), schedule_signature(sb));
+
+  // Serializing the schedule removes every time overlap — a different
+  // structure, so placements must not transfer.
+  AssayCase serial = pcr_mixing_assay();
+  serial.scheduler_options.constraints.max_concurrent_modules = 1;
+  const Schedule ss = list_schedule(serial.graph, serial.binding,
+                                    serial.scheduler_options);
+  EXPECT_NE(schedule_signature(ss), schedule_signature(sa));
+}
+
+// --- exact hits ------------------------------------------------------
+
+TEST(ServiceTest, ExactHitReturnsTheStoredResultBitIdentical) {
+  CompileService service;
+  const CompileRequest request =
+      make_request("r1", pcr_mixing_assay(), fast_options());
+
+  const CompileResponse first = service.compile(request);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.source, CompileSource::kMiss);
+
+  const CompileResponse second = service.compile(request);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.source, CompileSource::kExactHit);
+  // The very same stored object, not a recompute — bit-identical by
+  // construction.
+  EXPECT_EQ(second.result.get(), first.result.get());
+
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.exact_hits, 1);
+  EXPECT_EQ(stats.warm_hits, 0);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(ServiceTest, CacheBypassAlwaysCompilesColdAndStoresNothing) {
+  CompileService service;
+  CompileRequest request =
+      make_request("r1", pcr_mixing_assay(), fast_options());
+  request.use_cache = false;
+
+  EXPECT_EQ(service.compile(request).source, CompileSource::kMiss);
+  EXPECT_EQ(service.compile(request).source, CompileSource::kMiss);
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.misses, 0);  // bypass never consults the cache
+}
+
+TEST(ServiceTest, CompileErrorsComeBackAsResponsesNotThrows) {
+  CompileService service;
+  PipelineOptions options = fast_options();
+  options.placer = "no-such-placer";
+  const CompileResponse response =
+      service.compile(make_request("r1", pcr_mixing_assay(), options));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, "r1");
+  EXPECT_NE(response.error.find("no-such-placer"), std::string::npos)
+      << response.error;
+}
+
+// --- warm starts -----------------------------------------------------
+
+TEST(ServiceTest, NearMissWarmStartsDeterministicallyAndNeverWorse) {
+  // A cold reference compile of the perturbed assay, outside any cache.
+  CompileService cold_service;
+  CompileRequest cold_request =
+      make_request("cold", renamed_pcr(), fast_options());
+  cold_request.use_cache = false;
+  const CompileResponse cold = cold_service.compile(cold_request);
+  ASSERT_TRUE(cold.ok) << cold.error;
+
+  const auto run_sequence = [](CompileService& service) {
+    const CompileResponse seed = service.compile(
+        make_request("seed", pcr_mixing_assay(), fast_options()));
+    EXPECT_TRUE(seed.ok) << seed.error;
+    EXPECT_EQ(seed.source, CompileSource::kMiss);
+    return service.compile(
+        make_request("warm", renamed_pcr(), fast_options()));
+  };
+
+  CompileService a;
+  const CompileResponse warm = run_sequence(a);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.source, CompileSource::kWarmStart);
+  EXPECT_EQ(a.cache_stats().warm_hits, 1);
+
+  // Never worse: the annealers record the (feasible) warm seed as the
+  // initial best, and the seed *is* the cold solution here — same
+  // structure, same master seed.
+  EXPECT_LE(warm.result->placement.cost.value,
+            cold.result->placement.cost.value + 1e-9);
+
+  // Deterministic under a fixed seed: a fresh service running the same
+  // request sequence lands on the identical placement.
+  CompileService b;
+  const CompileResponse again = run_sequence(b);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.source, CompileSource::kWarmStart);
+  const Placement& p = warm.result->placement.placement;
+  const Placement& q = again.result->placement.placement;
+  ASSERT_EQ(p.module_count(), q.module_count());
+  for (int i = 0; i < p.module_count(); ++i) {
+    EXPECT_EQ(p.module(i).anchor, q.module(i).anchor) << "module " << i;
+    EXPECT_EQ(p.module(i).rotated, q.module(i).rotated) << "module " << i;
+  }
+  EXPECT_DOUBLE_EQ(warm.result->placement.cost.value,
+                   again.result->placement.cost.value);
+}
+
+// --- deadline round budget -------------------------------------------
+
+TEST(DeadlineTest, NoDeadlineRunsAreBitIdenticalToTheDeadlinePath) {
+  // deadline_s = 0 must take the exact legacy code path; an unmeetable
+  // deadline must change nothing either (the check never fires).
+  PipelineOptions options = fast_options();
+  options.feedback_rounds = 2;
+  options.placer_context.weights.gamma = 0.05;
+
+  const PipelineResult zero = SynthesisPipeline(options).run(
+      pcr_mixing_assay());
+  options.deadline_s = 1e-9;  // never met: makespans are whole seconds
+  const PipelineResult tiny = SynthesisPipeline(options).run(
+      pcr_mixing_assay());
+
+  ASSERT_EQ(tiny.feedback_history.size(), zero.feedback_history.size());
+  for (std::size_t i = 0; i < zero.feedback_history.size(); ++i) {
+    EXPECT_EQ(tiny.feedback_history[i].seed, zero.feedback_history[i].seed);
+    EXPECT_EQ(tiny.feedback_history[i].routed,
+              zero.feedback_history[i].routed);
+    EXPECT_DOUBLE_EQ(tiny.feedback_history[i].transport_makespan_s,
+                     zero.feedback_history[i].transport_makespan_s);
+    EXPECT_DOUBLE_EQ(tiny.feedback_history[i].placement_cost,
+                     zero.feedback_history[i].placement_cost);
+  }
+  EXPECT_EQ(tiny.selected_round, zero.selected_round);
+  const Placement& p = zero.placement.placement;
+  const Placement& q = tiny.placement.placement;
+  ASSERT_EQ(p.module_count(), q.module_count());
+  for (int i = 0; i < p.module_count(); ++i) {
+    EXPECT_EQ(p.module(i).anchor, q.module(i).anchor);
+    EXPECT_EQ(p.module(i).rotated, q.module(i).rotated);
+  }
+}
+
+TEST(DeadlineTest, GenerousDeadlineStopsSpendingRounds) {
+  PipelineOptions options = fast_options();
+  options.feedback_rounds = 3;
+  options.placer_context.weights.gamma = 0.05;
+  options.deadline_s = 1e9;  // any routed round meets it
+
+  const PipelineResult result = SynthesisPipeline(options).run(
+      pcr_mixing_assay());
+  ASSERT_FALSE(result.feedback_history.empty());
+  ASSERT_TRUE(result.feedback_history.front().routed);
+  // Round 0 routed under the deadline, so no feedback round runs.
+  EXPECT_EQ(result.feedback_history.size(), 1u);
+  EXPECT_EQ(result.selected_round, 0);
+}
+
+// --- wire protocol ---------------------------------------------------
+
+TEST(ServerTest, ParseRequestReadsEveryField) {
+  const CompileServer server;
+  json::Value doc;
+  doc.set("id", std::string("r7"));
+  doc.set("assay", assay_to_string(pcr_mixing_assay()));
+  doc.set("cache", false);
+  json::Value options;
+  options.set("seed", 99.0);
+  options.set("placer", std::string("two-stage"));
+  options.set("router", std::string("negotiated"));
+  options.set("canvas", json::Value(json::Value::Array{
+                            json::Value(28), json::Value(26)}));
+  options.set("gamma", 0.05);
+  options.set("feedback_rounds", 2.0);
+  options.set("deadline_s", 40.0);
+  options.set("persist_congestion_history", true);
+  doc.set("options", std::move(options));
+
+  const CompileRequest request = server.parse_request(doc.dump());
+  EXPECT_EQ(request.id, "r7");
+  EXPECT_FALSE(request.use_cache);
+  EXPECT_EQ(request.assay.graph.operation_count(),
+            pcr_mixing_assay().graph.operation_count());
+  EXPECT_EQ(request.options.seed, 99u);
+  EXPECT_EQ(request.options.placer, "two-stage");
+  EXPECT_EQ(request.options.router, "negotiated");
+  EXPECT_EQ(request.options.placer_context.canvas_width, 28);
+  EXPECT_EQ(request.options.placer_context.canvas_height, 26);
+  EXPECT_DOUBLE_EQ(request.options.placer_context.weights.gamma, 0.05);
+  EXPECT_EQ(request.options.feedback_rounds, 2);
+  EXPECT_DOUBLE_EQ(request.options.deadline_s, 40.0);
+  EXPECT_TRUE(request.options.routing.persist_congestion_history);
+}
+
+TEST(ServerTest, ParseRequestRejectsUnknownOptionsAndMissingAssay) {
+  const CompileServer server;
+  EXPECT_THROW(server.parse_request("{\"id\":\"x\"}"),
+               std::invalid_argument);  // no assay
+  json::Value doc;
+  doc.set("id", std::string("x"));
+  doc.set("assay", assay_to_string(pcr_mixing_assay()));
+  json::Value options;
+  options.set("plaecr", std::string("sa"));  // misspelled: must be an error
+  doc.set("options", std::move(options));
+  EXPECT_THROW(server.parse_request(doc.dump()), std::invalid_argument);
+  EXPECT_THROW(server.parse_request("not json"), json::JsonError);
+}
+
+TEST(ServerTest, ServeAnswersRequestsControlLinesAndErrors) {
+  ServerOptions options;
+  options.workers = 2;
+  CompileServer server(options);
+
+  json::Value request;
+  request.set("id", std::string("r1"));
+  request.set("assay", assay_to_string(pcr_mixing_assay()));
+  json::Value request_options;
+  json::Value annealing;
+  annealing.set("T0", 1000.0);
+  annealing.set("alpha", 0.8);
+  annealing.set("iterations_per_module", 60.0);
+  request_options.set("annealing", std::move(annealing));
+  request.set("options", std::move(request_options));
+
+  const std::vector<std::string> input = {
+      request.dump(),
+      "this is not json",
+      "{\"cmd\":\"stats\"}",
+      "{\"cmd\":\"shutdown\"}",
+      "{\"id\":\"never-read\"}",  // after shutdown: must not be served
+  };
+  std::size_t cursor = 0;
+  std::mutex output_mutex;
+  std::vector<std::string> output;
+  std::atomic<int> responses{0};
+  server.serve(
+      [&](std::string& line) {
+        if (cursor >= input.size()) return false;
+        // Control lines are answered inline by the reader; wait for the
+        // queued requests to drain first so the counters and the output
+        // size are deterministic.
+        if (input[cursor].find("\"cmd\"") != std::string::npos) {
+          while (responses.load() < 2) std::this_thread::yield();
+        }
+        line = input[cursor++];
+        return true;
+      },
+      [&](const std::string& line) {
+        {
+          const std::lock_guard<std::mutex> lock(output_mutex);
+          output.push_back(line);
+        }
+        responses.fetch_add(1);
+      });
+
+  // shutdown stops the reader before the trailing request.
+  EXPECT_EQ(cursor, 4u);
+  ASSERT_EQ(output.size(), 3u);  // r1 + parse error + stats
+
+  bool saw_result = false, saw_error = false, saw_stats = false;
+  for (const std::string& line : output) {
+    const json::Value doc = json::Value::parse(line);
+    if (doc.find("stats")) {
+      saw_stats = true;
+      EXPECT_EQ(doc.find("stats")->find("misses")->as_number(), 1.0);
+    } else if (doc.find("id") && doc.find("id")->as_string() == "r1") {
+      saw_result = true;
+      EXPECT_TRUE(doc.find("ok")->as_bool());
+      EXPECT_EQ(doc.find("source")->as_string(), "miss");
+      const json::Value* result = doc.find("result");
+      ASSERT_NE(result, nullptr);
+      EXPECT_EQ(result->find("assay")->as_string(), "pcr-mixing-stage");
+      EXPECT_GT(result->find("area_cells")->as_number(), 0.0);
+      EXPECT_TRUE(result->find("routed")->as_bool());
+      EXPECT_GT(result->find("transport_makespan_s")->as_number(), 0.0);
+      // The placement text round-trips through the repo's one parser.
+      EXPECT_EQ(result->find("placement")->as_string().rfind("placement ", 0),
+                0u);
+    } else {
+      saw_error = true;
+      EXPECT_FALSE(doc.find("ok")->as_bool());
+      EXPECT_FALSE(doc.find("error")->as_string().empty());
+    }
+  }
+  EXPECT_TRUE(saw_result);
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(saw_stats);
+}
+
+}  // namespace
+}  // namespace dmfb

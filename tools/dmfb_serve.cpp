@@ -1,0 +1,165 @@
+// dmfb_serve — the synthesis service's front door: a long-running compile
+// server speaking the JSON-line protocol of service/server.h.
+//
+//   dmfb_serve [--workers N] [--queue N]            # stdin/stdout
+//   dmfb_serve --socket /tmp/dmfb.sock [--workers N]  # Unix socket
+//
+// stdin mode serves one client (pipe requests in, read responses out) and
+// exits at EOF or on {"cmd":"shutdown"}. Socket mode accepts connections
+// sequentially and serves each until it disconnects; the compile cache —
+// the whole point of the long-running process — persists across
+// connections, and {"cmd":"shutdown"} ends the whole process, not just
+// the sending connection. Responses may interleave out of request order
+// (workers write as they finish); clients correlate by the echoed "id".
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include "io/json.h"
+#include "service/server.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue N] [--socket PATH]\n",
+               argv0);
+  return 2;
+}
+
+/// Line-at-a-time reads over a raw fd (a socket has no std::istream).
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  bool next(std::string& line) {
+    for (;;) {
+      if (const auto newline = buffer_.find('\n');
+          newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got <= 0) {
+        if (buffer_.empty()) return false;
+        line = std::exchange(buffer_, {});  // unterminated final line
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+void write_all(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t wrote = ::write(fd, out.data() + sent, out.size() - sent);
+    if (wrote <= 0) return;  // client gone; drop the rest
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+int serve_socket(dmfb::CompileServer& server, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return 1;
+  }
+  std::strncpy(address.sun_path, path.c_str(), sizeof(address.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror(path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "dmfb_serve: listening on %s\n", path.c_str());
+
+  // Connections are served one at a time; the cache (inside `server`)
+  // persists across them, which is what makes the process worth keeping
+  // alive between clients.
+  bool shutdown = false;
+  while (!shutdown) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    FdLineReader reader(client);
+    server.serve(
+        [&](std::string& line) {
+          if (!reader.next(line)) return false;
+          // serve() ends on {"cmd":"shutdown"}, but only for this
+          // connection — peek so the accept loop stops too.
+          if (line.find("\"cmd\"") != std::string::npos) {
+            try {
+              const dmfb::json::Value doc = dmfb::json::Value::parse(line);
+              if (const dmfb::json::Value* cmd = doc.find("cmd");
+                  cmd && cmd->is_string() && cmd->as_string() == "shutdown") {
+                shutdown = true;
+              }
+            } catch (...) {
+            }
+          }
+          return true;
+        },
+        [&](const std::string& line) { write_all(client, line); });
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmfb::ServerOptions options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      options.workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.queue_capacity =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  dmfb::CompileServer server(options);
+  if (!socket_path.empty()) return serve_socket(server, socket_path);
+
+  server.serve(
+      [](std::string& line) {
+        return static_cast<bool>(std::getline(std::cin, line));
+      },
+      [](const std::string& line) {
+        std::cout << line << '\n';
+        std::cout.flush();  // responses are the protocol; never buffer
+      });
+  return 0;
+}
