@@ -63,9 +63,19 @@ int main(int argc, char** argv) {
   TextTable table("Transport-inclusive makespan (s) per feedback round");
   table.set_header({"scenario", "round", "routed", "makespan (s)",
                     "transport-incl (s)", "cost", "selected"});
+  // Per-stage CostStatistic telemetry (count/min/avg/max wall time across
+  // every time the stage ran, feedback re-runs included), collected by
+  // the pipeline's stage observer.
+  TextTable stage_table("Per-stage wall time across rounds (ms)");
+  stage_table.set_header(
+      {"scenario", "stage", "count", "min", "avg", "max"});
+  const PipelineStage all_stages[] = {
+      PipelineStage::kBind, PipelineStage::kSchedule, PipelineStage::kPlace,
+      PipelineStage::kRoute, PipelineStage::kSimulate};
 
   bool shape_ok = true;
   for (const auto& scenario : scenarios) {
+    StageStatsCollector stage_stats;
     PipelineOptions options;
     options.seed = bench::kBenchSeed;
     options.placer_context = bench::paper_context();
@@ -78,9 +88,25 @@ int main(int argc, char** argv) {
     options.placer_context.weights.gamma = 0.05;
     options.feedback_rounds = rounds;
     options.routing.step_horizon = scenario.step_horizon;
+    // Simulate the winning round droplet-by-droplet (event engine), so
+    // the stage telemetry covers the whole flow including execution.
+    options.simulate = true;
+    options.observer = stage_stats.observer();
 
     const PipelineResult result =
         SynthesisPipeline(options).run(scenario.assay);
+
+    for (const PipelineStage stage : all_stages) {
+      const CostStatistic stat = stage_stats.statistic(stage);
+      if (stat.count == 0) continue;
+      stage_table.add_row({scenario.name, to_string(stage),
+                           std::to_string(stat.count),
+                           format_double(stat.minimum() * 1e3, 3),
+                           format_double(stat.average() * 1e3, 3),
+                           format_double(stat.max * 1e3, 3)});
+      bench::emit_stage_stats_json_line("closed_loop", scenario.name, stage,
+                                        stat);
+    }
 
     if (result.feedback_history.empty()) {
       std::cout << scenario.name << ": NO feedback rounds recorded\n";
@@ -123,6 +149,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  stage_table.print(std::cout);
 
   std::cout << "\nshape check (selected round no worse than round 0): "
             << (shape_ok ? "OK" : "VIOLATED") << '\n';

@@ -110,6 +110,42 @@ inline void emit_router_json_line(const std::string& name,
             << ",\"seed\":" << seed << "}\n";
 }
 
+/// The simulator-engine counterpart: one line per (scenario, engine)
+/// cell of bench_perf_sim. A "step" is one droplet move (route cell), so
+/// `steps_per_second` is the simulator's droplet-step throughput;
+/// `speedup` is this engine's throughput over the reference engine on
+/// the same scenario (1 on the reference's own rows), and `identical`
+/// records the full-SimulationResult bit-identity audit.
+inline void emit_sim_json_line(const std::string& scenario,
+                               const std::string& engine, int modules,
+                               int runs, long long steps,
+                               double steps_per_second, double wall_seconds,
+                               double speedup, bool identical,
+                               std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"perf_sim\",\"scenario\":\"" << scenario
+            << "\",\"engine\":\"" << engine << "\",\"modules\":" << modules
+            << ",\"runs\":" << runs << ",\"steps\":" << steps
+            << ",\"steps_per_second\":" << steps_per_second
+            << ",\"wall_seconds\":" << wall_seconds << ",\"speedup\":"
+            << speedup << ",\"identical\":" << (identical ? "true" : "false")
+            << ",\"seed\":" << seed << "}\n";
+}
+
+/// Per-stage CostStatistic columns for the closed-loop bench: one line
+/// per (scenario, stage) with cross-run count/min/avg/max wall seconds,
+/// collected by a StageStatsCollector observer.
+inline void emit_stage_stats_json_line(const std::string& bench,
+                                       const std::string& scenario,
+                                       PipelineStage stage,
+                                       const CostStatistic& stat,
+                                       std::uint64_t seed = kBenchSeed) {
+  std::cout << "{\"bench\":\"" << bench << "_stages\",\"scenario\":\""
+            << scenario << "\",\"stage\":\"" << to_string(stage)
+            << "\",\"count\":" << stat.count << ",\"min_s\":"
+            << stat.minimum() << ",\"avg_s\":" << stat.average()
+            << ",\"max_s\":" << stat.max << ",\"seed\":" << seed << "}\n";
+}
+
 /// The closed-loop counterpart: one line per (scenario, feedback round),
 /// with the transport-inclusive makespan the round achieved and whether
 /// the pipeline selected it as the answer.

@@ -9,6 +9,7 @@
 
 #include "biochip/chip.h"
 #include "sim/router_backend.h"
+#include "sim/sim_engine.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -299,19 +300,41 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
   const int chip_width = best.chip_width;
   const int chip_height = best.chip_height;
 
-  // Simulate: droplet-level execution on a virtual chip.
+  // Simulate: droplet-level execution on a virtual chip. The event
+  // engine is driven directly (not through the Simulator adapter) so its
+  // telemetry and stall diagnosis reach the stage observer.
   if (options_.simulate) {
     const auto start = Clock::now();
     const Chip chip(chip_width, chip_height);
-    const Simulator simulator(options_.simulation);
-    result.simulation = simulator.run(graph, result.schedule,
-                                      result.placement.placement, chip);
     std::ostringstream detail;
-    if (result.simulation.success) {
-      detail << "completed in " << result.simulation.makespan_s << " s, "
-             << result.simulation.routes_planned << " routes";
+    if (options_.simulation.engine == SimEngineKind::kEvent) {
+      EventSimEngine engine(options_.simulation);
+      SimEngineRun run =
+          engine.run(graph, result.schedule, result.placement.placement, chip);
+      result.simulation = std::move(run.result);
+      if (result.simulation.success) {
+        detail << "completed in " << result.simulation.makespan_s << " s, "
+               << result.simulation.routes_planned << " routes";
+      } else {
+        detail << "simulation failed: " << result.simulation.failure_reason;
+        if (run.stall.stalled) detail << " [" << run.stall.chain << "]";
+      }
+      const SimEngineTelemetry& t = run.telemetry;
+      detail << "; events=" << t.events_dispatched
+             << " route-avg=" << t.route_cost.average() * 1e6 << "us"
+             << " route-max=" << t.route_cost.max * 1e6 << "us"
+             << " fast-paths=" << t.manhattan_fast_paths
+             << " grid-reuses=" << t.blocked_grid_reuses;
     } else {
-      detail << "simulation failed: " << result.simulation.failure_reason;
+      const Simulator simulator(options_.simulation);
+      result.simulation = simulator.run(graph, result.schedule,
+                                        result.placement.placement, chip);
+      if (result.simulation.success) {
+        detail << "completed in " << result.simulation.makespan_s << " s, "
+               << result.simulation.routes_planned << " routes";
+      } else {
+        detail << "simulation failed: " << result.simulation.failure_reason;
+      }
     }
     record(PipelineStage::kSimulate, seconds_since(start), detail.str());
   }

@@ -25,10 +25,12 @@
 // classic feed-forward flow runs bit-identically to previous releases.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,6 +45,7 @@
 #include "core/placer.h"
 #include "sim/route_planner.h"
 #include "sim/simulator.h"
+#include "util/cost_statistic.h"
 #include "util/deprecation.h"
 
 namespace dmfb {
@@ -64,6 +67,39 @@ std::ostream& operator<<(std::ostream& os, PipelineStage stage);
 /// invokes it concurrently from worker threads, so it must be thread-safe.
 using StageObserver = std::function<void(
     PipelineStage stage, double wall_seconds, const std::string& detail)>;
+
+/// Number of PipelineStage values, for per-stage telemetry arrays.
+inline constexpr int kPipelineStageCount = 5;
+
+/// Thread-safe StageObserver adapter: folds every completed stage's wall
+/// time into a per-stage CostStatistic (count/min/avg/max), the same
+/// accumulator the event simulator keeps internally — so batch drivers
+/// (bench_closed_loop, bench_perf_sim) report cross-run stage timing
+/// without a profiler. Install `observer()` as PipelineOptions::observer;
+/// run_many invokes observers from worker threads, hence the mutex. The
+/// collector must outlive every run observing into it.
+class StageStatsCollector {
+ public:
+  StageObserver observer() {
+    return [this](PipelineStage stage, double wall_seconds,
+                  const std::string&) { record(stage, wall_seconds); };
+  }
+
+  void record(PipelineStage stage, double wall_seconds) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_[static_cast<std::size_t>(stage)].record(wall_seconds);
+  }
+
+  /// Accumulated statistic for one stage (a copy, taken under the lock).
+  CostStatistic statistic(PipelineStage stage) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_[static_cast<std::size_t>(stage)];
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<CostStatistic, kPipelineStageCount> stats_{};
+};
 
 /// Everything configurable about one pipeline run — the single options
 /// struct superseding the per-stage ones.

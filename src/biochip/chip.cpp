@@ -20,6 +20,7 @@ Chip::Chip(int width_cells, int height_cells)
                         kDefaultGapHeightUm}) {}
 
 void Chip::set_faulty(Point p, bool faulty) {
+  ++fault_revision_;
   electrodes_.at(p).set_faulty(faulty);
 }
 

@@ -6,6 +6,7 @@
 // voltage map that a configuration programs into the microcontroller.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "biochip/cell.h"
@@ -46,7 +47,14 @@ class Chip {
   int height() const { return geometry_.height_cells; }
   bool in_bounds(Point p) const { return electrodes_.in_bounds(p); }
 
-  Electrode& electrode(Point p) { return electrodes_.at(p); }
+  /// Mutable electrode access. Bumps fault_revision() pessimistically —
+  /// the caller may flip the electrode's health through the reference, and
+  /// consumers caching fault state (e.g. the event simulation engine's
+  /// blocked grid) key their caches on the revision.
+  Electrode& electrode(Point p) {
+    ++fault_revision_;
+    return electrodes_.at(p);
+  }
   const Electrode& electrode(Point p) const { return electrodes_.at(p); }
 
   /// Injects / clears a single-cell fault (the paper's §5.2 fault model).
@@ -54,6 +62,11 @@ class Chip {
   bool is_faulty(Point p) const { return electrodes_.at(p).faulty(); }
   std::vector<Point> faulty_cells() const;
   int faulty_count() const;
+
+  /// Monotone counter of potential fault mutations: 0 means no mutable
+  /// electrode access nor set_faulty() call ever happened, so the chip is
+  /// provably fault-free as fabricated. Cache keys, not semantics.
+  std::uint64_t fault_revision() const { return fault_revision_; }
 
   /// Applies `volts` to every electrode in `rect` (clipped to bounds) —
   /// how a module or a transport path is "programmed" onto the array.
@@ -69,6 +82,7 @@ class Chip {
  private:
   ChipGeometry geometry_;
   Matrix<Electrode> electrodes_;
+  std::uint64_t fault_revision_ = 0;
 };
 
 }  // namespace dmfb

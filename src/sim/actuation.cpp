@@ -34,6 +34,18 @@ ActuationProgram compile_actuation(const Schedule& schedule,
   program.chip_height = chip_height;
   program.control_voltage = options.control_voltage;
 
+  // Per-frame cell scratch, hoisted out of the loops: frames are built
+  // thousands at a time, and sort + unique on one reused vector yields
+  // the same (x, y)-lexicographic order a std::set iterates in without
+  // a node allocation per cell.
+  std::vector<std::pair<int, int>> cells;
+  auto emit_cells = [&](ActuationFrame& frame) {
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+    frame.actuated.reserve(cells.size());
+    for (const auto& [x, y] : cells) frame.actuated.push_back(Point{x, y});
+  };
+
   // Transport frames: per changeover, one frame per step; each frame
   // energizes the cell every moving droplet should occupy at that step.
   for (const auto& changeover : routes.changeovers) {
@@ -42,14 +54,14 @@ ActuationProgram compile_actuation(const Schedule& schedule,
       frame.time_s = changeover.time_s + step * options.seconds_per_step;
       frame.note = "transport step " + std::to_string(step) + " @" +
                    std::to_string(changeover.time_s) + "s";
-      std::set<std::pair<int, int>> cells;
+      cells.clear();
       for (const auto& route : changeover.routes) {
         const int clamped = std::min(
             step, static_cast<int>(route.positions.size()) - 1);
         const Point p = route.positions[static_cast<std::size_t>(clamped)];
-        cells.emplace(p.x, p.y);
+        cells.emplace_back(p.x, p.y);
       }
-      for (const auto& [x, y] : cells) frame.actuated.push_back(Point{x, y});
+      emit_cells(frame);
       program.frames.push_back(std::move(frame));
     }
   }
@@ -77,7 +89,7 @@ ActuationProgram compile_actuation(const Schedule& schedule,
     std::ostringstream note;
     note << "hold slice [" << begin << "s, " << end << "s)";
     frame.note = note.str();
-    std::set<std::pair<int, int>> cells;
+    cells.clear();
     for (int i = 0; i < placement.module_count(); ++i) {
       const auto& m = placement.module(i);
       if (m.start_s <= begin && end <= m.end_s) {
@@ -85,13 +97,13 @@ ActuationProgram compile_actuation(const Schedule& schedule,
             m.footprint().inflated(-kSegregationRingCells);
         for (int y = functional.y; y < functional.top(); ++y) {
           for (int x = functional.x; x < functional.right(); ++x) {
-            cells.emplace(x, y);
+            cells.emplace_back(x, y);
           }
         }
       }
     }
     if (!cells.empty()) {
-      for (const auto& [x, y] : cells) frame.actuated.push_back(Point{x, y});
+      emit_cells(frame);
       program.frames.push_back(std::move(frame));
     }
     ++slice_index;

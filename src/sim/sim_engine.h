@@ -1,0 +1,178 @@
+// sim_engine.h — the event-queue droplet simulation engine.
+//
+// The reference simulator walks the schedule module by module, building a
+// chip-sized blocked matrix from scratch for every routing call, scanning
+// the fault list linearly per module, and formatting event strings
+// through stringstreams. This engine executes the identical model as a
+// discrete-event loop with pooled per-step state:
+//
+//   - An event queue (binary heap keyed by (time, tie-break rank))
+//     dispatches module-start and module-end events; droplets sleep in
+//     their producer slots until a consuming module's start event pulls
+//     them across the array, and modules sleep until their scheduled
+//     times — nothing is stepped in between.
+//   - The blocked grid is a persistent scratch maintained by the events
+//     themselves: a start event stamps its module's functional rect (on
+//     the next clock advance), an end event clears it (faults re-stamped
+//     from an O(1) occupancy grid) — routing calls find the grid already
+//     correct instead of rebuilding W*H cells each, and a run that tears
+//     every module down leaves a clean grid the next run reuses outright
+//     (keyed on Chip::fault_revision()).
+//   - Shortest-path queries run on a generation-stamped A* (pooled
+//     frontier and cost arrays, no per-call allocation) that returns the
+//     optimal path *length* — the only thing the simulation model
+//     consumes — and skips the search entirely when no obstacle
+//     intersects the source-target bounding box (the Manhattan distance
+//     is then exact).
+//   - Event strings are built into one reused buffer (identical bytes to
+//     the reference), and SimOptions::record_events turns the log off
+//     for batch runs that only read the structured fields.
+//
+// The results are bit-identical to SimEngineKind::kReference — events,
+// op_outputs, route accounting, failure reasons — pinned by the audit in
+// tests/test_sim_engine.cpp, the same way the copy annealing engine pins
+// the delta engine. On top of that contract the engine reports what the
+// reference cannot: a StallReport naming the wait chain behind a routing
+// failure (which running modules wall the droplet off, and when the
+// earliest of them would clear) instead of just "cannot reach", plus
+// per-phase CostStatistic telemetry (the Scheduler/UpdateResult
+// notification split: callers observe every dispatched event).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/cost_statistic.h"
+#include "util/matrix.h"
+#include "util/memory_pool.h"
+
+namespace dmfb {
+
+/// What the queue just dispatched — the engine's UpdateResult. Observers
+/// (set_observer) receive one per event, in dispatch order.
+struct SimUpdate {
+  enum class Kind {
+    kModuleStart,  ///< a module's inputs arrived and its operation ran
+    kModuleEnd,    ///< a module's interval ended (teardown)
+    kStall,        ///< a droplet could not be routed; the run fails here
+  };
+  Kind kind = Kind::kModuleStart;
+  double time_s = 0.0;
+  int module = -1;  ///< index into schedule.modules()
+  bool ok = true;   ///< false: this event failed the run
+};
+
+using SimEngineObserver = std::function<void(const SimUpdate&)>;
+
+/// Diagnosis of a routing stall: the wait chain the reference simulator's
+/// bare "cannot reach" hides. Populated on the events the engine fails —
+/// a droplet walled off its target, or no free perimeter entry for a
+/// dispense.
+struct StallReport {
+  bool stalled = false;
+  double time_s = 0.0;
+  /// Module (schedule index) whose input transfer stalled.
+  int waiting_module = -1;
+  /// Label of the stalled droplet's producer operation (empty for a
+  /// dispense with no free perimeter entry).
+  std::string droplet_label;
+  Point target{};
+  /// Running modules (schedule indices) whose functional regions wall
+  /// the droplet off — the wait-for chain, in schedule order. Empty with
+  /// `fault_walled` set when faulty electrodes alone sever the path.
+  std::vector<int> blocking_modules;
+  /// Earliest end_s among the blockers: the soonest instant the chain
+  /// would clear. The model routes at the changeover instant, so a
+  /// positive gap to `time_s` is the deadlock certificate — waiting
+  /// cannot help without retiming the schedule.
+  double earliest_unblock_s = 0.0;
+  /// Faulty electrodes sever every path even with no module active.
+  bool fault_walled = false;
+  /// Human-readable wait chain, e.g.
+  /// "droplet of 'M3' -> 'M5' blocked by {M1 [2,8)s, S(M2) [0,6)s}; ...".
+  std::string chain;
+};
+
+/// Where the engine's wall time goes, phase by phase (CostStatistic
+/// min/avg/max per invocation), plus structural counters showing the
+/// pooled state at work.
+struct SimEngineTelemetry {
+  CostStatistic route_cost;  ///< per routing call (A* + grid upkeep)
+  CostStatistic event_cost;  ///< per dispatched module event
+  long long events_dispatched = 0;
+  long long routes_planned = 0;
+  /// Heap pushes across all A* runs — the search effort actually spent.
+  long long astar_pushes = 0;
+  /// Routes priced by the obstacle-free Manhattan fast path (no search).
+  long long manhattan_fast_paths = 0;
+  /// Cells touched maintaining the blocked grid (event-driven stamping
+  /// and dirty-rect clearing); the reference rebuilds W*H cells per
+  /// routing call.
+  long long blocked_cells_touched = 0;
+  /// Routing calls that found the blocked grid untouched since the
+  /// previous routing call (no start/end event moved a module between
+  /// them).
+  long long blocked_grid_reuses = 0;
+};
+
+/// One engine execution: the bit-identical simulation result plus the
+/// engine-only diagnostics.
+struct SimEngineRun {
+  SimulationResult result;
+  StallReport stall;
+  SimEngineTelemetry telemetry;
+};
+
+/// The event-queue engine. Reusable: scratch state (grids, A* arrays,
+/// path/heap pools) persists across run() calls, so batch drivers that
+/// keep one engine per worker thread simulate allocation-free in steady
+/// state. Not thread-safe; one engine per thread (the annealer's scratch
+/// discipline). `options.engine` is ignored here — constructing this
+/// class *is* choosing the event engine.
+class EventSimEngine {
+ public:
+  explicit EventSimEngine(SimOptions options = {});
+
+  const SimOptions& options() const { return options_; }
+
+  /// Per-event notification (the Scheduler/UpdateResult split); null to
+  /// disable. Invoked after each event's effects are applied.
+  void set_observer(SimEngineObserver observer);
+
+  /// Executes the assay. Same contract as Simulator::run (including the
+  /// std::invalid_argument validation), with diagnostics on the side.
+  SimEngineRun run(const SequencingGraph& graph, const Schedule& schedule,
+                   const Placement& placement, const Chip& chip);
+
+ private:
+  friend struct EngineRunState;
+
+  SimOptions options_;
+  SimEngineObserver observer_;
+
+  // Persistent scratch, recycled across runs.
+  Matrix<std::uint8_t> blocked_;     ///< module rects + faults
+  Matrix<std::uint8_t> fault_grid_;  ///< faults only (O(1) membership)
+  std::vector<Point> faults_;        ///< row-major, = Chip::faulty_cells()
+  Rect fault_bbox_{};                ///< union of faults_ (fast reject)
+  std::vector<int> filled_;          ///< modules currently in blocked_
+  std::vector<Rect> filled_rects_;   ///< their functional rects, aligned
+  std::vector<int> pending_fills_;   ///< started this instant, stamped on
+                                     ///< the next clock advance
+  std::vector<Rect> func_rects_;     ///< per-module functional region
+  /// True when blocked_ is back to its faults-only state (every stamped
+  /// module cleared by its end event). With matching dimensions and a
+  /// provably fault-free chip (Chip::fault_revision() == 0) the per-run
+  /// grid rebuild is skipped entirely; faulty or mutated chips always
+  /// rebuild.
+  bool grid_clean_ = false;
+  std::vector<int> astar_g_;         ///< generation-stamped best-g grid
+  std::vector<std::uint32_t> astar_stamp_;
+  std::uint32_t astar_generation_ = 0;
+  MemoryPool<std::vector<std::uint64_t>> frontier_pool_;  ///< A* heaps
+  std::string event_buffer_;  ///< reused event-string assembly buffer
+};
+
+}  // namespace dmfb

@@ -3,8 +3,41 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "sim/sim_engine.h"
 
 namespace dmfb {
+
+const char* to_string(SimEngineKind kind) {
+  switch (kind) {
+    case SimEngineKind::kEvent:
+      return "event";
+    case SimEngineKind::kReference:
+      return "reference";
+  }
+  return "?";
+}
+
+template <>
+SimEngineKind from_string<SimEngineKind>(std::string_view text) {
+  if (text == "event") return SimEngineKind::kEvent;
+  if (text == "reference") return SimEngineKind::kReference;
+  throw std::invalid_argument("unknown SimEngineKind \"" + std::string(text) +
+                              "\" (expected one of: event, reference)");
+}
+
+std::ostream& operator<<(std::ostream& os, SimEngineKind kind) {
+  return os << to_string(kind);
+}
+
+std::istream& operator>>(std::istream& is, SimEngineKind& kind) {
+  std::string token;
+  is >> token;
+  kind = from_string<SimEngineKind>(token);
+  return is;
+}
+
 namespace {
 
 constexpr double kEps = 1e-9;
@@ -20,7 +53,7 @@ std::string fmt_point(Point p) {
   return os.str();
 }
 
-/// Execution state threaded through the run.
+/// Execution state threaded through the reference run.
 struct RunState {
   SimulationResult result;
   /// Current physical location of the droplet produced by each operation
@@ -31,29 +64,26 @@ struct RunState {
   int next_droplet_id = 0;
 };
 
-}  // namespace
-
-SimulationResult Simulator::run(const SequencingGraph& graph,
-                                const Schedule& schedule,
-                                const Placement& placement,
-                                const Chip& chip) const {
-  if (schedule.module_count() != placement.module_count()) {
-    throw std::invalid_argument(
-        "Simulator::run: schedule and placement disagree on module count");
-  }
+/// The original straight-line implementation, kept verbatim (modulo the
+/// perimeter-corner fix and the fault grid, both result-identical) as the
+/// behavioural pin the event engine is audited against.
+SimulationResult run_reference(const SequencingGraph& graph,
+                               const Schedule& schedule,
+                               const Placement& placement, const Chip& chip,
+                               const SimOptions& options) {
   const Rect region{0, 0, chip.width(), chip.height()};
-  const Rect bbox = placement.bounding_box();
-  if (!region.contains(bbox)) {
-    throw std::invalid_argument(
-        "Simulator::run: chip smaller than the placement bounding box");
-  }
-
   RunState state;
   auto& result = state.result;
   const std::vector<Point> faults = chip.faulty_cells();
+  // Fault occupancy as an O(1) grid, shared by fail_on_fault (footprint
+  // scan) and blocked_at, instead of an O(F) list scan per module.
+  Matrix<std::uint8_t> fault_grid(region.width, region.height, 0);
+  for (const Point& f : faults) {
+    if (fault_grid.in_bounds(f)) fault_grid.at(f) = 1;
+  }
 
   auto event = [&](double t, const std::string& what) {
-    result.events.push_back(SimEvent{t, what});
+    if (options.record_events) result.events.push_back(SimEvent{t, what});
   };
 
   // Cells impassable for a droplet moving at the configuration changeover
@@ -83,7 +113,7 @@ SimulationResult Simulator::run(const SequencingGraph& graph,
   // Returns false (setting the failure) when routing is impossible.
   auto route_droplet = [&](OperationId producer, Point target, double t,
                            int exclude_module) -> bool {
-    if (!options_.verify_routing) {
+    if (!options.verify_routing) {
       state.droplet_at[producer] = target;
       return true;
     }
@@ -110,7 +140,11 @@ SimulationResult Simulator::run(const SequencingGraph& graph,
           }
         }
       }
-      for (int y = 0; y < region.height; ++y) {
+      // The side columns skip the corner rows: the sweep above already
+      // visited them (it used to enumerate all four corners twice; with
+      // the strict `<` keeping the first minimum, dropping the
+      // duplicates cannot change the winner).
+      for (int y = 1; y < region.height - 1; ++y) {
         for (int x : {0, region.width - 1}) {
           const Point p{x, y};
           if (blocked.at(p) == 0) {
@@ -123,8 +157,8 @@ SimulationResult Simulator::run(const SequencingGraph& graph,
         }
       }
       if (best_distance < 0) {
-        result.failure_reason = "no free perimeter cell to dispense at t=" +
-                                std::to_string(t);
+        result.failure_reason =
+            "no free perimeter cell to dispense at t=" + std::to_string(t);
         return false;
       }
       from = best;
@@ -143,7 +177,7 @@ SimulationResult Simulator::run(const SequencingGraph& graph,
     ++result.routes_planned;
     result.route_cells += static_cast<long long>(path->size()) - 1;
     result.transport_seconds +=
-        path_duration_s(*path, options_.droplet_speed_cells_per_s);
+        path_duration_s(*path, options.droplet_speed_cells_per_s);
     state.droplet_at[producer] = target;
     return true;
   };
@@ -173,8 +207,13 @@ SimulationResult Simulator::run(const SequencingGraph& graph,
   });
 
   auto fail_on_fault = [&](int index, const Rect& fp, double t) -> bool {
-    for (const Point& f : faults) {
-      if (fp.contains(f)) {
+    // Row-major footprint scan over the fault grid: finds the same first
+    // fault as a linear pass over faulty_cells() (also row-major).
+    const Rect clipped = fp.intersection(region);
+    for (int y = clipped.y; y < clipped.top(); ++y) {
+      for (int x = clipped.x; x < clipped.right(); ++x) {
+        if (fault_grid.at(x, y) == 0) continue;
+        const Point f{x, y};
         result.failure_reason = "module '" + schedule.module(index).label +
                                 "' contains faulty cell " + fmt_point(f);
         result.failed_module = index;
@@ -252,6 +291,29 @@ SimulationResult Simulator::run(const SequencingGraph& graph,
   result.success = true;
   result.makespan_s = schedule.makespan_s();
   return result;
+}
+
+}  // namespace
+
+SimulationResult Simulator::run(const SequencingGraph& graph,
+                                const Schedule& schedule,
+                                const Placement& placement,
+                                const Chip& chip) const {
+  if (options_.engine == SimEngineKind::kEvent) {
+    EventSimEngine engine(options_);
+    return std::move(engine.run(graph, schedule, placement, chip).result);
+  }
+  if (schedule.module_count() != placement.module_count()) {
+    throw std::invalid_argument(
+        "Simulator::run: schedule and placement disagree on module count");
+  }
+  const Rect region{0, 0, chip.width(), chip.height()};
+  const Rect bbox = placement.bounding_box();
+  if (!region.contains(bbox)) {
+    throw std::invalid_argument(
+        "Simulator::run: chip smaller than the placement bounding box");
+  }
+  return run_reference(graph, schedule, placement, chip, options_);
 }
 
 }  // namespace dmfb

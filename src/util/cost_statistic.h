@@ -1,0 +1,72 @@
+// cost_statistic.h — min/avg/max wall-time accumulators for per-stage
+// telemetry, after the CostStatistic pattern of competition-grade traffic
+// simulators: every instrumented phase records each invocation's cost
+// into one accumulator, so hot-path attribution ("where do the
+// microseconds go?") is a struct read, not a profiler run.
+//
+// Used by the event-driven droplet simulator (sim/sim_engine.h) for its
+// per-phase routing/dispatch costs and by the pipeline's stage observer
+// (assay/pipeline.h StageStatsCollector) for cross-run stage timing in
+// the benches' JSON artifacts.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace dmfb {
+
+/// Streaming min/avg/max/count accumulator over a sequence of sample
+/// costs (seconds by convention, but unit-agnostic). Trivially mergeable,
+/// so per-thread accumulators can be folded into one.
+struct CostStatistic {
+  long long count = 0;
+  double total = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+
+  void record(double sample) {
+    ++count;
+    total += sample;
+    min = std::min(min, sample);
+    max = std::max(max, sample);
+  }
+
+  /// Mean sample (0 when nothing was recorded).
+  double average() const { return count > 0 ? total / count : 0.0; }
+
+  /// Smallest sample, or 0 when nothing was recorded (so printing an
+  /// untouched statistic never shows the +inf sentinel).
+  double minimum() const { return count > 0 ? min : 0.0; }
+
+  void merge(const CostStatistic& other) {
+    if (other.count == 0) return;
+    count += other.count;
+    total += other.total;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  friend bool operator==(const CostStatistic&, const CostStatistic&) = default;
+};
+
+/// RAII sampler: records the enclosing scope's wall time into a
+/// CostStatistic on destruction.
+class ScopedCostTimer {
+ public:
+  explicit ScopedCostTimer(CostStatistic& statistic)
+      : statistic_(statistic), start_(std::chrono::steady_clock::now()) {}
+  ScopedCostTimer(const ScopedCostTimer&) = delete;
+  ScopedCostTimer& operator=(const ScopedCostTimer&) = delete;
+  ~ScopedCostTimer() {
+    statistic_.record(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count());
+  }
+
+ private:
+  CostStatistic& statistic_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dmfb

@@ -1,0 +1,93 @@
+// memory_pool.h — object recycling for per-step scratch state on
+// simulation hot paths.
+//
+// The event-driven droplet simulator plans hundreds of routes per assay;
+// allocating a fresh path buffer, search frontier, or grid for each one
+// puts the allocator on the critical path. A MemoryPool hands out
+// recycled objects instead: release() parks the object (capacity intact),
+// acquire() revives it, so steady-state simulation performs no
+// allocations for its per-step state. Single-threaded by design — each
+// engine owns its pools (the same ownership discipline as the annealer's
+// scratch buffers); pools are not shared across threads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dmfb {
+
+/// A free-list pool of default-constructed T. acquire() returns a
+/// pool-owned handle; destroying the handle returns the object to the
+/// pool with its heap capacity intact (callers clear()/reset() state
+/// themselves — the pool recycles memory, not values). Handles must not
+/// outlive the pool.
+template <typename T>
+class MemoryPool {
+ public:
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(MemoryPool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+    Handle(Handle&& other) noexcept = default;
+    Handle& operator=(Handle&& other) noexcept {
+      release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      object_ = std::move(other.object_);
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    T& operator*() const { return *object_; }
+    T* operator->() const { return object_.get(); }
+    explicit operator bool() const { return object_ != nullptr; }
+
+    /// Returns the object to its pool early (the handle becomes empty).
+    void release() {
+      if (pool_ != nullptr && object_ != nullptr) {
+        pool_->give_back(std::move(object_));
+      }
+      pool_ = nullptr;
+      object_ = nullptr;
+    }
+
+   private:
+    MemoryPool* pool_ = nullptr;
+    std::unique_ptr<T> object_;
+  };
+
+  /// A recycled object when one is parked, a fresh one otherwise.
+  Handle acquire() {
+    if (!free_.empty()) {
+      std::unique_ptr<T> object = std::move(free_.back());
+      free_.pop_back();
+      ++reuses_;
+      return Handle(this, std::move(object));
+    }
+    ++constructions_;
+    return Handle(this, std::make_unique<T>());
+  }
+
+  /// Objects currently parked in the pool.
+  std::size_t available() const { return free_.size(); }
+  /// Total objects the pool ever constructed (telemetry: a steady-state
+  /// hot loop should stop growing this).
+  long long constructions() const { return constructions_; }
+  /// Acquisitions served from the free list (telemetry).
+  long long reuses() const { return reuses_; }
+
+ private:
+  void give_back(std::unique_ptr<T> object) {
+    free_.push_back(std::move(object));
+  }
+
+  std::vector<std::unique_ptr<T>> free_;
+  long long constructions_ = 0;
+  long long reuses_ = 0;
+};
+
+}  // namespace dmfb

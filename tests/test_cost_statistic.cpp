@@ -1,0 +1,112 @@
+// Tests for the simulation-support utilities: CostStatistic /
+// ScopedCostTimer (util/cost_statistic.h), MemoryPool
+// (util/memory_pool.h) and the pipeline's StageStatsCollector observer
+// adapter (assay/pipeline.h).
+#include "util/cost_statistic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assay/pipeline.h"
+#include "util/memory_pool.h"
+
+namespace dmfb {
+namespace {
+
+TEST(CostStatisticTest, AccumulatesMinAvgMaxCount) {
+  CostStatistic stat;
+  EXPECT_EQ(stat.count, 0);
+  EXPECT_EQ(stat.average(), 0.0);
+  EXPECT_EQ(stat.minimum(), 0.0);  // untouched: no +inf sentinel leaks
+  stat.record(2.0);
+  stat.record(6.0);
+  stat.record(4.0);
+  EXPECT_EQ(stat.count, 3);
+  EXPECT_EQ(stat.minimum(), 2.0);
+  EXPECT_EQ(stat.max, 6.0);
+  EXPECT_EQ(stat.average(), 4.0);
+}
+
+TEST(CostStatisticTest, MergeFoldsAccumulators) {
+  CostStatistic a;
+  a.record(1.0);
+  a.record(3.0);
+  CostStatistic b;
+  b.record(10.0);
+  CostStatistic empty;
+  a.merge(b);
+  a.merge(empty);  // merging an untouched statistic changes nothing
+  EXPECT_EQ(a.count, 3);
+  EXPECT_EQ(a.minimum(), 1.0);
+  EXPECT_EQ(a.max, 10.0);
+  EXPECT_EQ(a.total, 14.0);
+}
+
+TEST(CostStatisticTest, ScopedTimerRecordsOneSample) {
+  CostStatistic stat;
+  {
+    ScopedCostTimer timer(stat);
+  }
+  EXPECT_EQ(stat.count, 1);
+  EXPECT_GE(stat.max, 0.0);
+}
+
+TEST(MemoryPoolTest, RecyclesObjectsWithCapacityIntact) {
+  MemoryPool<std::vector<int>> pool;
+  const int* data = nullptr;
+  {
+    auto handle = pool.acquire();
+    handle->assign(1000, 7);
+    data = handle->data();
+  }  // handle destroyed -> object parked, buffer kept
+  EXPECT_EQ(pool.available(), 1u);
+  EXPECT_EQ(pool.constructions(), 1);
+  auto again = pool.acquire();
+  EXPECT_EQ(pool.reuses(), 1);
+  EXPECT_EQ(again->data(), data);     // same heap buffer came back
+  EXPECT_GE(again->capacity(), 1000u);  // capacity survived the round trip
+}
+
+TEST(MemoryPoolTest, DistinctHandlesDistinctObjects) {
+  MemoryPool<std::vector<int>> pool;
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  EXPECT_NE(&*a, &*b);
+  EXPECT_EQ(pool.constructions(), 2);
+  a.release();
+  EXPECT_FALSE(a);
+  EXPECT_EQ(pool.available(), 1u);
+  auto c = pool.acquire();  // revives a's object, not b's
+  EXPECT_NE(&*c, &*b);
+  EXPECT_EQ(pool.reuses(), 1);
+}
+
+TEST(MemoryPoolTest, HandleMoveTransfersOwnership) {
+  MemoryPool<std::vector<int>> pool;
+  auto a = pool.acquire();
+  std::vector<int>* object = &*a;
+  MemoryPool<std::vector<int>>::Handle b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  ASSERT_TRUE(b);
+  EXPECT_EQ(&*b, object);
+  EXPECT_EQ(pool.available(), 0u);  // still checked out
+}
+
+TEST(StageStatsCollectorTest, FoldsStageObservations) {
+  StageStatsCollector collector;
+  StageObserver observer = collector.observer();
+  observer(PipelineStage::kSimulate, 0.5, "detail");
+  observer(PipelineStage::kSimulate, 1.5, "detail");
+  observer(PipelineStage::kPlace, 2.0, "detail");
+  const CostStatistic simulate = collector.statistic(PipelineStage::kSimulate);
+  EXPECT_EQ(simulate.count, 2);
+  EXPECT_EQ(simulate.average(), 1.0);
+  EXPECT_EQ(simulate.minimum(), 0.5);
+  EXPECT_EQ(simulate.max, 1.5);
+  EXPECT_EQ(collector.statistic(PipelineStage::kPlace).count, 1);
+  EXPECT_EQ(collector.statistic(PipelineStage::kBind).count, 0);
+}
+
+}  // namespace
+}  // namespace dmfb
