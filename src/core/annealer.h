@@ -50,15 +50,33 @@ struct AnnealingStats {
   /// bench_perf_sa records these per engine (copy vs delta).
   double wall_seconds = 0.0;
   double proposals_per_second = 0.0;
+  /// Wall time (from the loop's start) at which `best_cost` was last
+  /// improved — the "time to target cost" the portfolio benches race.
+  /// 0 when the initial state was never improved on.
+  double seconds_to_best = 0.0;
+  /// kBatched telemetry: moves priced speculatively ahead of their
+  /// Metropolis decision, and how many of those prices were still valid
+  /// (served without re-pricing) when the decision consumed them. The
+  /// other engines leave both 0.
+  long long speculated = 0;
+  long long speculation_hits = 0;
+  /// Replica-exchange telemetry, filled by the "portfolio" placer on its
+  /// aggregate and per-replica stats; single-run engines leave both 0.
+  long long exchanges_attempted = 0;
+  long long exchanges_accepted = 0;
 };
 
 namespace detail {
 
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 inline void finish_stats(AnnealingStats& stats,
                          std::chrono::steady_clock::time_point start) {
-  stats.wall_seconds = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
+  stats.wall_seconds = detail::seconds_since(start);
   stats.proposals_per_second =
       stats.wall_seconds > 0.0
           ? static_cast<double>(stats.proposals) / stats.wall_seconds
@@ -127,6 +145,7 @@ State anneal(State initial, const AnnealingProblem<State>& problem,
           best = current;
           best_cost = current_cost;
           have_best = true;
+          stats.seconds_to_best = detail::seconds_since(start_time);
         }
       }
     }
@@ -230,6 +249,7 @@ double anneal_delta(double initial_cost, const Problem& problem,
           best_cost = current_cost;
           have_best = true;
           problem.record_best(best_cost);
+          stats.seconds_to_best = detail::seconds_since(start_time);
         }
       } else {
         problem.revert();
@@ -308,9 +328,104 @@ double anneal_fused(double initial_cost, const Problem& problem,
           best_cost = current_cost;
           have_best = true;
           problem.record_best(best_cost);
+          stats.seconds_to_best = detail::seconds_since(start_time);
         }
       } else {
         problem.revert();
+      }
+    }
+    temperature *= schedule.cooling_rate;
+    ++stats.temperature_steps;
+  }
+
+  stats.final_temperature = temperature;
+  stats.best_cost = best_cost;
+  detail::finish_stats(stats, start_time);
+  if (stats_out) *stats_out = stats;
+  return have_best ? best_cost : std::numeric_limits<double>::infinity();
+}
+
+/// The speculative batched-proposal variant (AnnealingEngine::kBatched):
+/// anneal_fused's schedule, acceptance rule and pre-batched Metropolis
+/// draws, but move generation and pricing happen lookahead moves ahead
+/// of the serial accept/reject decisions. `problem.speculate(fraction,
+/// rng, capacity)` draws up to `capacity` moves from the stream in one
+/// go (pricing each against the then-current state and remembering what
+/// the price depended on); each decision then consumes one entry via
+/// `problem.activate(b)`, which returns the speculative delta when no
+/// intervening acceptance invalidated it and re-prices otherwise.
+///
+/// The move stream is consumed in the same per-move draw order as
+/// kFused, so with lookahead 1 the trajectory is bit-identical to
+/// anneal_fused's (pinned by test_sa_placer.cpp). Larger lookaheads
+/// version the stream: a batch's moves are all generated against the
+/// state at batch-fill time, so an acceptance inside a batch diverges
+/// the trajectory from kFused's — deterministically per seed.
+///
+/// `Problem` carries speculate/activate plus DeltaAnnealingProblem's
+/// commit/revert/recordable/record_best.
+template <typename Problem>
+double anneal_batched(double initial_cost, const Problem& problem,
+                      const AnnealingSchedule& schedule, int module_count,
+                      int lookahead, Rng& rng,
+                      AnnealingStats* stats_out = nullptr) {
+  const auto start_time = std::chrono::steady_clock::now();
+  AnnealingStats stats;
+
+  double current_cost = initial_cost;
+  bool have_best = problem.recordable();
+  double best_cost = have_best ? current_cost
+                               : std::numeric_limits<double>::infinity();
+  if (have_best) problem.record_best(best_cost);
+
+  const int inner_iterations =
+      schedule.iterations_per_module * std::max(1, module_count);
+  const int batch_capacity = std::max(1, lookahead);
+
+  Rng metropolis_rng = rng.split();
+  std::vector<double> draws(static_cast<std::size_t>(inner_iterations));
+
+  double temperature = schedule.initial_temperature;
+  while (temperature > schedule.min_temperature) {
+    const double fraction =
+        schedule.initial_temperature > 0.0
+            ? temperature / schedule.initial_temperature
+            : 0.0;
+    for (double& draw : draws) draw = metropolis_rng.next_double();
+    int i = 0;
+    while (i < inner_iterations) {
+      // Batches never straddle a temperature step: the controlling
+      // window (and the acceptance temperature) is constant within one.
+      const int filled =
+          problem.speculate(fraction, rng,
+                            std::min(batch_capacity, inner_iterations - i));
+      if (filled <= 0) break;  // defensive; speculate fills what it's asked
+      for (int b = 0; b < filled; ++b, ++i) {
+        const double delta = problem.activate(b);
+        ++stats.proposals;
+        bool accept = delta < 0.0;
+        if (!accept && temperature > 0.0) {
+          const double r = draws[static_cast<std::size_t>(i)];
+          if (delta == 0.0) {
+            accept = true;  // r < exp(0) = 1 for r in [0, 1)
+          } else {
+            const double exponent = -delta / temperature;
+            accept = exponent > -746.0 && r < std::exp(exponent);
+          }
+          if (accept) ++stats.uphill_accepted;
+        }
+        if (accept) {
+          current_cost = problem.commit();
+          ++stats.accepted;
+          if (current_cost < best_cost && problem.recordable()) {
+            best_cost = current_cost;
+            have_best = true;
+            problem.record_best(best_cost);
+            stats.seconds_to_best = detail::seconds_since(start_time);
+          }
+        } else {
+          problem.revert();
+        }
       }
     }
     temperature *= schedule.cooling_rate;

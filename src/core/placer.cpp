@@ -9,6 +9,7 @@
 
 #include "core/greedy_placer.h"
 #include "core/kamer_placer.h"
+#include "core/portfolio_placer.h"
 #include "core/two_stage_placer.h"
 #include "util/rng.h"
 
@@ -126,6 +127,17 @@ class TwoStagePlacer final : public Placer {
   }
 };
 
+class PortfolioPlacer final : public Placer {
+ public:
+  std::string name() const override { return "portfolio"; }
+
+  PlacementOutcome place(const Schedule& schedule,
+                         const PlacerContext& context) const override {
+    return place_portfolio(schedule, sa_options_from(context),
+                           context.portfolio);
+  }
+};
+
 }  // namespace
 
 const char* to_string(PlacerKind kind) {
@@ -140,6 +152,8 @@ const char* to_string(PlacerKind kind) {
       return "optimal";
     case PlacerKind::kTwoStage:
       return "two-stage";
+    case PlacerKind::kPortfolio:
+      return "portfolio";
   }
   return "?";
 }
@@ -151,9 +165,11 @@ PlacerKind from_string<PlacerKind>(std::string_view text) {
   if (text == "kamer") return PlacerKind::kKamer;
   if (text == "optimal") return PlacerKind::kOptimal;
   if (text == "two-stage") return PlacerKind::kTwoStage;
+  if (text == "portfolio") return PlacerKind::kPortfolio;
   throw std::invalid_argument(
       "unknown PlacerKind \"" + std::string(text) +
-      "\" (expected one of: sa, greedy, kamer, optimal, two-stage)");
+      "\" (expected one of: sa, greedy, kamer, optimal, two-stage, "
+      "portfolio)");
 }
 
 std::ostream& operator<<(std::ostream& os, PlacerKind kind) {
@@ -179,6 +195,7 @@ SaPlacerOptions sa_options_from(const PlacerContext& context) {
   options.route_links = context.route_links;
   options.seed = context.seed;
   options.engine = context.engine;
+  options.speculation_lookahead = context.speculation_lookahead;
   options.initial = context.initial_placement;
   return options;
 }
@@ -194,6 +211,8 @@ PlacerRegistry::PlacerRegistry() {
                   [] { return std::make_unique<ExactPlacer>(); });
   register_placer(to_string(PlacerKind::kTwoStage),
                   [] { return std::make_unique<TwoStagePlacer>(); });
+  register_placer(to_string(PlacerKind::kPortfolio),
+                  [] { return std::make_unique<PortfolioPlacer>(); });
 }
 
 PlacerRegistry& PlacerRegistry::global() {

@@ -19,6 +19,8 @@ const char* to_string(AnnealingEngine engine) {
       return "copy";
     case AnnealingEngine::kFused:
       return "fused";
+    case AnnealingEngine::kBatched:
+      return "batched";
   }
   return "?";
 }
@@ -28,9 +30,10 @@ AnnealingEngine from_string<AnnealingEngine>(std::string_view text) {
   if (text == "delta") return AnnealingEngine::kDelta;
   if (text == "copy") return AnnealingEngine::kCopy;
   if (text == "fused") return AnnealingEngine::kFused;
-  throw std::invalid_argument("unknown AnnealingEngine \"" +
-                              std::string(text) +
-                              "\" (expected one of: delta, copy, fused)");
+  if (text == "batched") return AnnealingEngine::kBatched;
+  throw std::invalid_argument(
+      "unknown AnnealingEngine \"" + std::string(text) +
+      "\" (expected one of: delta, copy, fused, batched)");
 }
 
 std::ostream& operator<<(std::ostream& os, AnnealingEngine engine) {
@@ -44,12 +47,8 @@ std::istream& operator>>(std::istream& is, AnnealingEngine& engine) {
   return is;
 }
 
-namespace {
+namespace detail {
 
-/// Transfers module poses from a warm-start placement onto `seeded` (built
-/// from the *current* schedule) and validates the result. Returns false —
-/// leaving the caller to fall back to the greedy initial — when the counts
-/// differ or the transferred poses are infeasible or touch a defect.
 bool seed_from_warm_start(Placement& seeded, const Placement& warm,
                           const SaPlacerOptions& options) {
   if (warm.module_count() != seeded.module_count()) return false;
@@ -65,13 +64,13 @@ bool seed_from_warm_start(Placement& seeded, const Placement& warm,
   return true;
 }
 
-}  // namespace
+}  // namespace detail
 
 PlacementOutcome place_simulated_annealing(const Schedule& schedule,
                                            const SaPlacerOptions& options) {
   if (options.initial) {
     Placement seeded(schedule, options.canvas_width, options.canvas_height);
-    if (seed_from_warm_start(seeded, *options.initial, options)) {
+    if (detail::seed_from_warm_start(seeded, *options.initial, options)) {
       return anneal_from(seeded, options);
     }
   }
@@ -124,6 +123,23 @@ struct InlineDeltaProblem {
 };
 template <typename P, typename C, typename R, typename Q, typename B>
 InlineDeltaProblem(P, C, R, Q, B) -> InlineDeltaProblem<P, C, R, Q, B>;
+
+/// anneal_batched's problem shape: speculate/activate in place of
+/// propose_delta, same resolution members.
+template <typename S, typename A, typename C, typename R, typename Q,
+          typename B>
+struct InlineBatchedProblem {
+  S speculate;
+  A activate;
+  C commit;
+  R revert;
+  Q recordable;
+  B record_best;
+};
+template <typename S, typename A, typename C, typename R, typename Q,
+          typename B>
+InlineBatchedProblem(S, A, C, R, Q, B)
+    -> InlineBatchedProblem<S, A, C, R, Q, B>;
 
 /// Shared scaffolding of the delta and fused engines: one
 /// IncrementalPlacementState mutated in place, each proposal priced by
@@ -254,6 +270,84 @@ Placement anneal_fused_engine(const Placement& initial,
       });
 }
 
+/// The batched engine: speculative lookahead pricing
+/// (IncrementalPlacementState::speculate_batch/activate) driven by
+/// anneal_batched. Mirrors anneal_incremental_engine's scaffolding — the
+/// problem shape differs (speculate/activate instead of one propose), so
+/// it does not share the Generate hook.
+Placement anneal_batched_engine(const Placement& initial,
+                                const CostEvaluator& evaluator,
+                                const SaPlacerOptions& options, Rng& rng,
+                                AnnealingStats* stats) {
+  IncrementalPlacementState state(initial, evaluator);
+
+  struct Pose {
+    Point anchor;
+    bool rotated = false;
+  };
+  std::vector<Pose> best_pose(
+      static_cast<std::size_t>(initial.module_count()));
+
+  long long proposals_by_kind[AnnealingStats::kMoveKindSlots] = {0, 0, 0, 0};
+  long long accepted_by_kind[AnnealingStats::kMoveKindSlots] = {0, 0, 0, 0};
+  double cached_fraction = -1.0;
+  int cached_span = 0;
+  int last_kind = 0;
+
+  const InlineBatchedProblem problem{
+      /*speculate=*/[&](double fraction, Rng& move_rng, int capacity) {
+        if (fraction != cached_fraction) {
+          cached_fraction = fraction;
+          cached_span = controlling_window_span(state.placement(), fraction,
+                                                options.moves);
+        }
+        return state.speculate_batch(cached_span, options.moves, move_rng,
+                                     capacity);
+      },
+      /*activate=*/
+      [&](int b) {
+        const double delta = state.activate(b);
+        last_kind = static_cast<int>(state.last_move_kind());
+        ++proposals_by_kind[last_kind];
+        return delta;
+      },
+      /*commit=*/
+      [&] {
+        ++accepted_by_kind[last_kind];
+        return state.commit();
+      },
+      /*revert=*/[&] { state.revert(); },
+      /*recordable=*/
+      [&] { return state.feasible() && state.defect_cells() == 0; },
+      /*record_best=*/
+      [&](double) {
+        const auto& modules = state.placement().modules();
+        for (std::size_t i = 0; i < best_pose.size(); ++i) {
+          best_pose[i] = Pose{modules[i].anchor, modules[i].rotated};
+        }
+      }};
+
+  const double best_cost =
+      anneal_batched(state.cost(), problem, options.schedule,
+                     initial.module_count(), options.speculation_lookahead,
+                     rng, stats);
+  if (stats) {
+    for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+      stats->proposals_by_kind[k] = proposals_by_kind[k];
+      stats->accepted_by_kind[k] = accepted_by_kind[k];
+    }
+    stats->speculated = state.speculation_priced();
+    stats->speculation_hits = state.speculation_hits();
+  }
+  if (!std::isfinite(best_cost)) return state.placement();
+  Placement best = state.placement();
+  for (std::size_t i = 0; i < best_pose.size(); ++i) {
+    best.set_position(static_cast<int>(i), best_pose[i].anchor,
+                      best_pose[i].rotated);
+  }
+  return best;
+}
+
 }  // namespace
 
 PlacementOutcome anneal_from(const Placement& initial,
@@ -274,6 +368,10 @@ PlacementOutcome anneal_from(const Placement& initial,
     case AnnealingEngine::kFused:
       outcome.placement = anneal_fused_engine(initial, evaluator, options,
                                               rng, &outcome.stats);
+      break;
+    case AnnealingEngine::kBatched:
+      outcome.placement = anneal_batched_engine(initial, evaluator, options,
+                                                rng, &outcome.stats);
       break;
     case AnnealingEngine::kDelta:
       outcome.placement = anneal_delta_engine(initial, evaluator, options,

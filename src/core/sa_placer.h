@@ -36,11 +36,20 @@ enum class AnnealingEngine {
   /// discipline — results are NOT the kDelta/kCopy placement. Pinned by
   /// tests/test_sa_placer.cpp and test_annealer.cpp.
   kFused,
+  /// kFused plus speculative batched proposal pricing (anneal_batched):
+  /// SaPlacerOptions::speculation_lookahead moves are drawn and priced
+  /// ahead of the serial Metropolis decisions; a price is discarded
+  /// (re-priced fresh) when an intervening acceptance touched its
+  /// module/adjacency dependency footprint. Its own versioned stream —
+  /// bit-identical to kFused at lookahead 1, deterministic per seed
+  /// otherwise. AnnealingStats::speculated / speculation_hits report the
+  /// hit-rate.
+  kBatched,
 };
 
-/// Textual round-trip ("delta", "copy", "fused") for logs and bench
-/// JSON; `from_string` and `>>` throw std::invalid_argument on unknown
-/// text.
+/// Textual round-trip ("delta", "copy", "fused", "batched") for logs and
+/// bench JSON; `from_string` and `>>` throw std::invalid_argument on
+/// unknown text.
 const char* to_string(AnnealingEngine engine);
 template <>
 AnnealingEngine from_string<AnnealingEngine>(std::string_view text);
@@ -66,8 +75,14 @@ struct SaPlacerOptions {
   std::uint64_t seed = 0xDA7E2005ULL;
   /// Proposal-evaluation engine; kDelta and kCopy produce identical
   /// results (kDelta just much faster), kFused trades the legacy random
-  /// stream for the fastest proposal loop.
+  /// stream for the fastest proposal loop, kBatched adds speculative
+  /// batched pricing on top of kFused.
   AnnealingEngine engine = AnnealingEngine::kDelta;
+  /// kBatched only: how many moves are drawn and priced ahead of their
+  /// Metropolis decisions per batch. 1 reproduces kFused's trajectory
+  /// bit for bit; larger values amortize generation at the price of
+  /// re-pricing speculation an acceptance invalidated.
+  int speculation_lookahead = 8;
   /// Optional warm start (the synthesis service's placement memo): module
   /// poses are copied index-by-index onto the new schedule's placement and
   /// annealed from there instead of the greedy constructive initial. Used
@@ -84,7 +99,23 @@ struct PlacementOutcome {
   CostBreakdown cost;      ///< of the returned placement
   AnnealingStats stats;
   double wall_seconds = 0.0;
+  /// Per-replica loop stats, filled by the "portfolio" backend only
+  /// (core/portfolio_placer.h); empty for single-run placers. `stats`
+  /// above then aggregates across replicas (see anneal_portfolio).
+  std::vector<AnnealingStats> replica_stats;
 };
+
+namespace detail {
+
+/// Transfers module poses from a warm-start placement onto `seeded` (built
+/// from the *current* schedule) and validates the result. Returns false —
+/// leaving the caller to fall back to a greedy initial — when the counts
+/// differ or the transferred poses are infeasible or touch a defect.
+/// Shared by the "sa" warm path and the portfolio's replica-0 seeding.
+bool seed_from_warm_start(Placement& seeded, const Placement& warm,
+                          const SaPlacerOptions& options);
+
+}  // namespace detail
 
 /// Anneals from a greedy constructive initial placement. The returned
 /// placement is the best feasible (overlap-free, in-canvas) one seen;

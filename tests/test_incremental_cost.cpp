@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/fti.h"
 #include "core/moves.h"
 #include "core/sa_placer.h"
@@ -342,6 +344,80 @@ TEST(IncrementalCostTest, ProposeRandomMatchesGenerateThenPropose) {
               split.placement().module(i).rotated)
         << "module " << i;
   }
+}
+
+/// Speculation audit: drive speculate_batch/activate with random
+/// commit/revert decisions and verify every activated delta against the
+/// state's own commit arithmetic and the from-scratch evaluator. Served
+/// speculative deltas may differ from a fresh pricing in the last ULPs
+/// (the stored price summed the same terms against marginally different
+/// global totals), so the delta check is a NEAR; the committed absolute
+/// state must still match the evaluator exactly.
+void run_speculation_audit(double beta, std::vector<Point> defects,
+                           int lookahead, std::uint64_t seed) {
+  Rng rng(seed);
+  const Schedule schedule = mixed_schedule(8, rng);
+  const Placement initial = random_placement(schedule, 16, rng);
+
+  CostWeights weights;
+  weights.beta = beta;
+  CostEvaluator evaluator(weights);
+  evaluator.set_defects(std::move(defects));
+
+  IncrementalPlacementState state(initial, evaluator);
+  MoveOptions moves;  // defaults: displacements, swaps and rotations
+
+  long long decisions = 0;
+  for (int round = 0; round < 40; ++round) {
+    const double fraction = 1.0 - static_cast<double>(round) / 40.0;
+    const int span =
+        controlling_window_span(state.placement(), fraction, moves);
+    const int filled = state.speculate_batch(span, moves, rng, lookahead);
+    ASSERT_EQ(filled, lookahead);
+    for (int b = 0; b < filled; ++b) {
+      const double before = state.cost();
+      const double delta = state.activate(b);
+      ASSERT_TRUE(state.has_pending());
+      ++decisions;
+      if (rng.next_bool(0.5)) {
+        const double after = state.commit();
+        const double scale = std::max(1.0, std::abs(before));
+        EXPECT_NEAR(after - before, delta, 1e-9 * scale)
+            << "round " << round << " entry " << b;
+        expect_matches_evaluator(state, evaluator);
+      } else {
+        state.revert();
+        EXPECT_DOUBLE_EQ(state.cost(), before);
+      }
+      ASSERT_FALSE(state.has_pending());
+    }
+  }
+  expect_matches_evaluator(state, evaluator);
+  if (beta == 0.0) {
+    // The lazy path pre-prices every drawn move; commits inside a batch
+    // invalidate some of those prices, never more than were priced.
+    EXPECT_EQ(state.speculation_priced(), decisions);
+    EXPECT_GT(state.speculation_hits(), 0);
+    EXPECT_LE(state.speculation_hits(), state.speculation_priced());
+  } else {
+    // Eager pricing mutates the state, so speculation only pre-draws.
+    EXPECT_EQ(state.speculation_priced(), 0);
+    EXPECT_EQ(state.speculation_hits(), 0);
+  }
+}
+
+TEST(IncrementalCostTest, SpeculationAuditAreaOnly) {
+  run_speculation_audit(/*beta=*/0.0, {}, /*lookahead=*/6, /*seed=*/501);
+  run_speculation_audit(/*beta=*/0.0, {}, /*lookahead=*/1, /*seed=*/502);
+}
+
+TEST(IncrementalCostTest, SpeculationAuditWithDefects) {
+  run_speculation_audit(/*beta=*/0.0, {{3, 3}, {9, 12}, {3, 3}},
+                        /*lookahead=*/6, /*seed=*/511);
+}
+
+TEST(IncrementalCostTest, SpeculationAuditWithFtiFallsBackToFreshPricing) {
+  run_speculation_audit(/*beta=*/30.0, {}, /*lookahead=*/6, /*seed=*/521);
 }
 
 TEST(IncrementalCostTest, EmptyPlacementProposalsAreNoOps) {

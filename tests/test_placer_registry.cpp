@@ -1,7 +1,10 @@
 // Tests for the polymorphic placer interface and its string-keyed registry
-// (core/placer.h): the five built-ins resolve by name and produce feasible
+// (core/placer.h): the six built-ins resolve by name and produce feasible
 // placements, unknown names fail with the known-name list, and the
-// user-facing enums round-trip through text. This file compiles without
+// user-facing enums round-trip through text. The "portfolio" backend's
+// reproducibility contract — thread-count invariance and (seed, N, K)
+// determinism — is pinned here too (and more deeply in
+// test_portfolio_placer.cpp). This file compiles without
 // DMFB_SUPPRESS_DEPRECATION on purpose: the new API must be usable without
 // touching any deprecated free function.
 #include "core/placer.h"
@@ -46,10 +49,10 @@ PlacerContext fast_context() {
   return context;
 }
 
-TEST(PlacerRegistryTest, ListsAllFiveBuiltins) {
+TEST(PlacerRegistryTest, ListsAllSixBuiltins) {
   const auto names = registered_placers();
   for (const char* expected :
-       {"sa", "greedy", "kamer", "optimal", "two-stage"}) {
+       {"sa", "greedy", "kamer", "optimal", "two-stage", "portfolio"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing placer: " << expected;
   }
@@ -93,7 +96,8 @@ TEST(PlacerRegistryTest, EveryBuiltinPlacesTheSmallInstanceFeasibly) {
 TEST(PlacerRegistryTest, MakePlacerByKindMatchesByName) {
   for (const PlacerKind kind :
        {PlacerKind::kSa, PlacerKind::kGreedy, PlacerKind::kKamer,
-        PlacerKind::kOptimal, PlacerKind::kTwoStage}) {
+        PlacerKind::kOptimal, PlacerKind::kTwoStage,
+        PlacerKind::kPortfolio}) {
     EXPECT_EQ(make_placer(kind)->name(), to_string(kind));
   }
 }
@@ -150,7 +154,8 @@ void expect_round_trip(Enum value) {
 TEST(EnumTextTest, PlacerKindRoundTrips) {
   for (const PlacerKind kind :
        {PlacerKind::kSa, PlacerKind::kGreedy, PlacerKind::kKamer,
-        PlacerKind::kOptimal, PlacerKind::kTwoStage}) {
+        PlacerKind::kOptimal, PlacerKind::kTwoStage,
+        PlacerKind::kPortfolio}) {
     expect_round_trip(kind);
   }
   EXPECT_THROW(from_string<PlacerKind>("annealing"), std::invalid_argument);
@@ -172,6 +177,63 @@ TEST(EnumTextTest, MoveKindRoundTrips) {
     expect_round_trip(kind);
   }
   EXPECT_THROW(from_string<MoveKind>("teleport"), std::invalid_argument);
+}
+
+std::vector<std::pair<Point, bool>> poses_of(const Placement& placement) {
+  std::vector<std::pair<Point, bool>> poses;
+  poses.reserve(static_cast<std::size_t>(placement.module_count()));
+  for (const auto& m : placement.modules()) {
+    poses.emplace_back(m.anchor, m.rotated);
+  }
+  return poses;
+}
+
+TEST(PortfolioPlacerTest, ThreadCountInvariantAtFixedReplicas) {
+  const Schedule schedule = small_schedule();
+  PlacerContext context = fast_context();
+  context.portfolio.replicas = 3;
+  context.portfolio.exchange_period = 2;
+  const auto placer = make_placer("portfolio");
+  context.portfolio.threads = 1;
+  const auto one = placer->place(schedule, context);
+  context.portfolio.threads = 2;
+  const auto two = placer->place(schedule, context);
+  context.portfolio.threads = 8;
+  const auto eight = placer->place(schedule, context);
+  EXPECT_EQ(poses_of(one.placement), poses_of(two.placement));
+  EXPECT_EQ(poses_of(one.placement), poses_of(eight.placement));
+  EXPECT_EQ(one.cost.value, two.cost.value);
+  EXPECT_EQ(one.cost.value, eight.cost.value);
+}
+
+TEST(PortfolioPlacerTest, DeterministicForSeedReplicasAndPeriod) {
+  const Schedule schedule = small_schedule();
+  PlacerContext context = fast_context();
+  context.seed = 7;
+  context.portfolio.replicas = 4;
+  context.portfolio.exchange_period = 3;
+  const auto placer = make_placer("portfolio");
+  const auto a = placer->place(schedule, context);
+  const auto b = placer->place(schedule, context);
+  EXPECT_EQ(poses_of(a.placement), poses_of(b.placement));
+  EXPECT_EQ(a.stats.exchanges_attempted, b.stats.exchanges_attempted);
+  EXPECT_EQ(a.stats.exchanges_accepted, b.stats.exchanges_accepted);
+  ASSERT_EQ(a.replica_stats.size(), 4u);
+  for (std::size_t r = 0; r < a.replica_stats.size(); ++r) {
+    EXPECT_EQ(a.replica_stats[r].best_cost, b.replica_stats[r].best_cost)
+        << "replica " << r;
+  }
+}
+
+TEST(PortfolioPlacerTest, BeatsOrMatchesSingleReplicaOnTheSmallInstance) {
+  const Schedule schedule = small_schedule();
+  PlacerContext context = fast_context();
+  context.engine = AnnealingEngine::kFused;
+  const auto serial = make_placer("sa")->place(schedule, context);
+  context.portfolio.replicas = 4;
+  const auto portfolio = make_placer("portfolio")->place(schedule, context);
+  EXPECT_TRUE(portfolio.placement.feasible());
+  EXPECT_LE(portfolio.cost.value, serial.cost.value);
 }
 
 TEST(PlacerContextTest, DefectObliviousBackendsRejectDefectMaps) {

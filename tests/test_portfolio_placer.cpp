@@ -1,0 +1,232 @@
+// Tests for the portfolio annealing backend (core/portfolio_placer.h):
+// the reproducibility contract — identical placements at any thread count
+// and bit-stable results for a fixed (seed, N, K) — plus the exchange
+// machinery, the early-stop target, the warm-start seam, per-replica
+// telemetry and defect avoidance.
+#include "core/portfolio_placer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "assay/assay_library.h"
+#include "assay/pipeline.h"
+
+namespace dmfb {
+namespace {
+
+Schedule pcr_schedule() {
+  static const Schedule schedule =
+      SynthesisPipeline().run(pcr_mixing_assay()).schedule;
+  return schedule;
+}
+
+/// Short annealing runs so the whole suite stays fast.
+SaPlacerOptions fast_options() {
+  SaPlacerOptions options;
+  options.schedule.initial_temperature = 1000.0;
+  options.schedule.cooling_rate = 0.8;
+  options.schedule.iterations_per_module = 40;
+  options.engine = AnnealingEngine::kFused;
+  return options;
+}
+
+PortfolioOptions fast_portfolio() {
+  PortfolioOptions portfolio;
+  portfolio.replicas = 3;
+  portfolio.exchange_period = 2;
+  return portfolio;
+}
+
+std::vector<std::pair<Point, bool>> poses_of(const Placement& placement) {
+  std::vector<std::pair<Point, bool>> poses;
+  poses.reserve(static_cast<std::size_t>(placement.module_count()));
+  for (const auto& m : placement.modules()) {
+    poses.emplace_back(m.anchor, m.rotated);
+  }
+  return poses;
+}
+
+TEST(PortfolioPlacerTest, PlacesThePcrInstanceFeasibly) {
+  const PlacementOutcome outcome =
+      place_portfolio(pcr_schedule(), fast_options(), fast_portfolio());
+  EXPECT_TRUE(outcome.placement.feasible());
+  EXPECT_EQ(outcome.placement.module_count(), pcr_schedule().module_count());
+  EXPECT_GT(outcome.cost.area_cells, 0);
+  EXPECT_GT(outcome.stats.proposals, 0);
+}
+
+TEST(PortfolioPlacerTest, ThreadCountChangesNothingButWallTime) {
+  const SaPlacerOptions options = fast_options();
+  PortfolioOptions portfolio = fast_portfolio();
+  std::vector<std::vector<std::pair<Point, bool>>> results;
+  std::vector<double> best_costs;
+  for (const int threads : {1, 2, 8}) {
+    portfolio.threads = threads;
+    const PlacementOutcome outcome =
+        place_portfolio(pcr_schedule(), options, portfolio);
+    results.push_back(poses_of(outcome.placement));
+    best_costs.push_back(outcome.stats.best_cost);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_EQ(best_costs[0], best_costs[1]);
+  EXPECT_EQ(best_costs[0], best_costs[2]);
+}
+
+TEST(PortfolioPlacerTest, BitStableForFixedSeedReplicasAndPeriod) {
+  const SaPlacerOptions options = fast_options();
+  PortfolioOptions portfolio = fast_portfolio();
+  portfolio.replicas = 4;
+  portfolio.exchange_period = 3;
+  const PlacementOutcome a =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  const PlacementOutcome b =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  EXPECT_EQ(poses_of(a.placement), poses_of(b.placement));
+  EXPECT_EQ(a.stats.best_cost, b.stats.best_cost);
+  EXPECT_EQ(a.stats.proposals, b.stats.proposals);
+  EXPECT_EQ(a.stats.exchanges_attempted, b.stats.exchanges_attempted);
+  EXPECT_EQ(a.stats.exchanges_accepted, b.stats.exchanges_accepted);
+  ASSERT_EQ(a.replica_stats.size(), b.replica_stats.size());
+  for (std::size_t r = 0; r < a.replica_stats.size(); ++r) {
+    EXPECT_EQ(a.replica_stats[r].best_cost, b.replica_stats[r].best_cost);
+    EXPECT_EQ(a.replica_stats[r].accepted, b.replica_stats[r].accepted);
+  }
+}
+
+TEST(PortfolioPlacerTest, DifferentSeedsDiverge) {
+  SaPlacerOptions options = fast_options();
+  const PortfolioOptions portfolio = fast_portfolio();
+  const PlacementOutcome a =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  options.seed ^= 0x1234567ULL;
+  const PlacementOutcome b =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  EXPECT_NE(poses_of(a.placement), poses_of(b.placement));
+}
+
+TEST(PortfolioPlacerTest, ExchangesHappenOnTheLadder) {
+  SaPlacerOptions options = fast_options();
+  options.schedule.iterations_per_module = 20;
+  PortfolioOptions portfolio = fast_portfolio();
+  portfolio.replicas = 4;
+  portfolio.exchange_period = 1;
+  const PlacementOutcome outcome =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  EXPECT_GT(outcome.stats.exchanges_attempted, 0);
+  // Adjacent-temperature chains at a 1.25 ladder ratio exchange often;
+  // zero acceptances would mean the criterion is wired backwards.
+  EXPECT_GT(outcome.stats.exchanges_accepted, 0);
+  // Per-replica attempts count participations: interior slots join both
+  // parities, so every slot of a 4-rung ladder attempts at least once.
+  for (const AnnealingStats& rs : outcome.replica_stats) {
+    EXPECT_GT(rs.exchanges_attempted, 0);
+  }
+}
+
+TEST(PortfolioPlacerTest, ReplicaStatsAggregateIntoTheOutcomeStats) {
+  const PlacementOutcome outcome =
+      place_portfolio(pcr_schedule(), fast_options(), fast_portfolio());
+  ASSERT_EQ(outcome.replica_stats.size(), 3u);
+  long long proposals = 0;
+  long long accepted = 0;
+  for (const AnnealingStats& rs : outcome.replica_stats) {
+    EXPECT_GT(rs.proposals, 0);
+    EXPECT_GT(rs.wall_seconds, 0.0);
+    EXPECT_GT(rs.proposals_per_second, 0.0);
+    proposals += rs.proposals;
+    accepted += rs.accepted;
+  }
+  EXPECT_EQ(outcome.stats.proposals, proposals);
+  EXPECT_EQ(outcome.stats.accepted, accepted);
+  EXPECT_GT(outcome.stats.wall_seconds, 0.0);
+  EXPECT_GT(outcome.wall_seconds, 0.0);
+}
+
+TEST(PortfolioPlacerTest, TargetCostStopsAtTheFirstSatisfyingBarrier) {
+  const SaPlacerOptions options = fast_options();
+  PortfolioOptions portfolio = fast_portfolio();
+  const PlacementOutcome full =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  ASSERT_GT(full.stats.temperature_steps, 0);
+  // A target the feasible greedy initial already satisfies stops the run
+  // before any annealing step.
+  portfolio.target_cost = std::numeric_limits<double>::max();
+  const PlacementOutcome stopped =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  EXPECT_EQ(stopped.stats.temperature_steps, 0);
+  EXPECT_TRUE(stopped.placement.feasible());
+  // A target between the initial and the full run's best stops early but
+  // not immediately, and the result honours it.
+  portfolio.target_cost = full.stats.best_cost * 1.10;
+  const PlacementOutcome early =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  EXPECT_LE(early.stats.best_cost, portfolio.target_cost);
+  EXPECT_LE(early.stats.temperature_steps, full.stats.temperature_steps);
+}
+
+TEST(PortfolioPlacerTest, WarmStartNeverWorsensTheWarmSource) {
+  SaPlacerOptions options = fast_options();
+  const PortfolioOptions portfolio = fast_portfolio();
+  const PlacementOutcome cold =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  options.initial = std::make_shared<Placement>(cold.placement);
+  options.seed ^= 0xC0FFEEULL;  // a different run, not a replay
+  const PlacementOutcome warm =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  // Replica 0 starts at the warm placement, which is feasible and thus
+  // recorded before any move; the incumbent can only improve on it.
+  EXPECT_LE(warm.stats.best_cost, cold.stats.best_cost);
+  EXPECT_LE(warm.cost.value, cold.cost.value);
+}
+
+TEST(PortfolioPlacerTest, BatchedReplicasReportSpeculation) {
+  SaPlacerOptions options = fast_options();
+  options.engine = AnnealingEngine::kBatched;
+  options.speculation_lookahead = 8;
+  const PlacementOutcome outcome =
+      place_portfolio(pcr_schedule(), options, fast_portfolio());
+  EXPECT_TRUE(outcome.placement.feasible());
+  EXPECT_GT(outcome.stats.speculated, 0);
+  EXPECT_GT(outcome.stats.speculation_hits, 0);
+  EXPECT_LE(outcome.stats.speculation_hits, outcome.stats.speculated);
+}
+
+TEST(PortfolioPlacerTest, AvoidsDefectiveElectrodes) {
+  SaPlacerOptions options = fast_options();
+  options.defects = {Point{4, 4}, Point{12, 9}, Point{18, 17}};
+  const PlacementOutcome outcome =
+      place_portfolio(pcr_schedule(), options, fast_portfolio());
+  EXPECT_TRUE(outcome.placement.feasible());
+  for (const auto& m : outcome.placement.modules()) {
+    for (const Point defect : options.defects) {
+      EXPECT_FALSE(m.footprint().contains(defect))
+          << "module covers defect (" << defect.x << "," << defect.y << ")";
+    }
+  }
+}
+
+TEST(PortfolioPlacerTest, RejectsTheCopyEngine) {
+  SaPlacerOptions options = fast_options();
+  options.engine = AnnealingEngine::kCopy;
+  EXPECT_THROW(place_portfolio(pcr_schedule(), options, fast_portfolio()),
+               std::invalid_argument);
+}
+
+TEST(PortfolioPlacerTest, ZeroReplicasResolvesToHardwareConcurrency) {
+  SaPlacerOptions options = fast_options();
+  options.schedule.iterations_per_module = 10;
+  PortfolioOptions portfolio;
+  portfolio.replicas = 0;
+  const PlacementOutcome outcome =
+      place_portfolio(pcr_schedule(), options, portfolio);
+  EXPECT_GE(outcome.replica_stats.size(), 1u);
+  EXPECT_TRUE(outcome.placement.feasible());
+}
+
+}  // namespace
+}  // namespace dmfb

@@ -179,10 +179,81 @@ TEST(SaPlacerTest, EnginesRecordMoveKindTallies) {
 TEST(SaPlacerTest, EngineTextRoundTrip) {
   for (const AnnealingEngine engine :
        {AnnealingEngine::kDelta, AnnealingEngine::kCopy,
-        AnnealingEngine::kFused}) {
+        AnnealingEngine::kFused, AnnealingEngine::kBatched}) {
     EXPECT_EQ(from_string<AnnealingEngine>(to_string(engine)), engine);
   }
   EXPECT_THROW(from_string<AnnealingEngine>("warp"), std::invalid_argument);
+}
+
+TEST(SaPlacerTest, BatchedLookaheadOneIsBitIdenticalToFused) {
+  // The strong stream pin: at lookahead 1 every batch holds exactly one
+  // move, drawn and priced against the committed state like kFused's
+  // fused proposal — the whole trajectory must match bit for bit.
+  const Schedule schedule = pcr_schedule();
+  SaPlacerOptions options = fast_options();
+  options.seed = 77;
+  options.engine = AnnealingEngine::kFused;
+  const auto fused = place_simulated_annealing(schedule, options);
+  options.engine = AnnealingEngine::kBatched;
+  options.speculation_lookahead = 1;
+  const auto batched = place_simulated_annealing(schedule, options);
+  EXPECT_EQ(fused.stats.proposals, batched.stats.proposals);
+  EXPECT_EQ(fused.stats.accepted, batched.stats.accepted);
+  EXPECT_EQ(fused.stats.uphill_accepted, batched.stats.uphill_accepted);
+  EXPECT_EQ(fused.cost.value, batched.cost.value);
+  for (int i = 0; i < fused.placement.module_count(); ++i) {
+    EXPECT_EQ(fused.placement.module(i).anchor,
+              batched.placement.module(i).anchor);
+    EXPECT_EQ(fused.placement.module(i).rotated,
+              batched.placement.module(i).rotated);
+  }
+  // Every speculation is served at lookahead 1: nothing can invalidate a
+  // one-entry batch between fill and decision.
+  EXPECT_GT(batched.stats.speculated, 0);
+  EXPECT_EQ(batched.stats.speculated, batched.stats.speculation_hits);
+}
+
+TEST(SaPlacerTest, BatchedEngineDeterministicAndFeasible) {
+  const Schedule schedule = pcr_schedule();
+  SaPlacerOptions options = fast_options();
+  options.engine = AnnealingEngine::kBatched;
+  options.speculation_lookahead = 8;
+  options.seed = 99;
+  const auto a = place_simulated_annealing(schedule, options);
+  const auto b = place_simulated_annealing(schedule, options);
+  EXPECT_TRUE(a.placement.feasible());
+  EXPECT_EQ(a.cost.overlap_cells, 0);
+  EXPECT_GE(a.cost.area_cells, schedule.peak_concurrent_cells());
+  EXPECT_EQ(a.stats.proposals, b.stats.proposals);
+  EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+  EXPECT_DOUBLE_EQ(a.cost.value, b.cost.value);
+  for (int i = 0; i < a.placement.module_count(); ++i) {
+    EXPECT_EQ(a.placement.module(i).anchor, b.placement.module(i).anchor);
+    EXPECT_EQ(a.placement.module(i).rotated, b.placement.module(i).rotated);
+  }
+}
+
+TEST(SaPlacerTest, BatchedSpeculationCountersAreCoherent) {
+  const Schedule schedule = pcr_schedule();
+  SaPlacerOptions options = fast_options();
+  options.engine = AnnealingEngine::kBatched;
+  options.speculation_lookahead = 8;
+  const auto outcome = place_simulated_annealing(schedule, options);
+  // The lazy (beta = 0) path pre-prices every drawn move...
+  EXPECT_EQ(outcome.stats.speculated, outcome.stats.proposals);
+  // ...most prices survive to their decision (acceptance is the rare
+  // event), but some are invalidated by intra-batch acceptances.
+  EXPECT_GT(outcome.stats.speculation_hits, 0);
+  EXPECT_LE(outcome.stats.speculation_hits, outcome.stats.speculated);
+  // The batched engine records kind tallies like the other incrementals.
+  long long proposals = 0;
+  long long accepted = 0;
+  for (int k = 0; k < AnnealingStats::kMoveKindSlots; ++k) {
+    proposals += outcome.stats.proposals_by_kind[k];
+    accepted += outcome.stats.accepted_by_kind[k];
+  }
+  EXPECT_EQ(proposals, outcome.stats.proposals);
+  EXPECT_EQ(accepted, outcome.stats.accepted);
 }
 
 }  // namespace
