@@ -1,0 +1,280 @@
+// bench_batch — the batch fleet's headline artifact: multi-process
+// scaling, kill-and-resume correctness, and cross-process cache reuse
+// for dmfb_batch (service/batch.h).
+//
+// Builds a manifest of random assays, then:
+//   1. runs it fresh with --workers 1 and --workers 4 and reports
+//      items/sec per worker count. Throughput uses CRITICAL-PATH time
+//      (max over workers of summed per-item compile seconds) — the
+//      elapsed wall of the same run on >= N free cores — because CI
+//      containers often pin this bench to one core; real wall is
+//      reported alongside.
+//   2. spawns a 4-worker run as a process group, SIGKILLs the whole
+//      group once half the items are checkpointed, and reruns with
+//      --resume. The resumed run must recompute nothing checkpointed
+//      (every ledger index appears exactly once) and the deduplicated
+//      results file must be line-identical to an uninterrupted run's.
+//   3. repeats the batch against a shared cache file: the second pass
+//      must serve every item as an exact hit.
+//
+// One JSON line per measurement:
+//   {"bench":"batch_scaling","workers":4,"items":64,
+//    "items_per_second":...,"critical_path_s":...,"wall_s":...,"seed":...}
+//   {"bench":"batch_resume","items":64,"checkpointed_at_kill":...,
+//    "skipped":...,"completed":...,"duplicate_lines":...,
+//    "identical":true,"seed":...}
+//   {"bench":"batch_cache","items":64,"exact_hits":64,"seed":...}
+//
+// Non-zero exit when 4 workers fail to reach 2x the 1-worker items/sec,
+// when resume recomputes a checkpointed item or diverges from the
+// uninterrupted results, or when the cached rerun misses. `--smoke`
+// shrinks the manifest for CI.
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "assay/random_assay.h"
+#include "io/assay_format.h"
+#include "io/json.h"
+#include "service/batch.h"
+#include "service/server.h"
+#include "util/subprocess.h"
+
+using namespace dmfb;
+
+namespace {
+
+/// Base compile options of every batch run — also emitted as the
+/// --options handshake, so they must stay inside the wire surface.
+PipelineOptions bench_base_options() {
+  PipelineOptions options;
+  options.seed = bench::kBenchSeed;
+  options.placer_context = bench::paper_context();
+  options.placer_context.annealing.initial_temperature = 1000.0;
+  options.placer_context.annealing.cooling_rate = 0.8;
+  options.placer_context.annealing.iterations_per_module = 60;
+  return options;
+}
+
+std::filesystem::path write_manifest(int items) {
+  const ModuleLibrary library = ModuleLibrary::standard();
+  const std::filesystem::path path = bench::output_dir() / "batch.jsonl";
+  std::ofstream out(path, std::ios::trunc);
+  for (int i = 0; i < items; ++i) {
+    RandomAssayParams params;
+    params.mix_operations = 5 + i % 3;
+    AssayCase assay =
+        random_assay(params, library, bench::kBenchSeed + 1000 + i);
+    assay.name = "batch-" + std::to_string(i);
+    json::Value doc;
+    doc.set("id", "item-" + std::to_string(i));
+    doc.set("assay", assay_to_string(assay));
+    out << doc.dump() << '\n';
+  }
+  return path;
+}
+
+std::string batch_binary() {
+  if (const char* override_bin = std::getenv("DMFB_BATCH_BIN")) {
+    return override_bin;
+  }
+  return "./dmfb_batch";
+}
+
+BatchOptions base_batch_options(const std::filesystem::path& manifest,
+                                const std::filesystem::path& results,
+                                int workers) {
+  BatchOptions options;
+  options.manifest_path = manifest.string();
+  options.results_path = results.string();
+  options.workers = workers;
+  options.base = bench_base_options();
+  options.worker_exe = batch_binary();
+  return options;
+}
+
+std::set<std::string> line_set(const std::string& path) {
+  const std::vector<std::string> lines = read_lines(path);
+  return {lines.begin(), lines.end()};
+}
+
+void emit_scaling(int workers, int items, const BatchSummary& summary) {
+  const double ips = summary.critical_path_s > 0.0
+                         ? static_cast<double>(summary.completed) /
+                               summary.critical_path_s
+                         : 0.0;
+  std::cout << "{\"bench\":\"batch_scaling\",\"workers\":" << workers
+            << ",\"items\":" << items << ",\"items_per_second\":" << ips
+            << ",\"critical_path_s\":" << summary.critical_path_s
+            << ",\"wall_s\":" << summary.wall_s << ",\"seed\":"
+            << bench::kBenchSeed << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::smoke_flag(argc, argv);
+  const int items = smoke ? 16 : 64;
+  bench::banner("batch fleet: multi-process scaling + kill/resume "
+                "(dmfb_batch)");
+
+  if (!std::filesystem::exists(batch_binary())) {
+    std::cerr << "bench_batch: worker binary " << batch_binary()
+              << " not found (run from the build directory or set "
+                 "DMFB_BATCH_BIN)\n";
+    return 2;
+  }
+  const std::filesystem::path manifest = write_manifest(items);
+  const std::filesystem::path out_dir = bench::output_dir();
+  bool ok = true;
+
+  // --- 1. scaling: 1 worker vs 4 workers ------------------------------
+  double reference_ips = 0.0;
+  std::set<std::string> reference_lines;
+  for (const int workers : {1, 4}) {
+    const std::filesystem::path results =
+        out_dir / ("batch_w" + std::to_string(workers) + ".jsonl");
+    const BatchSummary summary =
+        run_batch(base_batch_options(manifest, results, workers));
+    emit_scaling(workers, items, summary);
+    if (!summary.ok ||
+        summary.completed != static_cast<std::size_t>(items)) {
+      std::cerr << "FAIL: workers=" << workers << " run incomplete\n";
+      ok = false;
+      continue;
+    }
+    const double ips = static_cast<double>(summary.completed) /
+                       summary.critical_path_s;
+    if (workers == 1) {
+      reference_ips = ips;
+      reference_lines = line_set(results.string());
+    } else if (ips < 2.0 * reference_ips) {
+      std::cerr << "FAIL: workers=4 items/sec " << ips
+                << " < 2x workers=1 " << reference_ips << "\n";
+      ok = false;
+    } else if (line_set(results.string()) != reference_lines) {
+      std::cerr << "FAIL: workers=4 results differ from workers=1\n";
+      ok = false;
+    }
+  }
+
+  // --- 2. kill at ~50%, resume, verify --------------------------------
+  {
+    const std::filesystem::path results = out_dir / "batch_kill.jsonl";
+    const std::string ledger = results.string() + ".ledger";
+    std::filesystem::remove(results);
+    std::filesystem::remove(ledger);
+
+    Subprocess::Options spawn_options;
+    spawn_options.new_process_group = true;
+    // Same base options as the in-process runs (via the wire encoding),
+    // or the resumed run's fingerprints would not match the ledger's.
+    const std::string options_json =
+        pipeline_options_to_json(bench_base_options()).dump();
+    Subprocess driver = Subprocess::spawn(
+        {batch_binary(), "--manifest", manifest.string(), "--results",
+         results.string(), "--workers", "4", "--options", options_json},
+        spawn_options);
+
+    // Poll checkpoints; SIGKILL the whole group at half the manifest.
+    std::size_t checkpointed = 0;
+    for (int poll = 0; poll < 30000; ++poll) {
+      checkpointed = load_ledger(ledger).size();
+      if (checkpointed >= static_cast<std::size_t>(items) / 2) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    driver.kill(SIGKILL, /*whole_group=*/true);
+    driver.wait();
+
+    BatchOptions resume_options = base_batch_options(manifest, results, 4);
+    resume_options.resume = true;
+    const BatchSummary resumed = run_batch(resume_options);
+
+    // Zero recompute: one checkpoint per item, ever. A resumed run that
+    // recomputed a checkpointed item would append its index again.
+    std::vector<int> checkpoint_counts(items, 0);
+    bool unique = true;
+    for (const LedgerEntry& entry : load_ledger(ledger)) {
+      if (entry.index < static_cast<std::size_t>(items)) {
+        unique &= ++checkpoint_counts[entry.index] == 1;
+      }
+    }
+    for (const int count : checkpoint_counts) unique &= count == 1;
+
+    const std::vector<std::string> lines = read_lines(results.string());
+    const std::set<std::string> unique_lines = line_set(results.string());
+    const std::size_t duplicates = lines.size() - unique_lines.size();
+    const bool identical = unique_lines == reference_lines;
+
+    std::cout << "{\"bench\":\"batch_resume\",\"items\":" << items
+              << ",\"checkpointed_at_kill\":" << checkpointed
+              << ",\"skipped\":" << resumed.skipped << ",\"completed\":"
+              << resumed.completed << ",\"duplicate_lines\":" << duplicates
+              << ",\"identical\":" << (identical ? "true" : "false")
+              << ",\"seed\":" << bench::kBenchSeed << "}\n";
+
+    if (!resumed.ok ||
+        resumed.skipped + resumed.completed !=
+            static_cast<std::size_t>(items)) {
+      std::cerr << "FAIL: resume did not account for every item\n";
+      ok = false;
+    }
+    if (!unique) {
+      std::cerr << "FAIL: resume recomputed a checkpointed item\n";
+      ok = false;
+    }
+    if (!identical) {
+      std::cerr << "FAIL: resumed results differ from uninterrupted run\n";
+      ok = false;
+    }
+    // Each killed worker can leave at most one result line without its
+    // checkpoint (the crash window between the two appends).
+    if (duplicates > 4) {
+      std::cerr << "FAIL: " << duplicates << " duplicate result lines\n";
+      ok = false;
+    }
+  }
+
+  // --- 3. shared cache: second pass must be all exact hits ------------
+  {
+    const std::filesystem::path cache = out_dir / "batch_cache.txt";
+    std::filesystem::remove(cache);
+    for (const int pass : {0, 1}) {
+      const std::filesystem::path results =
+          out_dir / ("batch_cached" + std::to_string(pass) + ".jsonl");
+      BatchOptions options = base_batch_options(manifest, results, 2);
+      options.cache_path = cache.string();
+      const BatchSummary summary = run_batch(options);
+      if (pass == 1) {
+        std::cout << "{\"bench\":\"batch_cache\",\"items\":" << items
+                  << ",\"exact_hits\":" << summary.exact_hits
+                  << ",\"critical_path_s\":" << summary.critical_path_s
+                  << ",\"seed\":" << bench::kBenchSeed << "}\n";
+        if (summary.exact_hits != static_cast<std::size_t>(items)) {
+          std::cerr << "FAIL: cached rerun compiled "
+                    << (items - summary.exact_hits) << " items\n";
+          ok = false;
+        }
+        if (line_set(results.string()) != reference_lines) {
+          std::cerr << "FAIL: cache-served results differ\n";
+          ok = false;
+        }
+      }
+      if (!summary.ok) {
+        std::cerr << "FAIL: cached pass " << pass << " incomplete\n";
+        ok = false;
+      }
+    }
+  }
+
+  std::cout << (ok ? "batch fleet OK\n" : "batch fleet FAILED\n");
+  return ok ? 0 : 1;
+}

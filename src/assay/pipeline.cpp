@@ -45,6 +45,18 @@ std::ostream& operator<<(std::ostream& os, PipelineStage stage) {
   return os << to_string(stage);
 }
 
+std::vector<std::uint64_t> derive_item_seeds(std::uint64_t master_seed,
+                                             std::size_t count) {
+  // One SplitMix64 walk from the master seed, consumed in item order —
+  // independent of the order workers pick items up. Changing this
+  // derivation would silently fork every recorded batch fingerprint;
+  // it is pinned by tests.
+  std::vector<std::uint64_t> seeds(count);
+  SplitMix64 splitter(master_seed);
+  for (auto& seed : seeds) seed = splitter.next();
+  return seeds;
+}
+
 double PipelineResult::total_wall_seconds() const {
   double total = 0.0;
   for (const auto& timing : stage_times) total += timing.wall_seconds;
@@ -369,17 +381,26 @@ std::vector<PipelineResult> SynthesisPipeline::run_indexed(
   std::vector<PipelineResult> results(count);
   if (count == 0) return results;
 
-  // Per-item seeds derived from the master seed, independent of the order
-  // in which workers pick items up.
-  std::vector<std::uint64_t> seeds(count);
-  SplitMix64 splitter(options_.seed);
-  for (auto& seed : seeds) seed = splitter.next();
+  const std::vector<std::uint64_t> seeds =
+      derive_item_seeds(options_.seed, count);
 
   const auto errors = detail::for_each_index(
       count, options_.threads,
       [&](std::size_t index) { results[index] = one(index, seeds[index]); });
-  for (const auto& error : errors) {
-    if (error) std::rethrow_exception(error);
+  // Batch error semantics: a failed item marks its own entry instead of
+  // rethrowing and discarding the other items' finished work.
+  for (std::size_t index = 0; index < count; ++index) {
+    if (!errors[index]) continue;
+    results[index] = PipelineResult{};
+    results[index].seed = seeds[index];
+    results[index].ok = false;
+    try {
+      std::rethrow_exception(errors[index]);
+    } catch (const std::exception& error) {
+      results[index].error = error.what();
+    } catch (...) {
+      results[index].error = "unknown error";
+    }
   }
   return results;
 }

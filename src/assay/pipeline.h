@@ -192,6 +192,16 @@ struct PipelineOptions {
   StageObserver observer;  ///< nullable
 };
 
+/// Per-item seeds of a batch under `master_seed`: item i of any batch
+/// driver anneals with element i, regardless of which thread or process
+/// picks the item up. This is THE batch seed-split — run_many and the
+/// multi-process dmfb_batch driver (service/batch.h) both derive their
+/// item seeds here, so the same manifest under the same master seed
+/// produces bit-identical per-item results in either harness (pinned by
+/// tests/test_pipeline.cpp and tests/test_batch.cpp).
+std::vector<std::uint64_t> derive_item_seeds(std::uint64_t master_seed,
+                                             std::size_t count);
+
 /// Wall time of one completed stage.
 struct StageTiming {
   PipelineStage stage = PipelineStage::kBind;
@@ -217,6 +227,15 @@ struct FeedbackRoundResult {
 struct PipelineResult {
   std::string assay_name;
   std::uint64_t seed = 0;  ///< the seed this run is reproducible from
+
+  /// Per-item batch status: run_many never discards a whole batch for
+  /// one failed assay. An item whose compile threw comes back with
+  /// ok = false, `error` holding the exception text, and default
+  /// (empty) stage artifacts — the other items' results are intact.
+  /// Single-assay run() still throws, so interactive callers keep the
+  /// exception they expect.
+  bool ok = true;
+  std::string error;  ///< set iff !ok
 
   // Architectural-level synthesis.
   Binding binding;
@@ -287,9 +306,11 @@ class SynthesisPipeline {
   PipelineResult run(const AssayCase& assay) const;
 
   /// Runs independent assays across a thread pool; results are in input
-  /// order. Item i's stochastic stages are seeded from (options().seed, i).
-  /// The first exception thrown by any item is rethrown after all workers
-  /// finish.
+  /// order. Item i's stochastic stages are seeded with
+  /// derive_item_seeds(options().seed, n)[i]. A failed item does not
+  /// discard the batch: its entry carries ok = false and the exception
+  /// text in `error` (see PipelineResult::ok), and every other item's
+  /// result is returned normally.
   std::vector<PipelineResult> run_many(
       std::span<const SequencingGraph> graphs,
       const ModuleLibrary& library) const;

@@ -8,18 +8,26 @@
 namespace dmfb {
 
 Placement::Placement(const Schedule& schedule, int canvas_width,
-                     int canvas_height)
-    : canvas_width_(canvas_width), canvas_height_(canvas_height) {
-  if (canvas_width <= 0 || canvas_height <= 0) {
-    throw std::invalid_argument("Placement: canvas must be positive");
-  }
+                     int canvas_height) {
+  std::vector<PlacedModule> modules;
   for (const auto& m : schedule.modules()) {
     PlacedModule placed;
     placed.label = m.label;
     placed.spec = m.spec;
     placed.start_s = m.start_s;
     placed.end_s = m.end_s;
-    modules_.push_back(std::move(placed));
+    modules.push_back(std::move(placed));
+  }
+  *this = Placement(std::move(modules), canvas_width, canvas_height);
+}
+
+Placement::Placement(std::vector<PlacedModule> modules, int canvas_width,
+                     int canvas_height)
+    : canvas_width_(canvas_width),
+      canvas_height_(canvas_height),
+      modules_(std::move(modules)) {
+  if (canvas_width <= 0 || canvas_height <= 0) {
+    throw std::invalid_argument("Placement: canvas must be positive");
   }
   for (const auto& m : modules_) {
     const int max_dim =

@@ -44,6 +44,13 @@ class Placement {
   /// synthesis schedule. Canvas bounds modules' reachable locations.
   Placement(const Schedule& schedule, int canvas_width, int canvas_height);
 
+  /// Builds a placement directly from fully-described modules (labels,
+  /// specs, intervals, poses), recomputing the derived time structure —
+  /// the deserialization path of the persisted compile cache
+  /// (CompileCache::load), which has no Schedule to rebuild from.
+  Placement(std::vector<PlacedModule> modules, int canvas_width,
+            int canvas_height);
+
   int canvas_width() const { return canvas_width_; }
   int canvas_height() const { return canvas_height_; }
 

@@ -82,6 +82,30 @@ class CompileCache {
              std::vector<RouteLink> links,
              std::shared_ptr<std::vector<double>> congestion);
 
+  /// Persists the exact entries to `path` (atomically: temp file +
+  /// rename) in a version-stamped text format; doubles are written as
+  /// raw bit patterns so every persisted value round-trips exactly.
+  ///
+  /// What persists is the *response surface* of each result — name,
+  /// seed, cost breakdown, FTI counts, makespans, routing totals, round
+  /// history and the full placement (specs, intervals, poses) — i.e.
+  /// everything a batch result line or wire response renders. Heavy
+  /// stage artifacts (schedule, binding, per-changeover routes,
+  /// simulation events, stage timings, the FTI coverage matrix) are NOT
+  /// persisted: a loaded hit serves summaries bit-identically but
+  /// cannot replay artifacts. Layout memos (warm links, congestion
+  /// grids) are process-local and rebuilt by fresh compiles. Returns
+  /// false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Merges entries from a save() file into this cache (last writer
+  /// wins on duplicate keys) and registers each loaded placement as its
+  /// layout's warm placement, so cross-process warm starts work from
+  /// disk. A missing, truncated or corrupt file is tolerated as a cold
+  /// cache — well-formed leading entries are kept, the rest dropped.
+  /// Returns the number of exact entries loaded.
+  std::size_t load(const std::string& path);
+
   CacheStats stats() const;
 
  private:

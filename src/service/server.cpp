@@ -47,10 +47,35 @@ void parse_annealing(const json::Value& value, AnnealingSchedule& schedule) {
   }
 }
 
-/// The request's "options" object. Unknown keys are errors, not silently
-/// ignored — a misspelled option that changed nothing would be the worst
-/// kind of service bug to chase from the client side.
-void parse_options(const json::Value& value, PipelineOptions& options) {
+json::Value stats_line(const CacheStats& stats) {
+  json::Value counters;
+  counters.set("exact_hits", static_cast<double>(stats.exact_hits));
+  counters.set("warm_hits", static_cast<double>(stats.warm_hits));
+  counters.set("misses", static_cast<double>(stats.misses));
+  counters.set("entries", static_cast<double>(stats.entries));
+  json::Value doc;
+  doc.set("ok", true);
+  doc.set("stats", std::move(counters));
+  return doc;
+}
+
+/// Best-effort id recovery for a line that failed request parsing, so the
+/// error response still correlates when the id itself was readable.
+std::string recover_id(const std::string& line) {
+  try {
+    const json::Value doc = json::Value::parse(line);
+    if (const json::Value* id = doc.find("id"); id && id->is_string()) {
+      return id->as_string();
+    }
+  } catch (...) {
+  }
+  return {};
+}
+
+}  // namespace
+
+void parse_pipeline_options(const json::Value& value,
+                            PipelineOptions& options) {
   for (const auto& [key, field] : value.as_object()) {
     if (key == "seed") {
       options.seed = as_u64(field);
@@ -100,32 +125,47 @@ void parse_options(const json::Value& value, PipelineOptions& options) {
   }
 }
 
-json::Value stats_line(const CacheStats& stats) {
-  json::Value counters;
-  counters.set("exact_hits", static_cast<double>(stats.exact_hits));
-  counters.set("warm_hits", static_cast<double>(stats.warm_hits));
-  counters.set("misses", static_cast<double>(stats.misses));
-  counters.set("entries", static_cast<double>(stats.entries));
+json::Value pipeline_options_to_json(const PipelineOptions& options) {
   json::Value doc;
-  doc.set("ok", true);
-  doc.set("stats", std::move(counters));
+  doc.set("seed", static_cast<double>(options.seed));
+  doc.set("placer", options.placer);
+  doc.set("router", options.router);
+  const auto dims = [](int w, int h) {
+    return json::Value(json::Value::Array{json::Value(w), json::Value(h)});
+  };
+  doc.set("canvas", dims(options.placer_context.canvas_width,
+                         options.placer_context.canvas_height));
+  doc.set("chip", dims(options.chip_width, options.chip_height));
+  {
+    json::Value::Array defects;
+    for (const Point& p : options.placer_context.defects) {
+      defects.push_back(dims(p.x, p.y));
+    }
+    doc.set("defects", json::Value(std::move(defects)));
+  }
+  doc.set("gamma", options.placer_context.weights.gamma);
+  doc.set("beta", options.placer_context.weights.beta);
+  doc.set("engine", to_string(options.placer_context.engine));
+  {
+    const AnnealingSchedule& s = options.placer_context.annealing;
+    json::Value annealing;
+    annealing.set("T0", s.initial_temperature);
+    annealing.set("alpha", s.cooling_rate);
+    annealing.set("iterations_per_module",
+                  static_cast<double>(s.iterations_per_module));
+    annealing.set("min_temperature", s.min_temperature);
+    doc.set("annealing", std::move(annealing));
+  }
+  doc.set("feedback_rounds", static_cast<double>(options.feedback_rounds));
+  doc.set("deadline_s", options.deadline_s);
+  doc.set("plan_droplet_routes", options.plan_droplet_routes);
+  doc.set("persist_congestion_history",
+          options.routing.persist_congestion_history);
+  doc.set("simulate", options.simulate);
+  doc.set("evaluate_fault_tolerance", options.evaluate_fault_tolerance);
+  doc.set("binding_policy", to_string(options.binding_policy));
   return doc;
 }
-
-/// Best-effort id recovery for a line that failed request parsing, so the
-/// error response still correlates when the id itself was readable.
-std::string recover_id(const std::string& line) {
-  try {
-    const json::Value doc = json::Value::parse(line);
-    if (const json::Value* id = doc.find("id"); id && id->is_string()) {
-      return id->as_string();
-    }
-  } catch (...) {
-  }
-  return {};
-}
-
-}  // namespace
 
 CompileServer::CompileServer(ServerOptions options)
     : options_(std::move(options)), service_(options_.service) {}
@@ -142,7 +182,7 @@ CompileRequest CompileServer::parse_request(const std::string& line) const {
     request.use_cache = cache->as_bool();
   }
   if (const json::Value* opts = doc.find("options")) {
-    parse_options(*opts, request.options);
+    parse_pipeline_options(*opts, request.options);
   }
   return request;
 }

@@ -35,9 +35,31 @@
 #include <string>
 
 #include "biochip/module_library.h"
+#include "io/json.h"
 #include "service/service.h"
 
 namespace dmfb {
+
+/// Applies a wire "options" JSON object onto `options` (the request
+/// surface documented above: seed, placer, router, canvas, chip,
+/// defects, gamma, beta, engine, annealing, feedback_rounds, deadline_s,
+/// plan_droplet_routes, persist_congestion_history, simulate,
+/// evaluate_fault_tolerance, binding_policy). Unknown keys throw
+/// std::invalid_argument — a misspelled option that changed nothing
+/// would be the worst kind of service bug to chase from the client
+/// side. Shared by the compile server and the batch driver's worker
+/// handshake (service/batch.h), so both speak the same option dialect.
+void parse_pipeline_options(const json::Value& value,
+                            PipelineOptions& options);
+
+/// Dual of parse_pipeline_options: renders the full JSON option surface
+/// of `options` — every key the parser accepts, always emitted — so
+/// `parse_pipeline_options(pipeline_options_to_json(o), fresh)`
+/// reproduces every wire-reachable field of `o` exactly (pinned by
+/// tests/test_service.cpp). Fields outside the wire surface (scheduler
+/// details, move mix, LTSA schedule, ...) are neither emitted nor
+/// parsed; drivers that need them must set them on both sides.
+json::Value pipeline_options_to_json(const PipelineOptions& options);
 
 struct ServerOptions {
   /// Compile workers (0 = hardware concurrency).

@@ -28,8 +28,8 @@ inline std::size_t resolve_worker_count(std::size_t count, int threads) {
 /// `resolve_worker_count(count, threads)` workers (a single worker runs
 /// inline in the calling thread). Returns one exception_ptr per index
 /// (null = completed normally); nothing is rethrown here because callers
-/// differ in how errors must surface (run_many rethrows the first by
-/// index, routing folds them into its fail-fast walk).
+/// differ in how errors must surface (run_many folds them into per-item
+/// ok/error status, routing folds them into its fail-fast walk).
 template <typename Fn>
 std::vector<std::exception_ptr> for_each_index(std::size_t count, int threads,
                                                Fn&& fn) {

@@ -1,0 +1,205 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dmfb {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             const Options& options) {
+  if (argv.empty()) throw std::runtime_error("Subprocess: empty argv");
+
+  int to_child[2];    // parent writes -> child stdin
+  int from_child[2];  // child stdout -> parent reads
+  if (::pipe(to_child) != 0) fail("pipe");
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    fail("pipe");
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    fail("fork");
+  }
+
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec.
+    if (options.new_process_group) ::setpgid(0, 0);
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      args.push_back(const_cast<char*>(arg.c_str()));
+    }
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    _exit(127);  // exec failed; 127 is the shell's convention
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Subprocess child;
+  child.pid_ = pid;
+  child.stdin_fd_ = to_child[1];
+  child.stdout_fd_ = from_child[0];
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      stdin_fd_(std::exchange(other.stdin_fd_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    close_if_open(stdin_fd_);
+    close_if_open(stdout_fd_);
+    pid_ = std::exchange(other.pid_, -1);
+    stdin_fd_ = std::exchange(other.stdin_fd_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  close_if_open(stdin_fd_);
+  close_if_open(stdout_fd_);
+}
+
+void Subprocess::write_line(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t wrote =
+        ::write(stdin_fd_, out.data() + sent, out.size() - sent);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      fail("Subprocess::write_line");
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+void Subprocess::close_stdin() { close_if_open(stdin_fd_); }
+
+bool Subprocess::read_line(std::string& line) {
+  for (;;) {
+    if (const auto newline = buffer_.find('\n');
+        newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = ::read(stdout_fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail("Subprocess::read_line");
+    }
+    if (got == 0) {
+      if (buffer_.empty()) return false;
+      line = std::exchange(buffer_, {});  // unterminated final line
+      return true;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+int Subprocess::wait() {
+  if (pid_ < 0) return -1;
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid_, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  pid_ = -1;
+  if (reaped < 0) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+void Subprocess::kill(int signal, bool whole_group) {
+  if (pid_ < 0) return;
+  ::kill(whole_group ? -pid_ : pid_, signal);
+}
+
+LineAppender::LineAppender(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) fail("LineAppender: open " + path);
+}
+
+LineAppender::~LineAppender() { close_if_open(fd_); }
+
+void LineAppender::append(const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  // One write(2): O_APPEND makes the offset atomic, and on local
+  // filesystems the whole buffer lands contiguously, so concurrent
+  // appenders never interleave mid-line and a kill leaves at most a
+  // torn tail. A short write would break that contract — treat it as
+  // an error rather than retrying into a torn middle.
+  const ssize_t wrote = ::write(fd_, out.data(), out.size());
+  if (wrote != static_cast<ssize_t>(out.size())) {
+    fail("LineAppender: append to " + path_);
+  }
+}
+
+void terminate_torn_tail(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return;  // missing file: nothing torn
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  char last = '\n';
+  if (size > 0 && ::pread(fd, &last, 1, size - 1) == 1 && last != '\n') {
+    if (::write(fd, "\n", 1) != 1) {
+      ::close(fd);
+      fail("terminate_torn_tail: " + path);
+    }
+  }
+  ::close(fd);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace dmfb

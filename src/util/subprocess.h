@@ -1,0 +1,113 @@
+// subprocess.h — minimal fork/exec plumbing for the multi-process batch
+// driver (service/batch.h): spawn a child with piped stdin/stdout, feed
+// it work line by line, read its reports, wait for its exit status — and
+// the crash-safe append-only line writer behind the batch's shared
+// results file and checkpoint ledger.
+//
+// Deliberately not a general process library: no pty, no stderr capture
+// (children inherit the parent's stderr, which is where diagnostics
+// belong), no async I/O. The batch protocol exchanges a few hundred
+// short lines per child, far below pipe capacity, so sequential
+// write-all-then-read-all never deadlocks.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace dmfb {
+
+/// One spawned child process with piped stdin/stdout.
+class Subprocess {
+ public:
+  struct Options {
+    /// Child becomes its own process-group leader (setpgid), so
+    /// kill(signal, /*whole_group=*/true) reaches every process it forks
+    /// in turn — how the bench kills a batch driver *and* its workers.
+    bool new_process_group = false;
+  };
+
+  /// fork/execs `argv` (argv[0] is the executable path) with stdin and
+  /// stdout piped to this object. Throws std::runtime_error when the
+  /// pipe/fork plumbing fails; an exec failure surfaces as exit code 127
+  /// from wait().
+  static Subprocess spawn(const std::vector<std::string>& argv,
+                          const Options& options);
+  static Subprocess spawn(const std::vector<std::string>& argv) {
+    return spawn(argv, Options());
+  }
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  /// Closes the pipes; does NOT wait — an unreaped child stays a zombie
+  /// until the parent exits, so call wait() on every spawned child.
+  ~Subprocess();
+
+  pid_t pid() const { return pid_; }
+
+  /// Writes `line` plus a newline to the child's stdin. Throws on a
+  /// broken pipe (child exited early).
+  void write_line(const std::string& line);
+
+  /// Signals end-of-input to the child (idempotent).
+  void close_stdin();
+
+  /// Next line from the child's stdout; false at EOF. A final line
+  /// without a trailing newline is still returned.
+  bool read_line(std::string& line);
+
+  /// Reaps the child: exit code, or 128 + signal when it was killed.
+  /// Returns -1 if there is no child (moved-from or already waited).
+  int wait();
+
+  /// Sends `signal` to the child, or to its whole process group when
+  /// `whole_group` (requires Options::new_process_group at spawn).
+  void kill(int signal, bool whole_group = false);
+
+ private:
+  Subprocess() = default;
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::string buffer_;
+};
+
+/// Crash-safe append-only line writer, shareable across processes: the
+/// file is opened O_APPEND|O_CREAT and every append issues exactly one
+/// write(2) of "line\n", so concurrent appenders (the batch's worker
+/// processes) never interleave mid-line on local filesystems and a
+/// killed process leaves at most one torn *trailing* line — which
+/// readers skip and terminate_torn_tail() isolates before a resumed run
+/// appends more.
+class LineAppender {
+ public:
+  explicit LineAppender(const std::string& path);
+  LineAppender(const LineAppender&) = delete;
+  LineAppender& operator=(const LineAppender&) = delete;
+  ~LineAppender();
+
+  /// Appends `line` + '\n' as one write. Throws std::runtime_error on
+  /// I/O failure (a short write on a regular file is an I/O failure).
+  void append(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// If `path` exists and its last byte is not '\n' — the torn trailing
+/// line of a process killed mid-append — writes the missing newline, so
+/// the fragment stays an isolated garbage line (skipped by tolerant
+/// readers) instead of corrupting the next append. Call once from the
+/// resuming driver *before* any worker opens the file.
+void terminate_torn_tail(const std::string& path);
+
+/// All lines of `path` (without newlines); empty when the file is
+/// missing. For the batch's small bookkeeping files, not bulk data.
+std::vector<std::string> read_lines(const std::string& path);
+
+}  // namespace dmfb

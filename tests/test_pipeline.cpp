@@ -12,6 +12,7 @@
 #include "assay/random_assay.h"
 #include "assay/synthesis.h"
 #include "core/sa_placer.h"
+#include "util/rng.h"
 
 namespace dmfb {
 namespace {
@@ -227,13 +228,57 @@ TEST(PipelineTest, RunManyGraphsWithSharedLibrary) {
   }
 }
 
-TEST(PipelineTest, RunManyPropagatesWorkerExceptions) {
-  std::vector<AssayCase> cases(1, pcr_mixing_assay());
+TEST(PipelineTest, DeriveItemSeedsIsTheBatchSeedSplit) {
+  // The exact walk run_many consumes, pinned: SplitMix64 from the
+  // master seed, one value per item in order. dmfb_batch derives its
+  // item seeds through the same helper, so this is the cross-harness
+  // reproducibility contract.
+  const auto seeds = derive_item_seeds(/*master_seed=*/99, /*count=*/4);
+  ASSERT_EQ(seeds.size(), 4u);
+  SplitMix64 walk(99);
+  for (const std::uint64_t seed : seeds) EXPECT_EQ(seed, walk.next());
+
+  // Prefix property: a shorter batch is a prefix of a longer one.
+  const auto longer = derive_item_seeds(99, 8);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(longer[i], seeds[i]);
+  }
+  EXPECT_TRUE(derive_item_seeds(99, 0).empty());
+}
+
+TEST(PipelineTest, RunManyMarksFailedItemsInsteadOfThrowing) {
+  // Item 0 compiles; item 1 hits the optimal placer's module cap and
+  // throws inside its worker. The batch survives: the failed item
+  // carries ok=false and the exception text, the good item's result is
+  // intact, and both still report their derived seeds.
+  const ModuleLibrary library = ModuleLibrary::standard();
+  RandomAssayParams params;
+  params.mix_operations = 3;  // small enough for the optimal placer
+  std::vector<AssayCase> cases;
+  cases.push_back(random_assay(params, library, /*seed=*/5));
+  cases.push_back(pcr_mixing_assay());  // 10 modules > max_modules=8
+
   PipelineOptions options = fast_options();
-  options.placer = "optimal";  // 10 modules > max_modules=8 -> throws
+  options.placer = "optimal";
+  options.plan_droplet_routes = false;
   const SynthesisPipeline pipeline(options);
-  EXPECT_THROW(pipeline.run_many(std::span<const AssayCase>(cases)),
-               std::invalid_argument);
+  const auto results = pipeline.run_many(std::span<const AssayCase>(cases));
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[0].error.empty());
+  EXPECT_TRUE(results[0].placement.placement.feasible());
+
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+  // The failed entry still records which seed the item would have run
+  // with, so a single-item repro is one run() away.
+  const auto seeds = derive_item_seeds(options.seed, cases.size());
+  EXPECT_EQ(results[0].seed, seeds[0]);
+  EXPECT_EQ(results[1].seed, seeds[1]);
+
+  // Single-assay run() keeps the exception contract.
+  EXPECT_THROW(pipeline.run(cases[1]), std::invalid_argument);
 }
 
 }  // namespace

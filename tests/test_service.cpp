@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -398,6 +401,164 @@ TEST(ServerTest, ServeAnswersRequestsControlLinesAndErrors) {
   EXPECT_TRUE(saw_result);
   EXPECT_TRUE(saw_error);
   EXPECT_TRUE(saw_stats);
+}
+
+// --- options wire round-trip -----------------------------------------
+
+TEST(ServerTest, PipelineOptionsJsonRoundTripsEveryWireField) {
+  // Start from defaults and mutate only wire-surface fields; the
+  // options fingerprint (which sees every compile-relevant field) then
+  // proves emit -> parse loses nothing the wire can carry.
+  PipelineOptions options;
+  options.seed = 12345;
+  options.placer = "two-stage";
+  options.router = "negotiated";
+  options.placer_context.canvas_width = 28;
+  options.placer_context.canvas_height = 26;
+  options.chip_width = 20;
+  options.chip_height = 18;
+  options.placer_context.defects = {Point{3, 4}, Point{5, 6}};
+  options.placer_context.weights.gamma = 0.02;
+  options.placer_context.weights.beta = 0.5;
+  options.placer_context.engine = AnnealingEngine::kCopy;
+  options.placer_context.annealing.initial_temperature = 1000.0;
+  options.placer_context.annealing.cooling_rate = 0.8;
+  options.placer_context.annealing.iterations_per_module = 60;
+  options.placer_context.annealing.min_temperature = 0.25;
+  options.feedback_rounds = 2;
+  options.deadline_s = 1.5;
+  options.plan_droplet_routes = false;
+  options.routing.persist_congestion_history = true;
+  options.simulate = true;
+  options.evaluate_fault_tolerance = false;
+  options.binding_policy = BindingPolicy::kSmallest;
+
+  PipelineOptions parsed;
+  parse_pipeline_options(pipeline_options_to_json(options), parsed);
+  EXPECT_EQ(options_fingerprint(parsed), options_fingerprint(options));
+  EXPECT_EQ(parsed.seed, options.seed);
+  EXPECT_EQ(parsed.placer, options.placer);
+  EXPECT_EQ(parsed.placer_context.engine, options.placer_context.engine);
+  EXPECT_EQ(parsed.placer_context.defects.size(), 2u);
+  EXPECT_EQ(parsed.binding_policy, options.binding_policy);
+
+  // The dump itself parses as one JSON line (the batch handshake).
+  const std::string line = pipeline_options_to_json(options).dump();
+  PipelineOptions reparsed;
+  parse_pipeline_options(json::Value::parse(line), reparsed);
+  EXPECT_EQ(options_fingerprint(reparsed), options_fingerprint(options));
+}
+
+// --- cache persistence ------------------------------------------------
+
+TEST(CompileCachePersistTest, SaveLoadRoundTripsTheResponseSurface) {
+  const std::string path =
+      testing::TempDir() + "dmfb_cache_roundtrip.txt";
+  const AssayCase assay = pcr_mixing_assay();
+  PipelineOptions options = fast_options();
+  options.seed = 7;
+  const std::uint64_t assay_fp = assay_fingerprint(assay);
+  const std::uint64_t options_fp = options_fingerprint(options);
+
+  auto result = std::make_shared<PipelineResult>(
+      SynthesisPipeline(options).run(assay));
+  const std::uint64_t signature = schedule_signature(result->schedule);
+
+  CompileCache cache;
+  cache.store(assay_fp, options_fp, signature, result, /*links=*/{},
+              /*congestion=*/nullptr);
+  ASSERT_TRUE(cache.save(path));
+
+  CompileCache loaded;
+  EXPECT_EQ(loaded.load(path), 1u);
+  EXPECT_EQ(loaded.stats().entries, 1);
+  const auto hit = loaded.lookup(assay_fp, options_fp, signature).exact;
+  ASSERT_NE(hit, nullptr);
+
+  // Every persisted field round-trips exactly (doubles by bit pattern).
+  EXPECT_EQ(hit->assay_name, result->assay_name);
+  EXPECT_EQ(hit->seed, result->seed);
+  EXPECT_EQ(hit->ok, result->ok);
+  EXPECT_EQ(hit->peak_concurrent_cells, result->peak_concurrent_cells);
+  EXPECT_EQ(hit->placement.cost.area_cells,
+            result->placement.cost.area_cells);
+  EXPECT_EQ(hit->placement.cost.value, result->placement.cost.value);
+  EXPECT_EQ(hit->fti.covered_cells, result->fti.covered_cells);
+  EXPECT_EQ(hit->fti.total_cells, result->fti.total_cells);
+  EXPECT_EQ(hit->fti.fti(), result->fti.fti());
+  EXPECT_EQ(hit->transport_makespan_s, result->transport_makespan_s);
+  EXPECT_EQ(hit->routes.success, result->routes.success);
+  EXPECT_EQ(hit->routes.total_steps, result->routes.total_steps);
+  EXPECT_EQ(hit->selected_round, result->selected_round);
+  EXPECT_EQ(hit->feedback_history.size(), result->feedback_history.size());
+  EXPECT_EQ(placement_to_string(hit->placement.placement),
+            placement_to_string(result->placement.placement));
+  EXPECT_EQ(hit->placement.placement.canvas_width(),
+            result->placement.placement.canvas_width());
+
+  // Loaded placements register as the layout's warm placement, so
+  // cross-process warm starts work from disk: a different assay with
+  // the same structure warm-hits.
+  AssayCase variant = renamed_pcr();
+  const auto warm =
+      loaded.lookup(assay_fingerprint(variant), options_fp, signature);
+  EXPECT_EQ(warm.exact, nullptr);
+  ASSERT_NE(warm.warm_placement, nullptr);
+  EXPECT_EQ(placement_to_string(*warm.warm_placement),
+            placement_to_string(result->placement.placement));
+
+  std::remove(path.c_str());
+}
+
+TEST(CompileCachePersistTest, CorruptOrMissingFilesLoadAsCold) {
+  const std::string dir = testing::TempDir();
+
+  CompileCache cache;
+  EXPECT_EQ(cache.load(dir + "dmfb_cache_does_not_exist.txt"), 0u);
+
+  // Garbage header: cold, not fatal.
+  const std::string garbage = dir + "dmfb_cache_garbage.txt";
+  {
+    std::ofstream out(garbage, std::ios::trunc);
+    out << "not a cache at all\nentry 1 2 3\n";
+  }
+  EXPECT_EQ(cache.load(garbage), 0u);
+
+  // A valid entry followed by trailing garbage: the good prefix loads.
+  const AssayCase assay = pcr_mixing_assay();
+  PipelineOptions options = fast_options();
+  options.seed = 11;
+  auto result = std::make_shared<PipelineResult>(
+      SynthesisPipeline(options).run(assay));
+  CompileCache source;
+  source.store(assay_fingerprint(assay), options_fingerprint(options),
+               schedule_signature(result->schedule), result, {}, nullptr);
+  const std::string torn = dir + "dmfb_cache_torn.txt";
+  ASSERT_TRUE(source.save(torn));
+  {
+    std::ofstream out(torn, std::ios::app);
+    out << "entry 9 9\nhalf a line without";
+  }
+  CompileCache tolerant;
+  EXPECT_EQ(tolerant.load(torn), 1u);
+
+  // The same file truncated mid-entry: whatever whole entries precede
+  // the cut survive, the torn tail is dropped, nothing throws.
+  std::ifstream in(torn, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string truncated = dir + "dmfb_cache_truncated.txt";
+  {
+    std::ofstream out(truncated, std::ios::trunc | std::ios::binary);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+  CompileCache half;
+  EXPECT_LE(half.load(truncated), 1u);
+
+  std::remove(garbage.c_str());
+  std::remove(torn.c_str());
+  std::remove(truncated.c_str());
 }
 
 }  // namespace
