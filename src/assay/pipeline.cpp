@@ -335,7 +335,41 @@ PipelineResult SynthesisPipeline::run_bound(const SequencingGraph& graph,
   // Simulate: droplet-level execution on a virtual chip. The event
   // engine is driven directly (not through the Simulator adapter) so its
   // telemetry and stall diagnosis reach the stage observer.
-  if (options_.simulate) {
+  if (options_.simulate && !options_.fault_plan.faults.empty()) {
+    // Online fault recovery: drive the event engine through the
+    // OnlineRecoveryEngine so planned faults fire mid-run and detected
+    // failures escalate the reconfigure -> reroute -> replace ladder.
+    const auto start = Clock::now();
+    RecoveryOptions recovery = options_.recovery;
+    recovery.sim = options_.simulation;
+    if (recovery.replace_context.canvas_width <= 0 &&
+        recovery.replace_context.canvas_height <= 0) {
+      recovery.replace_context = options_.placer_context;
+    }
+    recovery.replace_context.seed = seed;
+    const OnlineRecoveryEngine engine(recovery);
+    OnlineRunResult online =
+        engine.run(graph, result.schedule, result.placement.placement,
+                   Rect{0, 0, chip_width, chip_height}, options_.fault_plan);
+    result.simulation = std::move(online.simulation);
+    result.recovery = std::move(online.recovery);
+    std::ostringstream detail;
+    if (result.simulation.success) {
+      detail << "completed in " << result.simulation.makespan_s << " s, "
+             << result.simulation.routes_planned << " routes";
+    } else {
+      detail << "simulation failed: " << result.simulation.failure_reason;
+    }
+    const RecoveryReport& rep = result.recovery;
+    detail << "; recovery: faults=" << rep.faults_injected
+           << " cycles=" << rep.recovery_cycles
+           << " recovered=" << (rep.recovered ? "yes" : "no")
+           << " completed=" << (rep.completed ? "yes" : "no")
+           << " time-lost=" << rep.time_lost_s << "s"
+           << " resumed-from=" << rep.resumed_from_s << "s";
+    if (!rep.detail.empty()) detail << " (" << rep.detail << ")";
+    record(PipelineStage::kSimulate, seconds_since(start), detail.str());
+  } else if (options_.simulate) {
     const auto start = Clock::now();
     const Chip chip(chip_width, chip_height);
     std::ostringstream detail;

@@ -43,6 +43,8 @@
 #include "biochip/module_library.h"
 #include "core/fti.h"
 #include "core/placer.h"
+#include "sim/fault.h"
+#include "sim/recovery.h"
 #include "sim/route_planner.h"
 #include "sim/simulator.h"
 #include "util/cost_statistic.h"
@@ -177,6 +179,19 @@ struct PipelineOptions {
   bool simulate = false;
   SimOptions simulation;
 
+  /// Online fault recovery: when `simulate` is true and this plan is
+  /// non-empty, the simulate stage drives the OnlineRecoveryEngine
+  /// (sim/recovery.h) instead of a plain run — faults fire mid-run and
+  /// each detected failure escalates the reconfigure -> reroute ->
+  /// replace ladder, resuming from its checkpoint. The outcome lands in
+  /// PipelineResult::recovery and the stage observer's detail line.
+  FaultInjectionPlan fault_plan;
+  /// Knobs/budgets of the online recovery engine (used iff fault_plan is
+  /// non-empty). `recovery.sim` is overridden by `simulation`, and the
+  /// replace rung's context inherits `placer_context` (re-seeded from
+  /// `seed`) unless `recovery.replace_context` is customized.
+  RecoveryOptions recovery;
+
   /// Evaluate the Fault Tolerance Index of the final placement over its
   /// bounding box (the array a designer would fabricate).
   bool evaluate_fault_tolerance = true;
@@ -259,6 +274,10 @@ struct PipelineResult {
   // Fluidic-level results.
   RoutePlan routes;           ///< populated iff options.plan_droplet_routes
   SimulationResult simulation;  ///< populated iff options.simulate
+  /// Online fault-recovery telemetry; populated iff options.simulate and
+  /// options.fault_plan is non-empty (faults_injected counts the planned
+  /// faults that actually fired).
+  RecoveryReport recovery;
 
   /// The schedule with every changeover's measured transport time folded
   /// into module start times (fold_transport, sim/route_planner.h).

@@ -33,6 +33,15 @@ void Schedule::shift_from(double from_s, double delta_s) {
   }
 }
 
+void Schedule::retime(int index, double start_s, double end_s) {
+  if (end_s < start_s) {
+    throw std::invalid_argument("Schedule::retime: end before start");
+  }
+  ScheduledModule& m = modules_.at(static_cast<std::size_t>(index));
+  m.start_s = start_s;
+  m.end_s = end_s;
+}
+
 std::vector<TimeSlice> Schedule::time_slices() const {
   std::set<double> boundaries;
   for (const auto& m : modules_) {

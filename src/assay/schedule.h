@@ -71,6 +71,14 @@ class Schedule {
   /// can create overlaps the placement never priced).
   void shift_from(double from_s, double delta_s);
 
+  /// Retiming primitive for online recovery: rewrites one module's
+  /// interval in place (duration may change; end must stay >= start).
+  /// Unlike shift_from this can create overlaps the placement never
+  /// priced — callers own feasibility. The recovery engine uses it to
+  /// re-run an interrupted operation from the detection instant
+  /// (sim/recovery.h), after shift_from has pushed the successors out.
+  void retime(int index, double start_s, double end_s);
+
   /// Splits [0, makespan) at every module start/end into maximal constant
   /// configurations, skipping zero-length intervals.
   std::vector<TimeSlice> time_slices() const;

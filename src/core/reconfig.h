@@ -5,6 +5,15 @@
 // everything else stays put. The engine finds relocation targets among the
 // maximal empty rectangles of the current configuration (staircase
 // algorithm, mer.h) and picks one according to a policy.
+//
+// This is the first — cheapest — rung of the online escalation ladder
+// (sim/recovery.h): OnlineRecoveryEngine calls `recover` at the detection
+// instant with the full current fault set, migrates the droplets of the
+// relocated modules to their new sites, and resumes the interrupted run
+// from its checkpoint. Modules in flight at the detection instant are
+// never rung-1 targets unless they themselves sit on a fault: the
+// relocation grid marks every time-overlapping footprint, so a target MER
+// is spatially disjoint from all of them.
 #pragma once
 
 #include <optional>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -127,6 +128,18 @@ std::string render_result_line(const BatchItem& item, std::size_t index,
   if (result.placement.placement.module_count() > 0) {
     doc.set("placement", placement_to_string(result.placement.placement));
   }
+  // Online fault-recovery telemetry (multi-fault campaigns run as batch
+  // items with a fault_plan in their options overlay). Deterministic
+  // fields only, so re-computed lines stay byte-identical.
+  if (!result.recovery.detail.empty()) {
+    doc.set("recovery_faults",
+            static_cast<double>(result.recovery.faults_injected));
+    doc.set("recovery_cycles",
+            static_cast<double>(result.recovery.recovery_cycles));
+    doc.set("recovery_recovered", result.recovery.recovered);
+    doc.set("recovery_completed", result.recovery.completed);
+    doc.set("recovery_time_lost_s", result.recovery.time_lost_s);
+  }
   return doc.dump();
 }
 
@@ -148,8 +161,13 @@ std::vector<std::vector<std::size_t>> BlockPartitioner::partition(
 }
 
 struct FileResultSink::Impl {
+  // The ledger is fsync'd per line: a checkpoint acknowledged to the
+  // parent must survive a machine crash, or resume could skip an item
+  // whose result line was itself lost. One short line per completed
+  // compile keeps the cost negligible; the bulk results file stays on
+  // the page cache (a lost result line just recomputes).
   Impl(const std::string& results_path, const std::string& ledger_path)
-      : results(results_path), ledger(ledger_path) {}
+      : results(results_path), ledger(ledger_path, /*fsync_each_line=*/true) {}
   LineAppender results;
   LineAppender ledger;
 };
@@ -332,14 +350,15 @@ BatchSummary run_batch(const BatchOptions& options) {
   const std::string options_json =
       pipeline_options_to_json(options.base).dump();
 
-  struct Child {
-    Subprocess process;
-    std::size_t expected;
-  };
-  std::vector<Child> children;
-  std::vector<int> spawned_shards;
-  for (std::size_t k = 0; k < shards.size(); ++k) {
-    if (shards[k].empty()) continue;
+  // A worker killed between reading its handshake and its first item
+  // leaves the write side of its stdin pipe broken; with SIGPIPE at the
+  // default disposition the *parent* would die feeding the next line.
+  // Ignore it process-wide — every write error still surfaces as EPIPE,
+  // which spawn_shard tolerates (the wait() below sees the dead child).
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const auto spawn_shard = [&](std::size_t k,
+                               const std::vector<std::size_t>& indices) {
     std::vector<std::string> argv = {
         options.worker_exe, "--worker",
         "--manifest",       options.manifest_path,
@@ -350,43 +369,93 @@ BatchSummary run_batch(const BatchOptions& options) {
       argv.push_back("--cache");
       argv.push_back(options.cache_path);
     }
-    Child child{Subprocess::spawn(argv), shards[k].size()};
-    child.process.write_line(options_json);
-    for (const std::size_t index : shards[k]) {
-      child.process.write_line(std::to_string(index));
+    Subprocess process = Subprocess::spawn(argv);
+    try {
+      process.write_line(options_json);
+      for (const std::size_t index : indices) {
+        process.write_line(std::to_string(index));
+      }
+      process.close_stdin();
+    } catch (const std::runtime_error&) {
+      // Child already dead (EPIPE): wait() reports the abnormal exit and
+      // the respawn path below requeues every index.
     }
-    child.process.close_stdin();
-    children.push_back(std::move(child));
+    return process;
+  };
+
+  struct ShardState {
+    Subprocess process;
+    std::vector<std::size_t> remaining;  ///< not yet reported "done"
+    std::size_t shard;
+  };
+  std::vector<ShardState> children;
+  std::vector<int> spawned_shards;
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    if (shards[k].empty()) continue;
+    children.push_back(ShardState{spawn_shard(k, shards[k]), shards[k], k});
     spawned_shards.push_back(static_cast<int>(k));
   }
 
   bool ok = true;
-  for (Child& child : children) {
-    WorkerReport report;
-    std::string line;
-    while (child.process.read_line(line)) {
-      std::istringstream ls(line);
-      std::string tag;
-      ls >> tag;
-      if (tag == "done") {
-        std::size_t index = 0;
-        std::string source;
-        int item_ok = 1;
-        if (ls >> index >> source >> item_ok) {
-          ++report.completed;
-          if (!item_ok) ++report.failed;
-          if (source == "exact") ++report.exact_hits;
+  const int max_respawns = std::max(0, options.max_respawns);
+  for (ShardState& child : children) {
+    double shard_busy = 0.0;
+    int respawns_used = 0;
+    // The chaos hook targets the first spawned worker, once.
+    std::size_t chaos_countdown =
+        (&child == children.data() && options.chaos_kill_after > 0)
+            ? static_cast<std::size_t>(options.chaos_kill_after)
+            : 0;
+    for (;;) {
+      std::string line;
+      while (child.process.read_line(line)) {
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "done") {
+          std::size_t index = 0;
+          std::string source;
+          int item_ok = 1;
+          if (ls >> index >> source >> item_ok) {
+            ++summary.completed;
+            if (!item_ok) ++summary.failed;
+            if (source == "exact") ++summary.exact_hits;
+            const auto it = std::find(child.remaining.begin(),
+                                      child.remaining.end(), index);
+            if (it != child.remaining.end()) child.remaining.erase(it);
+            if (chaos_countdown > 0 && --chaos_countdown == 0) {
+              child.process.kill(SIGKILL);
+            }
+          }
+        } else if (tag == "busy") {
+          double busy = 0.0;
+          if (ls >> busy) shard_busy += busy;
         }
-      } else if (tag == "busy") {
-        ls >> report.busy_s;
       }
+      const int exit_code = child.process.wait();
+      // Every item reported done = the shard is complete; results and
+      // ledger lines land *before* the done report, so even a worker
+      // killed on its way out left nothing unwritten.
+      if (child.remaining.empty()) break;
+      if (exit_code != 0 && respawns_used < max_respawns) {
+        // Abnormal exit with work outstanding: re-exec the worker with
+        // exactly the unreported items. An item the dead worker finished
+        // without reporting recomputes deterministically, so a duplicate
+        // result line is byte-identical and the results file is
+        // unchanged as a set of lines. Isolate any torn tail first so
+        // the respawned worker's appends start on a fresh line.
+        terminate_torn_tail(options.results_path);
+        terminate_torn_tail(ledger_path);
+        ++respawns_used;
+        ++summary.respawns;
+        child.process = spawn_shard(child.shard, child.remaining);
+        continue;
+      }
+      // Clean-but-incomplete (a worker logic bug) or budget exhausted.
+      ok = false;
+      break;
     }
-    const int exit_code = child.process.wait();
-    if (exit_code != 0 || report.completed != child.expected) ok = false;
-    summary.completed += report.completed;
-    summary.failed += report.failed;
-    summary.exact_hits += report.exact_hits;
-    summary.critical_path_s = std::max(summary.critical_path_s, report.busy_s);
+    summary.critical_path_s = std::max(summary.critical_path_s, shard_busy);
   }
   summary.ok = ok;
 

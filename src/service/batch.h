@@ -199,6 +199,17 @@ struct BatchOptions {
   std::string worker_exe;
   /// Nullable; default BlockPartitioner.
   const WorkPartitioner* partitioner = nullptr;
+  /// Per-worker respawn budget: a worker that exits abnormally (crash,
+  /// OOM kill, SIGKILL) with items outstanding is re-exec'd with exactly
+  /// its unreported items, and the batch carries on. An item the dead
+  /// worker completed without reporting recomputes deterministically, so
+  /// the results file stays byte-identical as a set of lines. 0 restores
+  /// the pre-recovery behavior: any dead worker fails the batch.
+  int max_respawns = 2;
+  /// Fault-injection hook for tests and bench_recovery: the parent
+  /// SIGKILLs the first spawned worker after this many of its "done"
+  /// reports, exercising the respawn path on demand. 0 = off.
+  int chaos_kill_after = 0;
 };
 
 struct BatchSummary {
@@ -214,7 +225,13 @@ struct BatchSummary {
   /// free cores, and the scaling denominator on machines with fewer
   /// (items/s = completed / critical_path_s).
   double critical_path_s = 0.0;
-  /// Every spawned worker exited 0 and every non-skipped item reported.
+  /// Abnormal worker exits recovered by re-exec (see
+  /// BatchOptions::max_respawns).
+  std::size_t respawns = 0;
+  /// Every non-skipped item reported done (workers may have died and
+  /// been respawned along the way — that alone does not fail the batch,
+  /// and neither does a worker killed after its last done report: the
+  /// result and ledger lines land before the report).
   bool ok = false;
 };
 

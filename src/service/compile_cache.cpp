@@ -99,6 +99,23 @@ std::uint64_t options_fingerprint(const PipelineOptions& options) {
   h.mix(options.simulation.droplet_speed_cells_per_s)
       .mix(options.simulation.verify_routing)
       .mix(options.simulation.record_events);
+  // Online fault recovery changes what the simulate stage produces, so
+  // the plan and every outcome-affecting recovery knob fork the key.
+  h.mix(static_cast<std::uint64_t>(options.fault_plan.faults.size()));
+  for (const PlannedFault& fault : options.fault_plan.faults) {
+    h.mix(fault.cell.x).mix(fault.cell.y).mix(fault.time_s).mix(
+        static_cast<std::uint64_t>(fault.after_event));
+  }
+  if (!options.fault_plan.faults.empty()) {
+    h.mix(static_cast<int>(options.recovery.policy))
+        .mix(options.recovery.max_cycles)
+        .mix(options.recovery.enable_reconfigure)
+        .mix(options.recovery.enable_reroute)
+        .mix(options.recovery.enable_replace);
+    mix_string(h, options.recovery.replace_placer);
+    // recovery.deadline_s is a host-wall budget (execution-only, like
+    // `threads`); recovery.sim is overridden by `simulation` above.
+  }
   h.mix(options.evaluate_fault_tolerance);
   h.mix(options.seed);
   return h.value();

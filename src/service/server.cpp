@@ -115,6 +115,22 @@ void parse_pipeline_options(const json::Value& value,
       options.routing.persist_congestion_history = field.as_bool();
     } else if (key == "simulate") {
       options.simulate = field.as_bool();
+    } else if (key == "fault_plan") {
+      // [[t,x,y], ...]: inject a fault at cell (x,y) once the simulated
+      // clock reaches t (requires "simulate": true to have any effect).
+      for (const auto& fault : field.as_array()) {
+        const auto& triple = fault.as_array();
+        if (triple.size() != 3) {
+          throw std::invalid_argument("fault_plan entries must be [t,x,y]");
+        }
+        options.fault_plan.faults.push_back(
+            PlannedFault{Point{as_int(triple[1]), as_int(triple[2])},
+                         triple[0].as_number(), -1});
+      }
+    } else if (key == "recovery_deadline_s") {
+      options.recovery.deadline_s = field.as_number();
+    } else if (key == "recovery_max_cycles") {
+      options.recovery.max_cycles = as_int(field);
     } else if (key == "evaluate_fault_tolerance") {
       options.evaluate_fault_tolerance = field.as_bool();
     } else if (key == "binding_policy") {
@@ -162,6 +178,20 @@ json::Value pipeline_options_to_json(const PipelineOptions& options) {
   doc.set("persist_congestion_history",
           options.routing.persist_congestion_history);
   doc.set("simulate", options.simulate);
+  {
+    json::Value::Array faults;
+    for (const PlannedFault& fault : options.fault_plan.faults) {
+      json::Value::Array triple;
+      triple.push_back(json::Value(fault.time_s));
+      triple.push_back(json::Value(fault.cell.x));
+      triple.push_back(json::Value(fault.cell.y));
+      faults.push_back(json::Value(std::move(triple)));
+    }
+    doc.set("fault_plan", json::Value(std::move(faults)));
+  }
+  doc.set("recovery_deadline_s", options.recovery.deadline_s);
+  doc.set("recovery_max_cycles",
+          static_cast<double>(options.recovery.max_cycles));
   doc.set("evaluate_fault_tolerance", options.evaluate_fault_tolerance);
   doc.set("binding_policy", to_string(options.binding_policy));
   return doc;
@@ -213,6 +243,28 @@ std::string CompileServer::render_response(const CompileResponse& response) {
   result.set("selected_round", static_cast<double>(r.selected_round));
   if (r.placement.placement.module_count() > 0) {
     result.set("placement", placement_to_string(r.placement.placement));
+  }
+  // Online fault-recovery telemetry (present iff the request planned
+  // faults — the engine always stamps a detail line when it runs).
+  if (!r.recovery.detail.empty()) {
+    json::Value recovery;
+    recovery.set("faults", static_cast<double>(r.recovery.faults_injected));
+    recovery.set("cycles", static_cast<double>(r.recovery.recovery_cycles));
+    recovery.set("recovered", r.recovery.recovered);
+    recovery.set("completed", r.recovery.completed);
+    recovery.set("time_lost_s", r.recovery.time_lost_s);
+    recovery.set("resumed_from_s", r.recovery.resumed_from_s);
+    recovery.set("detail", r.recovery.detail);
+    json::Value::Array attempts;
+    for (const RecoveryAttempt& attempt : r.recovery.attempts) {
+      json::Value a;
+      a.set("action", to_string(attempt.action));
+      a.set("cycle", static_cast<double>(attempt.cycle));
+      a.set("success", attempt.success);
+      attempts.push_back(std::move(a));
+    }
+    recovery.set("attempts", json::Value(std::move(attempts)));
+    result.set("recovery", std::move(recovery));
   }
   doc.set("result", std::move(result));
   return doc.dump();

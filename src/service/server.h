@@ -44,7 +44,10 @@ namespace dmfb {
 /// surface documented above: seed, placer, router, canvas, chip,
 /// defects, gamma, beta, engine, annealing, feedback_rounds, deadline_s,
 /// plan_droplet_routes, persist_congestion_history, simulate,
-/// evaluate_fault_tolerance, binding_policy). Unknown keys throw
+/// fault_plan ([[t,x,y],...] mid-run injections — the response then
+/// carries a "recovery" telemetry block), recovery_deadline_s,
+/// recovery_max_cycles, evaluate_fault_tolerance, binding_policy).
+/// Unknown keys throw
 /// std::invalid_argument — a misspelled option that changed nothing
 /// would be the worst kind of service bug to chase from the client
 /// side. Shared by the compile server and the batch driver's worker

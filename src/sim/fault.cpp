@@ -1,5 +1,6 @@
 #include "sim/fault.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dmfb {
@@ -35,6 +36,28 @@ void inject_fault(Chip& chip, Point cell) {
 
 void clear_faults(Chip& chip) {
   for (const Point& cell : chip.faulty_cells()) chip.set_faulty(cell, false);
+}
+
+FaultInjectionPlan sample_fault_plan(const Rect& array, int count,
+                                     double horizon_s, Rng& rng) {
+  if (count < 0) {
+    throw std::invalid_argument("sample_fault_plan: negative count");
+  }
+  FaultInjectionPlan plan;
+  plan.faults.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    PlannedFault fault;
+    fault.cell = sample_uniform_fault(array, rng);
+    fault.time_s = rng.next_double() * horizon_s;
+    plan.faults.push_back(fault);
+  }
+  std::sort(plan.faults.begin(), plan.faults.end(),
+            [](const PlannedFault& a, const PlannedFault& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              if (a.cell.y != b.cell.y) return a.cell.y < b.cell.y;
+              return a.cell.x < b.cell.x;
+            });
+  return plan;
 }
 
 }  // namespace dmfb

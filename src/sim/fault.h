@@ -1,10 +1,20 @@
-// fault.h — single-cell fault injection (§5.2 fault model).
+// fault.h — single-cell fault injection (§5.2 fault model), offline and
+// online.
 //
 // Every cell fails with uniform probability; testing and reconfiguration
 // run frequently enough that at most one fault is outstanding. Statistical
 // failure data for DMFBs did not exist when the paper was written, so the
 // uniform model is the one the paper defines — the sampler below makes it
 // executable.
+//
+// Two injection modes:
+//   - inject_fault() plants a fault on the chip *before* a run (the
+//     offline campaigns in recovery.h).
+//   - FaultInjectionPlan hands a sequence of faults to the event engine
+//     (EventSimEngine::run_online) to be injected *while the event queue
+//     is live* — at a wall-clock instant of the simulated run or after
+//     the k-th dispatched event — which is what the paper's online
+//     testing story actually implies: electrodes fail mid-assay.
 #pragma once
 
 #include <vector>
@@ -27,5 +37,45 @@ void inject_fault(Chip& chip, Point cell);
 
 /// Clears every fault on the chip.
 void clear_faults(Chip& chip);
+
+// --- online (mid-run) injection ---------------------------------------
+
+/// One fault to inject while a simulation run is in flight. Exactly one
+/// trigger applies: `time_s >= 0` fires when the engine is about to
+/// dispatch the first event at or after that instant; otherwise
+/// `after_event` fires once that many events have been dispatched.
+struct PlannedFault {
+  Point cell{};
+  /// Simulated-time trigger: fire before the first event with
+  /// time >= time_s. Negative = use `after_event` instead.
+  double time_s = -1.0;
+  /// Event-count trigger: fire before dispatching event `after_event + 1`
+  /// (0 = before the first event). Counts are relative to the engine
+  /// invocation that carries the plan, so on a checkpointed resume they
+  /// restart with the residual run; time triggers are absolute and are
+  /// the ones campaigns should use.
+  long long after_event = -1;
+};
+
+/// A sequence of mid-run faults, fired strictly in vector order (the
+/// engine holds a cursor; sort time-triggered plans by time).
+struct FaultInjectionPlan {
+  std::vector<PlannedFault> faults;
+
+  bool empty() const { return faults.empty(); }
+};
+
+/// One fault that actually fired during a run: the planned cell plus the
+/// simulated instant the engine injected it at.
+struct FiredFault {
+  Point cell{};
+  double time_s = 0.0;
+};
+
+/// Seeded uniform campaign sampler: `count` time-triggered faults, cells
+/// uniform over `array`, times uniform over [0, horizon_s), sorted by
+/// time. One (seed, array, count, horizon) tuple reproduces the plan.
+FaultInjectionPlan sample_fault_plan(const Rect& array, int count,
+                                     double horizon_s, Rng& rng);
 
 }  // namespace dmfb

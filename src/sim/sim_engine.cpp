@@ -102,6 +102,16 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
                                  const Schedule& schedule,
                                  const Placement& placement,
                                  const Chip& chip) {
+  return run_online(graph, schedule, placement, chip, FaultInjectionPlan{});
+}
+
+SimEngineRun EventSimEngine::run_online(const SequencingGraph& graph,
+                                        const Schedule& schedule,
+                                        const Placement& placement,
+                                        const Chip& chip,
+                                        const FaultInjectionPlan& plan,
+                                        const SimCheckpoint* resume_from,
+                                        SimCheckpoint* checkpoint_out) {
   if (schedule.module_count() != placement.module_count()) {
     throw std::invalid_argument(
         "Simulator::run: schedule and placement disagree on module count");
@@ -111,6 +121,19 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
   if (!region.contains(bbox)) {
     throw std::invalid_argument(
         "Simulator::run: chip smaller than the placement bounding box");
+  }
+  for (const PlannedFault& fault : plan.faults) {
+    if (!region.contains(Rect{fault.cell.x, fault.cell.y, 1, 1})) {
+      throw std::invalid_argument(
+          "EventSimEngine::run_online: planned fault outside the chip");
+    }
+  }
+  if (resume_from != nullptr &&
+      (!resume_from->valid ||
+       resume_from->start_done.size() !=
+           static_cast<std::size_t>(schedule.module_count()))) {
+    throw std::invalid_argument(
+        "EventSimEngine::run_online: checkpoint does not match the schedule");
   }
 
   SimEngineRun out;
@@ -178,6 +201,23 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
   std::vector<std::uint8_t> droplet_placed(static_cast<std::size_t>(op_count),
                                            0);
   int next_droplet_id = 0;
+
+  // Online bookkeeping: which start/end events already dispatched (this
+  // is what a checkpoint snapshots), the injection cursor, and — when
+  // both injection and the log are on — where each started module's
+  // deferred (end-timestamped) "finish"/"split" lines sit in the event
+  // log, so a fault detected under a live module can roll exactly those
+  // lines back.
+  const bool injecting = !plan.faults.empty();
+  std::vector<std::uint8_t> start_done(static_cast<std::size_t>(module_count),
+                                       0);
+  std::vector<std::uint8_t> end_done(static_cast<std::size_t>(module_count),
+                                     0);
+  std::size_t fault_cursor = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> deferred_range;
+  if (injecting && options_.record_events) {
+    deferred_range.assign(static_cast<std::size_t>(module_count), {0u, 0u});
+  }
 
   if (options_.record_events) {
     // ~2-4 lines per module (start/finish/stored/split/dispense).
@@ -600,6 +640,10 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
     }
     mixed.move_to(site);
 
+    if (!deferred_range.empty()) {
+      deferred_range[static_cast<std::size_t>(index)].first =
+          static_cast<std::uint32_t>(result.events.size());
+    }
     if (op.type == OperationType::kDilute) {
       // Discard one half to waste; the remaining half is the output.
       Droplet waste = mixed.split(next_droplet_id++, site);
@@ -629,6 +673,10 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
       event_buffer_.push_back('\'');
       push_event(sm.end_s);
     }
+    if (!deferred_range.empty()) {
+      deferred_range[static_cast<std::size_t>(index)].second =
+          static_cast<std::uint32_t>(result.events.size());
+    }
     return true;
   };
 
@@ -645,13 +693,74 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
     }
     return a < b;
   });
+  // ---- checkpointed resume: restore mid-flight state ----
+  // The prior invocation failed at time_s; recovery retimed/repaired in
+  // between. Completed modules replay nothing (their events are already
+  // in the restored log), in-flight modules re-arm only their end
+  // events, and the droplet inventory picks up exactly where it stopped.
+  double now = -std::numeric_limits<double>::infinity();
+  if (resume_from != nullptr) {
+    const SimCheckpoint& c = *resume_from;
+    now = c.time_s;
+    start_done = c.start_done;
+    end_done = c.end_done;
+    result.op_outputs = c.op_outputs;
+    for (auto& [op, droplet] : result.op_outputs) {
+      droplet_ref[static_cast<std::size_t>(op)] = &droplet;
+    }
+    dispensed = c.dispensed;
+    dispensed.resize(static_cast<std::size_t>(op_count));
+    for (std::size_t op = 0; op < dispensed.size(); ++op) {
+      if (dispensed[op].has_value() && droplet_ref[op] == nullptr) {
+        droplet_ref[op] = &*dispensed[op];
+      }
+    }
+    droplet_pos = c.droplet_pos;
+    droplet_pos.resize(static_cast<std::size_t>(op_count));
+    droplet_placed = c.droplet_placed;
+    droplet_placed.resize(static_cast<std::size_t>(op_count), 0);
+    next_droplet_id = c.next_droplet_id;
+    result.events = c.events;
+    result.routes_planned = c.routes_planned;
+    result.route_cells = c.route_cells;
+    result.transport_seconds = c.transport_seconds;
+    // Re-arm the grid: modules in flight at the failure go back to
+    // blocking (started strictly before the checkpoint instant) or
+    // pending (started exactly at it — the strict active predicate keeps
+    // them transparent to other transfers at that same instant).
+    if (options_.verify_routing) {
+      for (int i = 0; i < module_count; ++i) {
+        if (start_done[static_cast<std::size_t>(i)] == 0 ||
+            end_done[static_cast<std::size_t>(i)] != 0) {
+          continue;
+        }
+        const ScheduledModule& sm = schedule.module(i);
+        if (!(sm.end_s > sm.start_s)) continue;
+        if (sm.start_s < now - kEps) {
+          const Rect& r = func_rects_[static_cast<std::size_t>(i)];
+          blocked_.fill_rect(r, 1);
+          telemetry.blocked_cells_touched += r.intersection(region).area();
+          filled_.push_back(i);
+          filled_rects_.push_back(r);
+        } else {
+          pending_fills_.push_back(i);
+        }
+      }
+    }
+  }
+
   std::vector<QueuedEvent> queue;
   queue.reserve(static_cast<std::size_t>(module_count) * 2);
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const int index = order[rank];
-    queue.push_back(QueuedEvent{schedule.module(index).start_s, 1,
-                                static_cast<int>(rank), index});
-    queue.push_back(QueuedEvent{schedule.module(index).end_s, 0, index, index});
+    if (start_done[static_cast<std::size_t>(index)] == 0) {
+      queue.push_back(QueuedEvent{schedule.module(index).start_s, 1,
+                                  static_cast<int>(rank), index});
+    }
+    if (end_done[static_cast<std::size_t>(index)] == 0) {
+      queue.push_back(
+          QueuedEvent{schedule.module(index).end_s, 0, index, index});
+    }
   }
   std::make_heap(queue.begin(), queue.end(), fires_later);
 
@@ -659,12 +768,136 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
     if (observer_) observer_(SimUpdate{kind, t, module, ok});
   };
 
+  // ---- failure-instant snapshot (nullable) ----
+  auto capture = [&](double t) {
+    if (checkpoint_out == nullptr) return;
+    SimCheckpoint& c = *checkpoint_out;
+    c.valid = true;
+    c.time_s = t;
+    c.failed_module = result.failed_module;
+    c.start_done = start_done;
+    c.end_done = end_done;
+    c.op_outputs = result.op_outputs;
+    c.dispensed = dispensed;
+    c.droplet_pos = droplet_pos;
+    c.droplet_placed = droplet_placed;
+    c.next_droplet_id = next_droplet_id;
+    // The clean completed prefix: everything logged up to (not
+    // including) the failure-reason line, which the recovery driver
+    // re-appends along with its own markers.
+    c.events = result.events;
+    if (!c.events.empty() && c.events.back().what == result.failure_reason) {
+      c.events.pop_back();
+    }
+    c.routes_planned = result.routes_planned;
+    c.route_cells = result.route_cells;
+    c.transport_seconds = result.transport_seconds;
+  };
+
+  // ---- mid-run fault injection ----
+  // Rolls an interrupted module's optimistic effects back so the resumed
+  // run re-executes it: its output droplet, its deferred finish/split
+  // log lines, its start_done bit and its blocked-grid stamp.
+  auto rollback_module = [&](int index) {
+    if (!deferred_range.empty()) {
+      const auto [begin, end] = deferred_range[static_cast<std::size_t>(index)];
+      if (end > begin && end <= result.events.size()) {
+        result.events.erase(result.events.begin() + begin,
+                            result.events.begin() + end);
+      }
+    }
+    const ScheduledModule& sm = schedule.module(index);
+    if (sm.op_id >= 0) {
+      result.op_outputs.erase(sm.op_id);
+      droplet_ref[static_cast<std::size_t>(sm.op_id)] = nullptr;
+      droplet_placed[static_cast<std::size_t>(sm.op_id)] = 0;
+    }
+    start_done[static_cast<std::size_t>(index)] = 0;
+    if (auto it = std::find(pending_fills_.begin(), pending_fills_.end(), index);
+        it != pending_fills_.end()) {
+      pending_fills_.erase(it);
+    }
+    for (std::size_t k = 0; k < filled_.size(); ++k) {
+      if (filled_[k] == index) {
+        clear_rect(filled_rects_[k]);
+        filled_[k] = filled_.back();
+        filled_rects_[k] = filled_rects_.back();
+        filled_.pop_back();
+        filled_rects_.pop_back();
+        grid_dirty_since_route = true;
+        break;
+      }
+    }
+  };
+  // Injects one planned fault at simulated instant t_eff. Returns true
+  // when the run fails right here: concurrent testing detects a fault
+  // under a live operation immediately; a fault elsewhere stays latent
+  // until a start-time scan or a routing stall trips over it.
+  auto apply_fault = [&](const PlannedFault& fault, double t_eff) -> bool {
+    out.faults_fired.push_back(FiredFault{fault.cell, t_eff});
+    if (fault_grid_.at(fault.cell) == 0) {
+      fault_grid_.at(fault.cell) = 1;
+      blocked_.at(fault.cell) = 1;
+      const auto row_major_less = [](const Point& a, const Point& b) {
+        if (a.y != b.y) return a.y < b.y;
+        return a.x < b.x;
+      };
+      faults_.insert(std::lower_bound(faults_.begin(), faults_.end(),
+                                      fault.cell, row_major_less),
+                     fault.cell);
+      fault_bbox_ =
+          fault_bbox_.united(Rect{fault.cell.x, fault.cell.y, 1, 1});
+      grid_dirty_since_route = true;
+    }
+    for (int i = 0; i < module_count; ++i) {
+      if (start_done[static_cast<std::size_t>(i)] == 0 ||
+          end_done[static_cast<std::size_t>(i)] != 0) {
+        continue;
+      }
+      const ScheduledModule& sm = schedule.module(i);
+      if (t_eff + kEps >= sm.end_s) continue;  // logically complete already
+      if (!placement.module(i).footprint().contains(fault.cell)) continue;
+      rollback_module(i);
+      result.failure_reason = "module '" + sm.label +
+                              "' contains faulty cell " + fmt_point(fault.cell);
+      result.failed_module = i;
+      result.fault_cell = fault.cell;
+      if (options_.record_events) {
+        result.events.push_back(SimEvent{t_eff, result.failure_reason});
+      }
+      return true;
+    }
+    return false;
+  };
+
   // ---- dispatch loop ----
-  double now = -std::numeric_limits<double>::infinity();
   while (!queue.empty()) {
     std::pop_heap(queue.begin(), queue.end(), fires_later);
     const QueuedEvent ev = queue.back();
     queue.pop_back();
+    // Fire every planned fault due before this event dispatches. A time
+    // trigger fires once the next event's time reaches it (the fault's
+    // own timestamp is the detection instant); an event-count trigger
+    // fires between the k-th and (k+1)-th dispatch of this invocation.
+    while (injecting && fault_cursor < plan.faults.size()) {
+      const PlannedFault& planned = plan.faults[fault_cursor];
+      const bool due_time = planned.time_s >= 0.0 && planned.time_s <= ev.time_s;
+      const bool due_count =
+          planned.time_s < 0.0 && planned.after_event >= 0 &&
+          telemetry.events_dispatched >= planned.after_event;
+      if (!due_time && !due_count) break;
+      ++fault_cursor;
+      const double t_eff =
+          due_time ? std::max(planned.time_s, now)
+                   : (now > -std::numeric_limits<double>::infinity()
+                          ? now
+                          : ev.time_s);
+      if (apply_fault(planned, t_eff)) {
+        capture(t_eff);
+        notify(SimUpdate::Kind::kFault, t_eff, result.failed_module, false);
+        return out;
+      }
+    }
     ++telemetry.events_dispatched;
     ScopedCostTimer timer(telemetry.event_cost);
     if (ev.time_s > now) {
@@ -687,15 +920,18 @@ SimEngineRun EventSimEngine::run(const SequencingGraph& graph,
           break;
         }
       }
+      end_done[static_cast<std::size_t>(ev.module)] = 1;
       notify(SimUpdate::Kind::kModuleEnd, ev.time_s, ev.module, true);
       continue;
     }
     if (!process_module_start(ev.module)) {
+      capture(ev.time_s);
       notify(out.stall.stalled ? SimUpdate::Kind::kStall
                                : SimUpdate::Kind::kModuleStart,
              ev.time_s, ev.module, false);
       return out;
     }
+    start_done[static_cast<std::size_t>(ev.module)] = 1;
     const ScheduledModule& started = schedule.module(ev.module);
     if (options_.verify_routing && started.end_s > started.start_s) {
       pending_fills_.push_back(ev.module);

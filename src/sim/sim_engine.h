@@ -40,9 +40,12 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "util/cost_statistic.h"
 #include "util/matrix.h"
@@ -57,6 +60,7 @@ struct SimUpdate {
     kModuleStart,  ///< a module's inputs arrived and its operation ran
     kModuleEnd,    ///< a module's interval ended (teardown)
     kStall,        ///< a droplet could not be routed; the run fails here
+    kFault,        ///< an injected fault was detected under a live module
   };
   Kind kind = Kind::kModuleStart;
   double time_s = 0.0;
@@ -117,12 +121,55 @@ struct SimEngineTelemetry {
   long long blocked_grid_reuses = 0;
 };
 
+/// Mid-run execution snapshot, captured at the instant a run fails (when
+/// run_online is given a checkpoint slot): everything the recovery
+/// driver needs to resume the assay *from the failure* instead of
+/// re-running from t=0 — the clock, which start/end events already
+/// dispatched, the droplet inventory (positions, contents, the id
+/// counter), and the completed-prefix result accounting. The residual
+/// run seeded from a checkpoint replays nothing: completed modules are
+/// skipped, in-flight modules re-arm only their end events, and the
+/// restored event log / route counters make the merged SimulationResult
+/// read as one continuous execution (completed-prefix events
+/// bit-identical to the uninterrupted run — pinned by
+/// tests/test_recovery.cpp and bench_recovery).
+struct SimCheckpoint {
+  bool valid = false;
+  double time_s = 0.0;     ///< simulated clock at the failure
+  int failed_module = -1;  ///< schedule index the run failed at (-1: stall)
+
+  /// Per schedule index: has this module's start/end event dispatched?
+  /// (A rolled-back module — injected fault under a live operation —
+  /// reads as not-started, so the resume re-executes it.)
+  std::vector<std::uint8_t> start_done;
+  std::vector<std::uint8_t> end_done;
+
+  // Droplet inventory, dense by operation id.
+  std::map<OperationId, Droplet> op_outputs;
+  std::vector<std::optional<Droplet>> dispensed;
+  std::vector<Point> droplet_pos;
+  std::vector<std::uint8_t> droplet_placed;
+  int next_droplet_id = 0;
+
+  // Completed-prefix accounting (the failure-reason line, if any, is
+  // excluded — the resumed run appends from here).
+  std::vector<SimEvent> events;
+  int routes_planned = 0;
+  long long route_cells = 0;
+  double transport_seconds = 0.0;
+};
+
 /// One engine execution: the bit-identical simulation result plus the
 /// engine-only diagnostics.
 struct SimEngineRun {
   SimulationResult result;
   StallReport stall;
   SimEngineTelemetry telemetry;
+  /// Planned faults that actually fired this invocation, in plan order
+  /// (a prefix of the plan — the rest is still pending when the run
+  /// failed first). The recovery driver injects these into its chip
+  /// before resuming so grid rebuilds see them.
+  std::vector<FiredFault> faults_fired;
 };
 
 /// The event-queue engine. Reusable: scratch state (grids, A* arrays,
@@ -145,6 +192,34 @@ class EventSimEngine {
   /// std::invalid_argument validation), with diagnostics on the side.
   SimEngineRun run(const SequencingGraph& graph, const Schedule& schedule,
                    const Placement& placement, const Chip& chip);
+
+  /// The online variant: executes the assay while injecting `plan`'s
+  /// faults mid-run (strictly in plan order), optionally resuming from a
+  /// prior checkpoint, optionally capturing one at failure.
+  ///
+  ///   - A fault landing under a *live* module is detected immediately
+  ///     (the paper's concurrent-testing model): the module's start is
+  ///     rolled back — its output droplet and deferred finish/split log
+  ///     lines removed, its start event re-armed for the resume — and the
+  ///     run fails at the injection instant with the same
+  ///     "module ... contains faulty cell" reason a start-time hit
+  ///     produces. A latent fault is caught later by the existing
+  ///     fail-on-start scan or as a routing StallReport.
+  ///   - `resume_from` (nullable): restart the run mid-flight from a
+  ///     checkpoint captured by an earlier invocation. The schedule may
+  ///     have been retimed and the placement repaired in between — module
+  ///     indices must be unchanged. Faults that fired earlier must
+  ///     already be on `chip` (the recovery driver owns that).
+  ///   - `checkpoint_out` (nullable): filled at the first failure.
+  ///
+  /// With an empty plan and no checkpoint this is bit-identical to
+  /// run() (pinned by tests/test_sim_engine.cpp).
+  SimEngineRun run_online(const SequencingGraph& graph,
+                          const Schedule& schedule,
+                          const Placement& placement, const Chip& chip,
+                          const FaultInjectionPlan& plan,
+                          const SimCheckpoint* resume_from = nullptr,
+                          SimCheckpoint* checkpoint_out = nullptr);
 
  private:
   friend struct EngineRunState;

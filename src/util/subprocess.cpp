@@ -159,7 +159,8 @@ void Subprocess::kill(int signal, bool whole_group) {
   ::kill(whole_group ? -pid_ : pid_, signal);
 }
 
-LineAppender::LineAppender(const std::string& path) : path_(path) {
+LineAppender::LineAppender(const std::string& path, bool fsync_each_line)
+    : fsync_each_line_(fsync_each_line), path_(path) {
   fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) fail("LineAppender: open " + path);
 }
@@ -177,6 +178,9 @@ void LineAppender::append(const std::string& line) {
   const ssize_t wrote = ::write(fd_, out.data(), out.size());
   if (wrote != static_cast<ssize_t>(out.size())) {
     fail("LineAppender: append to " + path_);
+  }
+  if (fsync_each_line_ && ::fsync(fd_) != 0) {
+    fail("LineAppender: fsync " + path_);
   }
 }
 

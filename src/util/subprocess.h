@@ -85,7 +85,14 @@ class Subprocess {
 /// appends more.
 class LineAppender {
  public:
-  explicit LineAppender(const std::string& path);
+  /// `fsync_each_line`: opt-in durability — fsync(2) after every append,
+  /// so the line is on stable storage before append() returns (a machine
+  /// crash can no longer lose an acknowledged checkpoint, only a torn
+  /// tail). Reserve it for low-rate bookkeeping files like the batch's
+  /// checkpoint ledger; per-line fsync on a bulk results file would
+  /// serialize the whole batch behind the disk.
+  explicit LineAppender(const std::string& path,
+                        bool fsync_each_line = false);
   LineAppender(const LineAppender&) = delete;
   LineAppender& operator=(const LineAppender&) = delete;
   ~LineAppender();
@@ -96,6 +103,7 @@ class LineAppender {
 
  private:
   int fd_ = -1;
+  bool fsync_each_line_ = false;
   std::string path_;
 };
 

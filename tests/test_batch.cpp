@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <span>
@@ -267,6 +268,79 @@ TEST(BatchResumeTest, SkipsOnlyCheckpointsMatchingTheCurrentManifest) {
   EXPECT_EQ(resumed.results[1], full.results[2]);
 }
 
+TEST(BatchRespawnTest, ChaosKilledWorkerIsRespawnedAndResultsMatch) {
+  // End-to-end respawn: the parent SIGKILLs its worker after the first
+  // "done" report (chaos_kill_after), re-execs it with the unreported
+  // items, and the batch still completes with the same result lines an
+  // undisturbed run produces.
+  const char* env_bin = std::getenv("DMFB_BATCH_BIN");
+  const std::string worker_exe = env_bin ? env_bin : "./dmfb_batch";
+  if (!std::ifstream(worker_exe).good()) {
+    GTEST_SKIP() << "dmfb_batch binary not found (run from the build "
+                    "directory or set DMFB_BATCH_BIN)";
+  }
+
+  const auto assays = small_assays(4);
+  const std::string dir = testing::TempDir();
+  const std::string manifest = dir + "dmfb_respawn_manifest.jsonl";
+  {
+    std::ofstream out(manifest, std::ios::trunc);
+    out << manifest_text(assays);
+  }
+
+  BatchOptions options;
+  options.manifest_path = manifest;
+  options.base = fast_options();
+  options.base.seed = 321;
+  options.workers = 1;
+  options.worker_exe = worker_exe;
+
+  // Reference lines from the in-process worker loop (already pinned to
+  // run_many above) — what any incarnation of the worker must append.
+  std::set<std::string> expected;
+  {
+    std::istringstream in(manifest_text(assays));
+    const auto items =
+        read_manifest(in, options.base, ModuleLibrary::standard());
+    MemorySink sink;
+    run_batch_items(items, {0, 1, 2, 3}, sink, nullptr, nullptr);
+    expected.insert(sink.results.begin(), sink.results.end());
+  }
+
+  options.results_path = dir + "dmfb_respawn_results.jsonl";
+  options.ledger_path = options.results_path + ".ledger";
+  std::remove(options.results_path.c_str());
+  std::remove(options.ledger_path.c_str());
+  options.chaos_kill_after = 1;
+  options.max_respawns = 2;
+  const BatchSummary summary = run_batch(options);
+  EXPECT_TRUE(summary.ok);
+  EXPECT_GE(summary.respawns, 1u);
+  EXPECT_GE(summary.completed, 4u);  // recomputed items report again
+
+  // The result file may hold byte-identical duplicates (items the dead
+  // worker finished without reporting) — identical as a *set* of lines.
+  const auto lines = read_lines(options.results_path);
+  const std::set<std::string> actual(lines.begin(), lines.end());
+  EXPECT_EQ(actual, expected);
+
+  // Zero respawn budget: the same chaos kill fails the batch instead.
+  options.results_path = dir + "dmfb_respawn_none.jsonl";
+  options.ledger_path = options.results_path + ".ledger";
+  std::remove(options.results_path.c_str());
+  std::remove(options.ledger_path.c_str());
+  options.max_respawns = 0;
+  const BatchSummary denied = run_batch(options);
+  EXPECT_FALSE(denied.ok);
+  EXPECT_EQ(denied.respawns, 0u);
+
+  std::remove(manifest.c_str());
+  std::remove((dir + "dmfb_respawn_results.jsonl").c_str());
+  std::remove((dir + "dmfb_respawn_results.jsonl.ledger").c_str());
+  std::remove(options.results_path.c_str());
+  std::remove(options.ledger_path.c_str());
+}
+
 TEST(SubprocessTest, RoundTripsLinesThroughCat) {
   Subprocess child = Subprocess::spawn({"/bin/cat"});
   child.write_line("hello");
@@ -289,6 +363,51 @@ TEST(SubprocessTest, ReportsExitCodesAndExecFailures) {
   Subprocess missing = Subprocess::spawn({"/no/such/binary/anywhere"});
   missing.close_stdin();
   EXPECT_EQ(missing.wait(), 127);
+}
+
+TEST(SubprocessTest, TornTailAndReadLinesEdgeCases) {
+  const std::string path = testing::TempDir() + "dmfb_torn_tail.txt";
+  std::remove(path.c_str());
+
+  // Missing file: no-op, and it is not created.
+  terminate_torn_tail(path);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_TRUE(read_lines(path).empty());
+
+  // Empty file: no-op, stays empty (no spurious blank line).
+  { std::ofstream out(path, std::ios::trunc); }
+  terminate_torn_tail(path);
+  EXPECT_TRUE(read_lines(path).empty());
+
+  // Several complete lines then a torn tail: only the tail is touched,
+  // and the call is idempotent — a second pass adds nothing.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "alpha\nbeta\ngam";
+  }
+  // read_lines returns an unterminated final line as-is (getline).
+  {
+    const auto torn = read_lines(path);
+    ASSERT_EQ(torn.size(), 3u);
+    EXPECT_EQ(torn.back(), "gam");
+  }
+  terminate_torn_tail(path);
+  terminate_torn_tail(path);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    EXPECT_EQ(raw.str(), "alpha\nbeta\ngam\n");
+  }
+
+  // Already-terminated file: untouched byte for byte.
+  terminate_torn_tail(path);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "alpha");
+  EXPECT_EQ(lines[1], "beta");
+  EXPECT_EQ(lines[2], "gam");
+  std::remove(path.c_str());
 }
 
 TEST(SubprocessTest, AppendsAreWholeLines) {

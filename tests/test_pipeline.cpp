@@ -281,5 +281,51 @@ TEST(PipelineTest, RunManyMarksFailedItemsInsteadOfThrowing) {
   EXPECT_THROW(pipeline.run(cases[1]), std::invalid_argument);
 }
 
+TEST(PipelineTest, FaultPlanRunsOnlineRecoveryThroughSimulateStage) {
+  // Compile once clean to learn where a module lands, then re-run the
+  // identical compile with a fault planned under it: the simulate stage
+  // must drive the online recovery engine, survive, and surface the
+  // telemetry both in the result and the observer's detail line.
+  PipelineOptions options = fast_options();
+  options.placer = "greedy";
+  options.simulate = true;
+  options.chip_width = 20;
+  options.chip_height = 20;
+  const SynthesisPipeline clean(options);
+  const PipelineResult baseline = clean.run(pcr_mixing_assay());
+  ASSERT_TRUE(baseline.simulation.success);
+  EXPECT_EQ(baseline.recovery.faults_injected, 0);
+  EXPECT_FALSE(baseline.recovery.recovered);
+
+  const Rect fp = baseline.placement.placement.module(0).footprint();
+  const ScheduledModule& sm = baseline.schedule.module(0);
+  ASSERT_GT(sm.end_s, sm.start_s);
+  options.fault_plan.faults.push_back(
+      PlannedFault{Point{fp.x + fp.width / 2, fp.y + fp.height / 2},
+                   0.5 * (sm.start_s + sm.end_s), -1});
+
+  std::string simulate_detail;
+  options.observer = [&](PipelineStage stage, double,
+                         const std::string& detail) {
+    if (stage == PipelineStage::kSimulate) simulate_detail = detail;
+  };
+  const SynthesisPipeline faulty(options);
+  const PipelineResult result = faulty.run(pcr_mixing_assay());
+
+  EXPECT_TRUE(result.simulation.success) << result.simulation.failure_reason;
+  EXPECT_EQ(result.recovery.faults_injected, 1);
+  EXPECT_GE(result.recovery.recovery_cycles, 1);
+  EXPECT_TRUE(result.recovery.recovered);
+  EXPECT_TRUE(result.recovery.completed);
+  EXPECT_GT(result.recovery.time_lost_s, 0.0);
+  EXPECT_NE(simulate_detail.find("recovery: faults=1"), std::string::npos)
+      << simulate_detail;
+  // Recovery slips the makespan by exactly the re-run work (reconfigure
+  // and reroute rungs preserve every module's duration).
+  EXPECT_NEAR(result.simulation.makespan_s,
+              baseline.simulation.makespan_s + result.recovery.time_lost_s,
+              1e-9);
+}
+
 }  // namespace
 }  // namespace dmfb

@@ -90,6 +90,22 @@ TEST(CompileCacheTest, OptionsFingerprintSeesCompileRelevantFields) {
   differs([](PipelineOptions& o) { o.plan_droplet_routes = false; },
           "routing toggle");
   differs([](PipelineOptions& o) { o.simulate = true; }, "simulate");
+  differs(
+      [](PipelineOptions& o) {
+        o.fault_plan.faults.push_back(PlannedFault{Point{3, 4}, 12.0, -1});
+      },
+      "fault plan");
+
+  // With a plan present, outcome-affecting recovery knobs fork the key;
+  // the host-wall deadline (execution-only, like `threads`) does not.
+  PipelineOptions with_plan = fast_options();
+  with_plan.fault_plan.faults.push_back(PlannedFault{Point{3, 4}, 12.0, -1});
+  PipelineOptions no_replace = with_plan;
+  no_replace.recovery.enable_replace = false;
+  EXPECT_NE(options_fingerprint(no_replace), options_fingerprint(with_plan));
+  PipelineOptions slow = with_plan;
+  slow.recovery.deadline_s = 99.0;
+  EXPECT_EQ(options_fingerprint(slow), options_fingerprint(with_plan));
 }
 
 TEST(CompileCacheTest, OptionsFingerprintIgnoresExecutionOnlyFields) {
@@ -430,6 +446,10 @@ TEST(ServerTest, PipelineOptionsJsonRoundTripsEveryWireField) {
   options.plan_droplet_routes = false;
   options.routing.persist_congestion_history = true;
   options.simulate = true;
+  options.fault_plan.faults.push_back(PlannedFault{Point{7, 8}, 25.0, -1});
+  options.fault_plan.faults.push_back(PlannedFault{Point{2, 9}, 40.5, -1});
+  options.recovery.deadline_s = 2.5;
+  options.recovery.max_cycles = 3;
   options.evaluate_fault_tolerance = false;
   options.binding_policy = BindingPolicy::kSmallest;
 
@@ -441,12 +461,76 @@ TEST(ServerTest, PipelineOptionsJsonRoundTripsEveryWireField) {
   EXPECT_EQ(parsed.placer_context.engine, options.placer_context.engine);
   EXPECT_EQ(parsed.placer_context.defects.size(), 2u);
   EXPECT_EQ(parsed.binding_policy, options.binding_policy);
+  ASSERT_EQ(parsed.fault_plan.faults.size(), 2u);
+  EXPECT_EQ(parsed.fault_plan.faults[0].cell, (Point{7, 8}));
+  EXPECT_EQ(parsed.fault_plan.faults[1].time_s, 40.5);
+  EXPECT_EQ(parsed.recovery.deadline_s, 2.5);
+  EXPECT_EQ(parsed.recovery.max_cycles, 3);
 
   // The dump itself parses as one JSON line (the batch handshake).
   const std::string line = pipeline_options_to_json(options).dump();
   PipelineOptions reparsed;
   parse_pipeline_options(json::Value::parse(line), reparsed);
   EXPECT_EQ(options_fingerprint(reparsed), options_fingerprint(options));
+}
+
+TEST(ServerTest, FaultPlanRequestCarriesRecoveryTelemetry) {
+  CompileServer server;
+
+  // Compile clean first to learn where module 0 lands; the response must
+  // not carry a recovery block.
+  json::Value clean_doc;
+  clean_doc.set("id", std::string("clean"));
+  clean_doc.set("assay", assay_to_string(pcr_mixing_assay()));
+  json::Value clean_options;
+  clean_options.set("placer", std::string("greedy"));
+  clean_options.set("simulate", true);
+  clean_options.set("chip", json::Value(json::Value::Array{
+                                json::Value(20), json::Value(20)}));
+  clean_doc.set("options", std::move(clean_options));
+  CompileRequest clean_request = server.parse_request(clean_doc.dump());
+  clean_request.use_cache = false;
+  const CompileResponse clean = server.service().compile(clean_request);
+  ASSERT_TRUE(clean.ok) << clean.error;
+  const json::Value clean_line =
+      json::Value::parse(CompileServer::render_response(clean));
+  EXPECT_EQ(clean_line.find("result")->find("recovery"), nullptr);
+
+  // Same compile with a fault planned mid-run under module 0.
+  const Rect fp = clean.result->placement.placement.module(0).footprint();
+  const ScheduledModule& sm = clean.result->schedule.module(0);
+  json::Value doc;
+  doc.set("id", std::string("faulty"));
+  doc.set("assay", assay_to_string(pcr_mixing_assay()));
+  json::Value options;
+  options.set("placer", std::string("greedy"));
+  options.set("simulate", true);
+  options.set("chip", json::Value(json::Value::Array{json::Value(20),
+                                                     json::Value(20)}));
+  json::Value::Array fault;
+  fault.push_back(json::Value(0.5 * (sm.start_s + sm.end_s)));
+  fault.push_back(json::Value(fp.x + fp.width / 2));
+  fault.push_back(json::Value(fp.y + fp.height / 2));
+  json::Value::Array plan;
+  plan.push_back(json::Value(std::move(fault)));
+  options.set("fault_plan", json::Value(std::move(plan)));
+  doc.set("options", std::move(options));
+  CompileRequest request = server.parse_request(doc.dump());
+  request.use_cache = false;
+  ASSERT_EQ(request.options.fault_plan.faults.size(), 1u);
+
+  const CompileResponse response = server.service().compile(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  const json::Value line =
+      json::Value::parse(CompileServer::render_response(response));
+  const json::Value* recovery = line.find("result")->find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_EQ(recovery->find("faults")->as_number(), 1.0);
+  EXPECT_TRUE(recovery->find("recovered")->as_bool());
+  EXPECT_TRUE(recovery->find("completed")->as_bool());
+  EXPECT_GT(recovery->find("time_lost_s")->as_number(), 0.0);
+  EXPECT_FALSE(recovery->find("attempts")->as_array().empty());
+  EXPECT_GE(recovery->find("cycles")->as_number(), 1.0);
 }
 
 // --- cache persistence ------------------------------------------------

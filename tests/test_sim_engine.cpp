@@ -405,5 +405,166 @@ TEST(SimEngineTest, ValidatesLikeTheReference) {
                std::invalid_argument);
 }
 
+// ---- online injection / checkpointing -------------------------------
+
+TEST(SimEngineTest, RunOnlineEmptyPlanBitIdenticalAndNoCheckpoint) {
+  const auto s = pcr_setup();
+  const Chip chip(16, 16);
+  EventSimEngine engine;
+  SimCheckpoint ckpt;
+  const auto online = engine.run_online(s.graph, s.schedule, s.placement,
+                                        chip, FaultInjectionPlan{}, nullptr,
+                                        &ckpt);
+  ASSERT_TRUE(online.result.success);
+  EXPECT_TRUE(online.faults_fired.empty());
+  EXPECT_FALSE(ckpt.valid);  // captured only at a failure
+  SimOptions reference;
+  reference.engine = SimEngineKind::kReference;
+  const Simulator pinned(reference);
+  expect_identical(online.result,
+                   pinned.run(s.graph, s.schedule, s.placement, chip));
+}
+
+TEST(SimEngineTest, RunOnlineValidatesPlanAndCheckpoint) {
+  const auto s = pcr_setup();
+  EventSimEngine engine;
+  FaultInjectionPlan outside;
+  outside.faults.push_back(PlannedFault{Point{99, 99}, 1.0, -1});
+  EXPECT_THROW(engine.run_online(s.graph, s.schedule, s.placement,
+                                 Chip(16, 16), outside),
+               std::invalid_argument);
+  SimCheckpoint bogus;
+  bogus.valid = true;  // but start_done does not match the schedule
+  EXPECT_THROW(engine.run_online(s.graph, s.schedule, s.placement,
+                                 Chip(16, 16), FaultInjectionPlan{}, &bogus),
+               std::invalid_argument);
+}
+
+TEST(SimEngineTest, MidRunFaultRollsBackTheLiveModule) {
+  // A three-mix chain with spatially separated modules: the fault lands
+  // under the middle module while it runs, so exactly one operation is
+  // disturbed and rolled back.
+  SequencingGraph graph;
+  const OperationId a = graph.add_operation(OperationType::kMix, "A");
+  const OperationId b = graph.add_operation(OperationType::kMix, "B");
+  const OperationId c = graph.add_operation(OperationType::kMix, "C");
+  graph.add_dependency(a, b);
+  graph.add_dependency(b, c);
+
+  Schedule schedule;
+  schedule.add(scheduled(a, "MA", mixer_2x2(), 0.0, 4.0));
+  schedule.add(scheduled(b, "MB", mixer_2x2(), 10.0, 14.0));
+  schedule.add(scheduled(c, "MC", mixer_2x2(), 20.0, 24.0));
+
+  Placement placement(schedule, 24, 24);
+  placement.set_position(0, Point{1, 1}, false);    // footprint (1,1)-(4,4)
+  placement.set_position(1, Point{10, 10}, false);  // (10,10)-(13,13)
+  placement.set_position(2, Point{1, 10}, false);   // (1,10)-(4,13)
+
+  const int target = 1;
+  const Point cell{12, 12};  // MB's site, under no other module
+  const double mid = 12.0;
+
+  FaultInjectionPlan plan;
+  plan.faults.push_back(PlannedFault{cell, mid, -1});
+
+  EventSimEngine engine;
+  SimCheckpoint ckpt;
+  const auto run = engine.run_online(graph, schedule, placement,
+                                     Chip(24, 24), plan, nullptr, &ckpt);
+  EXPECT_FALSE(run.result.success);
+  EXPECT_EQ(run.result.failed_module, target);
+  EXPECT_EQ(run.result.fault_cell, cell);
+  EXPECT_NE(run.result.failure_reason.find("contains faulty cell"),
+            std::string::npos);
+  ASSERT_EQ(run.faults_fired.size(), 1u);
+  EXPECT_EQ(run.faults_fired[0].time_s, mid);
+
+  ASSERT_TRUE(ckpt.valid);
+  EXPECT_EQ(ckpt.time_s, mid);
+  EXPECT_EQ(ckpt.failed_module, target);
+  // Rolled back: the interrupted module reads as never started and its
+  // output droplet is gone; its deferred finish line (stamped end_s) is
+  // not in the log.
+  EXPECT_EQ(ckpt.start_done[static_cast<std::size_t>(target)], 0);
+  EXPECT_EQ(ckpt.op_outputs.count(b), 0u);
+  EXPECT_EQ(ckpt.op_outputs.count(a), 1u);  // the completed op survives
+  for (const SimEvent& event : ckpt.events) {
+    EXPECT_LE(event.time_s, mid);
+    EXPECT_EQ(event.what.find("finish 'B'"), std::string::npos);
+  }
+  // The clean prefix matches the uninterrupted run bit for bit.
+  const auto baseline = engine.run(graph, schedule, placement, Chip(24, 24));
+  ASSERT_TRUE(baseline.result.success);
+  ASSERT_GT(ckpt.events.size(), 0u);
+  ASSERT_LE(ckpt.events.size(), baseline.result.events.size());
+  for (std::size_t i = 0; i < ckpt.events.size(); ++i) {
+    EXPECT_EQ(ckpt.events[i].time_s, baseline.result.events[i].time_s);
+    EXPECT_EQ(ckpt.events[i].what, baseline.result.events[i].what);
+  }
+}
+
+TEST(SimEngineTest, StallReportsFirstOfMultipleFaultWalledTargets) {
+  // Two consumers start at the same instant, both walled off by fault
+  // rings: the run fails at the first dispatched (lower schedule index)
+  // and the report is a fault wall with no module to wait for.
+  SequencingGraph graph;
+  const OperationId a = graph.add_operation(OperationType::kMix, "A");
+  const OperationId b = graph.add_operation(OperationType::kMix, "B");
+  const OperationId m = graph.add_operation(OperationType::kMix, "M");
+  const OperationId n = graph.add_operation(OperationType::kMix, "N");
+  graph.add_dependency(a, m);
+  graph.add_dependency(b, n);
+
+  Schedule schedule;
+  schedule.add(scheduled(a, "MA", mixer_2x2(), 0.0, 4.0));
+  schedule.add(scheduled(b, "MB", mixer_2x2(), 0.0, 4.0));
+  schedule.add(scheduled(m, "MM", mixer_2x2(), 10.0, 14.0));
+  schedule.add(scheduled(n, "MN", mixer_2x2(), 10.0, 14.0));
+
+  Placement placement(schedule, 24, 24);
+  placement.set_position(0, Point{8, 8}, false);
+  placement.set_position(1, Point{14, 14}, false);
+  placement.set_position(2, Point{2, 2}, false);    // walled target 1
+  placement.set_position(3, Point{2, 16}, false);   // walled target 2
+
+  Chip chip(24, 24);
+  for (int x = 1; x <= 6; ++x) {
+    inject_fault(chip, Point{x, 1});
+    inject_fault(chip, Point{x, 6});
+    inject_fault(chip, Point{x, 15});
+    inject_fault(chip, Point{x, 20});
+  }
+  for (int y = 2; y <= 5; ++y) {
+    inject_fault(chip, Point{1, y});
+    inject_fault(chip, Point{6, y});
+  }
+  for (int y = 16; y <= 19; ++y) {
+    inject_fault(chip, Point{1, y});
+    inject_fault(chip, Point{6, y});
+  }
+
+  EventSimEngine engine;
+  SimCheckpoint ckpt;
+  const auto run = engine.run_online(graph, schedule, placement, chip,
+                                     FaultInjectionPlan{}, nullptr, &ckpt);
+  EXPECT_FALSE(run.result.success);
+  ASSERT_TRUE(run.stall.stalled);
+  EXPECT_TRUE(run.stall.fault_walled);
+  EXPECT_TRUE(run.stall.blocking_modules.empty());
+  EXPECT_EQ(run.stall.waiting_module, 2);  // first of the walled pair
+  EXPECT_EQ(run.stall.time_s, 10.0);
+  // A stall snapshots too: recovery can retry the other targets from
+  // here instead of replaying the first 10 simulated seconds.
+  ASSERT_TRUE(ckpt.valid);
+  EXPECT_EQ(ckpt.time_s, 10.0);
+  EXPECT_EQ(ckpt.start_done[2], 0);  // the stalled start did not commit
+
+  SimOptions reference;
+  reference.engine = SimEngineKind::kReference;
+  const Simulator pinned(reference);
+  expect_identical(run.result, pinned.run(graph, schedule, placement, chip));
+}
+
 }  // namespace
 }  // namespace dmfb

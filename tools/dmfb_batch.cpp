@@ -3,7 +3,8 @@
 //
 //   dmfb_batch --manifest assays.jsonl --results out.jsonl \
 //       [--ledger out.jsonl.ledger] [--workers N] [--resume] \
-//       [--cache cache.txt] [--seed S] [--options '{"placer":"sa",...}']
+//       [--cache cache.txt] [--seed S] [--options '{"placer":"sa",...}'] \
+//       [--max-respawns N] [--chaos-kill-after N]
 //
 // The manifest is one JSON object per line ({"id":...,"assay":...,
 // "options":{...}}); --options sets the batch's base options (the
@@ -16,6 +17,12 @@
 // deterministically, and the final results file holds the same lines an
 // uninterrupted run would have produced. With --cache, exact-hit items
 // are served from the cache file and fresh compiles are merged back in.
+//
+// A worker that dies mid-run (crash, OOM kill) is respawned by the
+// parent with exactly its unreported items, up to --max-respawns times
+// per shard (default 2) — the batch survives without a restart.
+// --chaos-kill-after N is the fault-injection hook: the parent SIGKILLs
+// the first worker after its N-th completed item (tests/bench only).
 //
 // On success prints one JSON summary line and exits 0; a failed worker
 // or an incomplete shard exits 1.
@@ -41,7 +48,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --manifest FILE --results FILE [--ledger FILE]\n"
                "          [--workers N] [--resume] [--cache FILE]\n"
-               "          [--seed S] [--options JSON]\n",
+               "          [--seed S] [--options JSON] [--max-respawns N]\n"
+               "          [--chaos-kill-after N]\n",
                argv0);
   return 2;
 }
@@ -63,6 +71,8 @@ int main(int argc, char** argv) {
   std::string manifest, results, ledger, cache, options_json;
   int workers = 1;
   int shard = 0;
+  int max_respawns = 2;
+  int chaos_kill_after = 0;
   std::uint64_t seed = 0;
   bool seed_set = false;
 
@@ -95,6 +105,10 @@ int main(int argc, char** argv) {
       workers = std::atoi(value());
     } else if (flag("--shard")) {
       shard = std::atoi(value());
+    } else if (flag("--max-respawns")) {
+      max_respawns = std::atoi(value());
+    } else if (flag("--chaos-kill-after")) {
+      chaos_kill_after = std::atoi(value());
     } else if (flag("--seed")) {
       seed = std::strtoull(value(), nullptr, 0);
       seed_set = true;
@@ -122,6 +136,8 @@ int main(int argc, char** argv) {
     options.cache_path = cache;
     options.workers = workers;
     options.resume = resume;
+    options.max_respawns = max_respawns;
+    options.chaos_kill_after = chaos_kill_after;
     options.worker_exe = self_executable(argv[0]);
     if (!options_json.empty()) {
       dmfb::parse_pipeline_options(dmfb::json::Value::parse(options_json),
@@ -139,6 +155,7 @@ int main(int argc, char** argv) {
     doc.set("failed", static_cast<double>(summary.failed));
     doc.set("exact_hits", static_cast<double>(summary.exact_hits));
     doc.set("workers", summary.workers);
+    doc.set("respawns", static_cast<double>(summary.respawns));
     doc.set("wall_s", summary.wall_s);
     doc.set("critical_path_s", summary.critical_path_s);
     doc.set("ok", summary.ok);
